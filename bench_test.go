@@ -1,0 +1,450 @@
+package safepriv_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"safepriv/internal/baseline"
+	"safepriv/internal/core"
+	"safepriv/internal/hb"
+	"safepriv/internal/litmus"
+	"safepriv/internal/mgc"
+	"safepriv/internal/model"
+	"safepriv/internal/norec"
+	"safepriv/internal/opacity"
+	"safepriv/internal/rcu"
+	"safepriv/internal/record"
+	"safepriv/internal/spec"
+	"safepriv/internal/stmds"
+	"safepriv/internal/tl2"
+	"safepriv/internal/vclock"
+	"safepriv/internal/workload"
+)
+
+// --- TL2 primitive costs ---
+
+func BenchmarkTL2ReadOnlyTxn(b *testing.B) {
+	tm := tl2.New(64, 2, tl2.WithReadOnlyFastPath())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := tm.BeginTL2(1)
+		for x := 0; x < 4; x++ {
+			if _, err := tx.Read(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTL2WriteTxn(b *testing.B) {
+	tm := tl2.New(64, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := tm.BeginTL2(1)
+		if err := tx.Write(i%64, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTL2NonTxnLoad(b *testing.B) {
+	tm := tl2.New(64, 2)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += tm.Load(1, i%64)
+	}
+	_ = sink
+}
+
+func BenchmarkGlobalLockTxn(b *testing.B) {
+	tm := baseline.New(64, 2, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := tm.Begin(1)
+		if _, err := tx.Read(i % 64); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: fence overhead per workload and placement ---
+
+func benchWorkload(b *testing.B, mode workload.FenceMode, run func(tm core.TM, mode workload.FenceMode) error, regs int) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	for i := 0; i < b.N; i++ {
+		tm := tl2.New(regs, threads+2)
+		if err := run(tm, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9Fence(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	const ops = 3000
+	wls := []struct {
+		name string
+		run  func(tm core.TM, mode workload.FenceMode) error
+		regs int
+	}{
+		{"shorttxn", func(tm core.TM, m workload.FenceMode) error {
+			_, err := workload.PerThread(tm, threads, ops, m)
+			return err
+		}, 64},
+		{"bank", func(tm core.TM, m workload.FenceMode) error {
+			_, err := workload.Bank(tm, threads, ops, m, 1)
+			return err
+		}, 64},
+		{"readmostly", func(tm core.TM, m workload.FenceMode) error {
+			_, err := workload.ReadMostly(tm, threads, ops, 4, 90, m, 1)
+			return err
+		}, 256},
+		{"pipeline", func(tm core.TM, m workload.FenceMode) error {
+			_, err := workload.Pipeline(tm, threads-1, ops, 10, m, 1)
+			return err
+		}, 65},
+	}
+	for _, w := range wls {
+		for _, mode := range []workload.FenceMode{workload.FenceNone, workload.FenceAfterEveryTxn} {
+			b.Run(fmt.Sprintf("%s/%s", w.name, mode), func(b *testing.B) {
+				benchWorkload(b, mode, w.run, w.regs)
+			})
+		}
+	}
+}
+
+// --- E13: scalability sweep ---
+
+func BenchmarkE13Scalability(b *testing.B) {
+	maxT := runtime.GOMAXPROCS(0)
+	if maxT > 16 {
+		maxT = 16
+	}
+	const totalOps = 64_000
+	for th := 1; th <= maxT; th *= 2 {
+		ops := totalOps / th
+		b.Run(fmt.Sprintf("tl2/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tm := tl2.New(256, th+1, tl2.WithReadOnlyFastPath())
+				if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("globallock/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tm := baseline.New(256, th+1, nil)
+				if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13b ablation: Figure 9 verbatim (clock tick on read-only commit)
+// vs the classic read-only fast path ---
+
+func BenchmarkE13bClockAblation(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	const ops = 8000
+	for _, v := range []struct {
+		name string
+		opts []tl2.Option
+	}{
+		{"fig9-verbatim", nil},
+		{"ro-fastpath", []tl2.Option{tl2.WithReadOnlyFastPath()}},
+		{"gv4-clock", []tl2.Option{tl2.WithGV4()}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tm := tl2.New(256, threads+1, v.opts...)
+				if _, err := workload.ReadMostly(tm, threads, ops, 4, 90, workload.FenceNone, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E14: fence implementation ablation ---
+
+func BenchmarkE14FenceQuiet(b *testing.B) {
+	for _, im := range []struct {
+		name string
+		mk   func(int) rcu.Quiescer
+	}{
+		{"flags", func(n int) rcu.Quiescer { return rcu.NewFlags(n) }},
+		{"epochs", func(n int) rcu.Quiescer { return rcu.NewEpochs(n) }},
+	} {
+		b.Run(im.name, func(b *testing.B) {
+			q := im.mk(8)
+			for i := 0; i < b.N; i++ {
+				q.Wait()
+			}
+		})
+	}
+}
+
+func BenchmarkE14FenceUnderLoad(b *testing.B) {
+	// Fences racing short transactions: measures grace-period latency
+	// with genuinely active transactions.
+	for _, v := range []struct {
+		name string
+		opts []tl2.Option
+	}{
+		{"flags", nil},
+		{"epochs", []tl2.Option{tl2.WithEpochFence()}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tm := tl2.New(8, 6, v.opts...)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for th := 2; th <= 5; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					x := th - 2
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						core.Atomically(tm, th, func(tx core.Txn) error {
+							v, err := tx.Read(x)
+							if err != nil {
+								return err
+							}
+							return tx.Write(x, v+1)
+						})
+					}
+				}(th)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.Fence(1)
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// --- Global clock ablation ---
+
+func BenchmarkClockTick(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		ck   vclock.Clock
+	}{
+		{"fai", vclock.NewFAI()},
+		{"gv4", vclock.NewGV4()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.ck.Tick()
+				}
+			})
+		})
+	}
+}
+
+// --- E1/E2: model-checking costs ---
+
+func BenchmarkE1Fig1aModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Explore(model.Config{Prog: litmus.Fig1a(true), Model: model.TL2Kind}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Fig1bModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Explore(model.Config{Prog: litmus.Fig1b(true), Model: model.TL2Kind}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: strong-opacity checker cost on recorded histories ---
+
+func BenchmarkE6OpacityCheck(b *testing.B) {
+	rec, err := mgc.Run(mgc.Config{
+		Threads: 4, DataRegs: 4, TxnsPerThread: 25, OpsPerTxn: 3, Rounds: 5, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := rec.History()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opacity.Check(h, opacity.Options{WVer: rec.WVer}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Recording overhead ---
+
+func BenchmarkRecordingOverhead(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mk   func() *tl2.TM
+	}{
+		{"bare", func() *tl2.TM { return tl2.New(8, 2) }},
+		{"recorded", func() *tl2.TM { return tl2.New(8, 2, tl2.WithSink(record.NewRecorder())) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tm := v.mk()
+			for i := 0; i < b.N; i++ {
+				tx := tm.BeginTL2(1)
+				tx.Write(i%8, int64(i+1))
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Transactional data structures (STAMP-style usage) ---
+
+func BenchmarkStmSetInsert(b *testing.B) {
+	impls := map[string]func() core.TM{
+		"tl2":        func() core.TM { return tl2.New(1<<20, 10) },
+		"norec":      func() core.TM { return norec.New(1<<20, 10, nil) },
+		"globallock": func() core.TM { return baseline.New(1<<20, 10, nil) },
+	}
+	for name, mk := range impls {
+		b.Run(name, func(b *testing.B) {
+			tm := mk()
+			alloc := stmds.NewAlloc(tm, 4, 8, tm.NumRegs())
+			set := stmds.NewSet(tm, 1, alloc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := set.Insert(1, int64(i%4096+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStmSetContainsParallel(b *testing.B) {
+	impls := map[string]func() core.TM{
+		"tl2":   func() core.TM { return tl2.New(1<<18, 33, tl2.WithReadOnlyFastPath()) },
+		"norec": func() core.TM { return norec.New(1<<18, 33, nil) },
+	}
+	for name, mk := range impls {
+		b.Run(name, func(b *testing.B) {
+			tm := mk()
+			alloc := stmds.NewAlloc(tm, 4, 8, tm.NumRegs())
+			set := stmds.NewSet(tm, 1, alloc)
+			for k := int64(1); k <= 256; k++ {
+				if _, err := set.Insert(1, k*3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				th := int(tid.Add(1))
+				k := int64(1)
+				for pb.Next() {
+					if _, err := set.Contains(th, k%768); err != nil {
+						b.Fatal(err)
+					}
+					k += 7
+				}
+			})
+		})
+	}
+}
+
+// --- Lock-order ablation ---
+
+func BenchmarkLockOrder(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	for _, v := range []struct {
+		name string
+		opts []tl2.Option
+	}{
+		{"insertion-order", nil},
+		{"sorted", []tl2.Option{tl2.WithSortedLocks()}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tm := tl2.New(16, threads+1, v.opts...)
+				if _, err := workload.Bank(tm, threads, 2000, workload.FenceNone, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Checker building blocks ---
+
+func BenchmarkHBCompute(b *testing.B) {
+	rec, err := mgc.Run(mgc.Config{
+		Threads: 4, DataRegs: 4, TxnsPerThread: 25, OpsPerTxn: 3, Rounds: 5, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := spec.CheckWellFormed(rec.History())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.Compute(a)
+	}
+}
+
+func BenchmarkDRFCheck(b *testing.B) {
+	rec, err := mgc.Run(mgc.Config{
+		Threads: 4, DataRegs: 4, TxnsPerThread: 25, OpsPerTxn: 3, Rounds: 5, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := spec.CheckWellFormed(rec.History())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := hb.DRF(a); !ok {
+			b.Fatal("racy")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command stress runs the most-general-client workload (§7's proof
+// device as a tester) on the real concurrent TL2 runtime and verifies
+// every recorded history's strong-opacity obligations. Nonzero exit
+// means a violation was found.
+//
+// Usage:
+//
+//	stress -iters 20 -threads 4 -regs 4 -txns 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safepriv/internal/core"
+	"safepriv/internal/mgc"
+	"safepriv/internal/norec"
+	"safepriv/internal/record"
+	"safepriv/internal/tl2"
+)
+
+func main() {
+	iters := flag.Int("iters", 10, "number of independent runs")
+	threads := flag.Int("threads", 4, "worker threads")
+	regs := flag.Int("regs", 4, "data registers")
+	txns := flag.Int("txns", 40, "transactions per worker")
+	ops := flag.Int("ops", 3, "max operations per transaction")
+	rounds := flag.Int("rounds", 6, "privatize/publish rounds")
+	seed := flag.Int64("seed", 1, "base seed")
+	variant := flag.String("variant", "default", "TM under test: default, gv4, epochs, rofast (TL2 variants) or norec")
+	flag.Parse()
+
+	var opts []tl2.Option
+	var mk func(sink record.Sink, regs, threads int) core.TM
+	switch *variant {
+	case "default":
+	case "gv4":
+		opts = append(opts, tl2.WithGV4())
+	case "epochs":
+		opts = append(opts, tl2.WithEpochFence())
+	case "rofast":
+		opts = append(opts, tl2.WithReadOnlyFastPath())
+	case "norec":
+		mk = func(sink record.Sink, regs, threads int) core.TM {
+			return norec.New(regs, threads, sink)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for i := 0; i < *iters; i++ {
+		res, err := mgc.RunAndCheck(mgc.Config{
+			Threads:       *threads,
+			DataRegs:      *regs,
+			TxnsPerThread: *txns,
+			OpsPerTxn:     *ops,
+			Rounds:        *rounds,
+			Seed:          *seed + int64(i),
+			TL2Options:    opts,
+			MakeTM:        mk,
+		})
+		if err != nil {
+			failures++
+			fmt.Printf("run %d: FAIL: %v\n", i, err)
+			continue
+		}
+		fmt.Printf("run %d: PASS (%d actions, %d txns, %d nontxn accesses)\n",
+			i, res.Actions, res.Txns, res.NonTxn)
+	}
+	if failures > 0 {
+		fmt.Printf("%d/%d runs failed\n", failures, *iters)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d runs passed strong-opacity checking\n", *iters)
+}

@@ -1,0 +1,13 @@
+// Package safepriv is a reproduction of "Safe Privatization in
+// Transactional Memory" (Khyzha, Attiya, Gotsman, Rinetzky; PPoPP
+// 2018): a TL2 software transactional memory with privatization-safe
+// transactional fences, the paper's trace/history model,
+// happens-before/DRF machinery, the strong-opacity checker with its
+// graph characterization and witness construction, an exhaustive
+// interleaving model checker for the paper's litmus programs, and the
+// benchmark harnesses regenerating every experiment.
+//
+// See README.md for the layout and DESIGN.md / EXPERIMENTS.md for the
+// experiment index. The benchmarks in bench_test.go regenerate the
+// quantitative experiments (E9, E13, E14 and the checker/model costs).
+package safepriv

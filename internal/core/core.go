@@ -1,0 +1,93 @@
+// Package core defines the programming model of "Safe Privatization in
+// Transactional Memory" (PPoPP 2018, §2.1) as a Go API: a transactional
+// memory managing a fixed collection of integer registers, accessed
+// transactionally (inside atomic blocks) or non-transactionally
+// (uninstrumented), plus the transactional fence command.
+//
+// Implementations: internal/tl2 (the paper's case-study TM, Figure 9,
+// with RCU-style fences, Figure 7) and internal/baseline (a global-lock
+// TM that is trivially strongly atomic).
+//
+// The contract established by the paper (Theorem 5.3) applies: if the
+// program is data-race free assuming strong atomicity — in particular,
+// if it follows the privatization idiom with a Fence between the
+// privatizing transaction and the first non-transactional access, or
+// the publication idiom — then its behaviour on a strongly opaque TM
+// such as TL2 is strongly atomic.
+package core
+
+import "errors"
+
+// ErrAborted is returned by transactional operations when the TM aborts
+// the transaction. After ErrAborted the transaction is finished; the
+// caller must not use it further (Atomically retries automatically).
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// Txn is a running transaction: the operations available inside an
+// atomic block. A Txn is owned by a single goroutine.
+type Txn interface {
+	// Read returns the current value of register x (x.read()).
+	Read(x int) (int64, error)
+	// Write sets register x to v (x.write(v)).
+	Write(x int, v int64) error
+	// Commit attempts to commit. It returns nil on commit and
+	// ErrAborted if the TM aborts instead.
+	Commit() error
+	// Abort aborts the transaction voluntarily (used by Atomically when
+	// the body fails; the paper's language has no user-initiated abort,
+	// so implementations model it as an aborting commit).
+	Abort()
+}
+
+// TM is a transactional memory over registers 0..NumRegs()-1. Thread
+// ids are 1-based and at most the TM's configured thread count; each
+// thread id must be used by at most one goroutine at a time.
+type TM interface {
+	// NumRegs returns the number of registers managed by the TM.
+	NumRegs() int
+	// Begin starts a transaction in the given thread.
+	Begin(thread int) Txn
+	// Fence is the transactional fence: it blocks until every
+	// transaction active at the time of the call has committed or
+	// aborted. It must not be called inside a transaction.
+	Fence(thread int)
+	// Load reads register x non-transactionally (uninstrumented).
+	Load(thread, x int) int64
+	// Store writes register x non-transactionally (uninstrumented).
+	Store(thread, x int, v int64)
+}
+
+// MaxAttempts bounds Atomically's retry loop; exceeding it returns
+// ErrContention. The bound is generous: TL2 livelock over bounded
+// register sets is short-lived.
+const MaxAttempts = 1_000_000
+
+// ErrContention is returned by Atomically when a transaction failed to
+// commit after MaxAttempts attempts.
+var ErrContention = errors.New("stm: transaction did not commit after MaxAttempts attempts")
+
+// Atomically runs body as a transaction in the given thread, retrying
+// on TM-initiated aborts, and returns the first non-abort error from
+// the body (after aborting the transaction) or nil once a run of the
+// body commits. It is the `l := atomic { C }` construct with the
+// conventional retry-on-abort policy; the final commit/abort verdict of
+// each attempt is what the paper's atomic block returns in l.
+func Atomically(tm TM, thread int, body func(Txn) error) error {
+	for attempt := 0; attempt < MaxAttempts; attempt++ {
+		tx := tm.Begin(thread)
+		err := body(tx)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr == nil {
+				return nil
+			}
+			// TM abort at commit: retry.
+		case errors.Is(err, ErrAborted):
+			// TM abort mid-body: retry.
+		default:
+			tx.Abort()
+			return err
+		}
+	}
+	return ErrContention
+}

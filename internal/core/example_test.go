@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"safepriv/internal/core"
+	"safepriv/internal/tl2"
+)
+
+// ExampleAtomically shows the basic transactional read-modify-write and
+// the privatization idiom: privatize inside a transaction, fence, then
+// access the data without instrumentation.
+func ExampleAtomically() {
+	const flag, x = 0, 1
+	tm := tl2.New(2, 2)
+
+	// Transactional update.
+	_ = core.Atomically(tm, 1, func(tx core.Txn) error {
+		v, err := tx.Read(x)
+		if err != nil {
+			return err
+		}
+		return tx.Write(x, v+41)
+	})
+
+	// Privatize x, wait out in-flight transactions, access privately.
+	_ = core.Atomically(tm, 1, func(tx core.Txn) error {
+		return tx.Write(flag, 1)
+	})
+	tm.Fence(1)
+	fmt.Println(tm.Load(1, x) + 1)
+	// Output: 42
+}

@@ -1,0 +1,128 @@
+// Package hb implements the happens-before relation and data-race
+// freedom of Section 3 of "Safe Privatization in Transactional Memory"
+// (PPoPP 2018): the relations po, cl, af, bf, wr, txwr and xpo over the
+// actions of a history, their union's transitive closure
+//
+//	hb(H) = (po ∪ cl ∪ af ∪ bf ∪ ⋃x (xpo ; txwrx))⁺ ,
+//
+// conflict detection (Definition 3.1) and data races (Definition 3.2).
+package hb
+
+import "math/bits"
+
+// BitRel is a binary relation over {0..n-1} stored as a bit matrix, used
+// for transitive closures of history relations. Row i holds the set of
+// j with i R j.
+type BitRel struct {
+	n     int
+	words int
+	rows  []uint64
+}
+
+// NewBitRel returns an empty relation over {0..n-1}.
+func NewBitRel(n int) *BitRel {
+	w := (n + 63) / 64
+	return &BitRel{n: n, words: w, rows: make([]uint64, n*w)}
+}
+
+// N returns the size of the carrier set.
+func (r *BitRel) N() int { return r.n }
+
+// Set adds the pair (i, j).
+func (r *BitRel) Set(i, j int) {
+	r.rows[i*r.words+j/64] |= 1 << uint(j%64)
+}
+
+// Has reports whether (i, j) is in the relation.
+func (r *BitRel) Has(i, j int) bool {
+	return r.rows[i*r.words+j/64]&(1<<uint(j%64)) != 0
+}
+
+// row returns the word slice of row i.
+func (r *BitRel) row(i int) []uint64 {
+	return r.rows[i*r.words : (i+1)*r.words]
+}
+
+// RowSlice returns the mutable word slice backing row i.
+func (r *BitRel) RowSlice(i int) []uint64 { return r.row(i) }
+
+// OrRowInto ORs row i into dst, which must have length r.words.
+func (r *BitRel) OrRowInto(i int, dst []uint64) {
+	row := r.row(i)
+	for w := range dst {
+		dst[w] |= row[w]
+	}
+}
+
+// Count returns the number of pairs in the relation.
+func (r *BitRel) Count() int {
+	c := 0
+	for _, w := range r.rows {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CloseDAG computes the transitive closure in place, assuming the
+// relation is consistent with index order (i R j ⇒ i < j), which holds
+// for every happens-before component since they all follow execution
+// order. Rows are processed from high to low index so each successor's
+// row is already closed.
+func (r *BitRel) CloseDAG() {
+	for i := r.n - 1; i >= 0; i-- {
+		ri := r.row(i)
+		// For each direct successor j, OR in j's (already closed) row.
+		for w := 0; w < r.words; w++ {
+			m := ri[w]
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << uint(b)
+				j := w*64 + b
+				if j <= i || j >= r.n {
+					continue
+				}
+				rj := r.row(j)
+				for k := 0; k < r.words; k++ {
+					ri[k] |= rj[k]
+				}
+				// Newly ORed bits in words < current w are all > i and
+				// already closed, so skipping re-scan is safe: row j is
+				// fully closed, hence everything reachable via j is now
+				// present.
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (r *BitRel) Clone() *BitRel {
+	c := &BitRel{n: r.n, words: r.words, rows: make([]uint64, len(r.rows))}
+	copy(c.rows, r.rows)
+	return c
+}
+
+// Successors returns the sorted list of j with i R j.
+func (r *BitRel) Successors(i int) []int {
+	var out []int
+	row := r.row(i)
+	for w, word := range row {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			out = append(out, w*64+b)
+		}
+	}
+	return out
+}
+
+// IntersectsRow reports whether row i contains any element of set,
+// given as a bitset of length r.words.
+func (r *BitRel) IntersectsRow(i int, set []uint64) bool {
+	row := r.row(i)
+	for w := range row {
+		if row[w]&set[w] != 0 {
+			return true
+		}
+	}
+	return false
+}

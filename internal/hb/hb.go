@@ -1,0 +1,301 @@
+package hb
+
+import (
+	"safepriv/internal/spec"
+)
+
+// HB is the computed happens-before relation of a history, together
+// with the per-component direct edges (before closure) for inspection
+// and testing.
+type HB struct {
+	// A is the structural analysis of the history.
+	A *spec.Analysis
+	// Reach is the transitive closure hb(H) over action indices.
+	Reach *BitRel
+	// Direct is the union of the component relations before closure.
+	Direct *BitRel
+
+	// nodeSets[n] is the action-index bitset of node n (by Nodes()
+	// order: transactions first, then accesses).
+	nodeSets [][]uint64
+	words    int
+}
+
+// Compute builds hb(H) per Definition 3.4 from an analyzed history.
+func Compute(a *spec.Analysis) *HB {
+	n := len(a.H)
+	direct := NewBitRel(n)
+	addPO(a, direct)
+	addCL(a, direct)
+	addAF(a, direct)
+	addBF(a, direct)
+	addXPOTXWR(a, direct)
+	reach := direct.Clone()
+	reach.CloseDAG()
+	h := &HB{A: a, Reach: reach, Direct: direct, words: (n + 63) / 64}
+	h.buildNodeSets()
+	return h
+}
+
+// addPO adds the program order po(H): consecutive same-thread actions
+// (the transitive closure recovers the full relation).
+func addPO(a *spec.Analysis, r *BitRel) {
+	last := map[spec.ThreadID]int{}
+	for i, act := range a.H {
+		if j, ok := last[act.Thread]; ok {
+			r.Set(j, i)
+		}
+		last[act.Thread] = i
+	}
+}
+
+// addCL adds the client order cl(H): all non-transactional actions are
+// totally ordered by execution order (the underlying memory is
+// sequentially consistent), so consecutive edges suffice.
+func addCL(a *spec.Analysis, r *BitRel) {
+	prev := -1
+	for i := range a.H {
+		if a.TxnOf[i] != -1 {
+			continue // transactional action
+		}
+		if prev != -1 {
+			r.Set(prev, i)
+		}
+		prev = i
+	}
+}
+
+// addAF adds the after-fence order af(H): fbegin → every later txbegin.
+func addAF(a *spec.Analysis, r *BitRel) {
+	var fbegins []int
+	for i, act := range a.H {
+		switch act.Kind {
+		case spec.KindFBegin:
+			fbegins = append(fbegins, i)
+		case spec.KindTxBegin:
+			for _, f := range fbegins {
+				r.Set(f, i)
+			}
+		}
+	}
+}
+
+// addBF adds the before-fence order bf(H): committed/aborted → every
+// later fend.
+func addBF(a *spec.Analysis, r *BitRel) {
+	var ends []int
+	for i, act := range a.H {
+		switch act.Kind {
+		case spec.KindCommitted, spec.KindAborted:
+			ends = append(ends, i)
+		case spec.KindFEnd:
+			for _, e := range ends {
+				r.Set(e, i)
+			}
+		}
+	}
+}
+
+// WRPairs returns the read-dependency relation wrx(H) for all registers
+// as (write-request index, read-response index) pairs: the response
+// returns exactly the value of the (unique) write.
+func WRPairs(a *spec.Analysis) [][2]int {
+	// Unique-writes assumption: value → write request index.
+	writer := map[spec.Reg]map[spec.Value]int{}
+	for i, act := range a.H {
+		if act.Kind == spec.KindWrite {
+			m := writer[act.Reg]
+			if m == nil {
+				m = map[spec.Value]int{}
+				writer[act.Reg] = m
+			}
+			m[act.Value] = i
+		}
+	}
+	var out [][2]int
+	for i, act := range a.H {
+		if act.Kind != spec.KindRet {
+			continue
+		}
+		ri := a.Match[i]
+		if ri == -1 || a.H[ri].Kind != spec.KindRead {
+			continue
+		}
+		if act.Value == spec.VInit {
+			continue // reads-from-initial: no write dependency
+		}
+		if wi, ok := writer[a.H[ri].Reg][act.Value]; ok {
+			out = append(out, [2]int{wi, i})
+		}
+	}
+	return out
+}
+
+// addXPOTXWR adds ⋃x (xpo(H) ; txwrx(H)): for every transactional
+// read-dependency (write w in transaction Tw → read response ρ), an
+// edge from every action of Tw's thread preceding Tw's txbegin to ρ.
+// One edge from the immediately preceding action suffices for the
+// closure, since program order chains the earlier ones.
+func addXPOTXWR(a *spec.Analysis, r *BitRel) {
+	for _, p := range WRPairs(a) {
+		w, rr := p[0], p[1]
+		if a.TxnOf[w] == -1 || a.TxnOf[rr] == -1 {
+			continue // txwr requires both endpoints transactional
+		}
+		tw := &a.Txns[a.TxnOf[w]]
+		begin := tw.First()
+		// Find the last action of tw.Thread before the txbegin.
+		for i := begin - 1; i >= 0; i-- {
+			if a.H[i].Thread == tw.Thread {
+				r.Set(i, rr)
+				break
+			}
+		}
+	}
+}
+
+// buildNodeSets precomputes the action bitset of each graph node.
+func (h *HB) buildNodeSets() {
+	nodes := h.A.Nodes()
+	h.nodeSets = make([][]uint64, len(nodes))
+	for k, n := range nodes {
+		set := make([]uint64, h.words)
+		for _, i := range h.A.ActionIndices(n) {
+			set[i/64] |= 1 << uint(i%64)
+		}
+		h.nodeSets[k] = set
+	}
+}
+
+// nodeIndex maps a Node to its position in Nodes() order.
+func (h *HB) nodeIndex(n spec.Node) int {
+	if n.IsTxn() {
+		return n.TxnIndex
+	}
+	return len(h.A.Txns) + n.AccIndex
+}
+
+// Less reports i <hb(H) j over action indices.
+func (h *HB) Less(i, j int) bool { return h.Reach.Has(i, j) }
+
+// NodeHB reports whether node n happens-before node m: some action of n
+// is hb-before some action of m (Definition 6.3's HB lifting).
+func (h *HB) NodeHB(n, m spec.Node) bool {
+	mset := h.nodeSets[h.nodeIndex(m)]
+	for _, i := range h.A.ActionIndices(n) {
+		if h.Reach.IntersectsRow(i, mset) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActionHBNode reports whether action i happens-before some action of
+// node m.
+func (h *HB) ActionHBNode(i int, m spec.Node) bool {
+	return h.Reach.IntersectsRow(i, h.nodeSets[h.nodeIndex(m)])
+}
+
+// Conflict is a pair of conflicting request actions per Definition 3.1:
+// one non-transactional and one transactional, by different threads, on
+// the same register, at least one a write. NonTxn and Txn are history
+// indices of the two request actions.
+type Conflict struct {
+	NonTxn, Txn int
+	Reg         spec.Reg
+}
+
+// Conflicts returns all conflicting action pairs of the history.
+func Conflicts(a *spec.Analysis) []Conflict {
+	type acc struct {
+		idx   int
+		write bool
+		txn   bool
+		th    spec.ThreadID
+	}
+	byReg := map[spec.Reg][]acc{}
+	for i, act := range a.H {
+		if act.Kind != spec.KindRead && act.Kind != spec.KindWrite {
+			continue
+		}
+		byReg[act.Reg] = append(byReg[act.Reg], acc{
+			idx:   i,
+			write: act.Kind == spec.KindWrite,
+			txn:   a.TxnOf[i] != -1,
+			th:    act.Thread,
+		})
+	}
+	var out []Conflict
+	for x, accs := range byReg {
+		for i := 0; i < len(accs); i++ {
+			for j := 0; j < len(accs); j++ {
+				ai, aj := accs[i], accs[j]
+				if !ai.txn || aj.txn {
+					continue // want aj non-transactional, ai transactional
+				}
+				if ai.th == aj.th {
+					continue
+				}
+				if !ai.write && !aj.write {
+					continue
+				}
+				out = append(out, Conflict{NonTxn: aj.idx, Txn: ai.idx, Reg: x})
+			}
+		}
+	}
+	return out
+}
+
+// Race is a data race: a conflict whose two actions are hb-unordered.
+type Race struct{ Conflict }
+
+// Races returns all data races of the history (Definition 3.2).
+func (h *HB) Races() []Race {
+	var out []Race
+	for _, c := range Conflicts(h.A) {
+		if !h.Less(c.NonTxn, c.Txn) && !h.Less(c.Txn, c.NonTxn) {
+			out = append(out, Race{c})
+		}
+	}
+	return out
+}
+
+// IsDRF reports whether the history is data-race free.
+func (h *HB) IsDRF() bool { return len(h.Races()) == 0 }
+
+// DRF computes hb for the history underlying a and reports data-race
+// freedom together with any races found.
+func DRF(a *spec.Analysis) (bool, []Race) {
+	h := Compute(a)
+	races := h.Races()
+	return len(races) == 0, races
+}
+
+// RTPairs returns the real-time order rt(H) on actions (§4): every
+// committed/aborted action precedes every later txbegin. Used by the
+// opacity checker's Theorem 6.6 machinery.
+func RTPairs(a *spec.Analysis) [][2]int {
+	var ends []int
+	var out [][2]int
+	for i, act := range a.H {
+		switch act.Kind {
+		case spec.KindCommitted, spec.KindAborted:
+			ends = append(ends, i)
+		case spec.KindTxBegin:
+			for _, e := range ends {
+				out = append(out, [2]int{e, i})
+			}
+		}
+	}
+	return out
+}
+
+// TxnRT reports the lifted real-time order RT(H) between transactions:
+// Ti <RT Tj iff Ti's completion action precedes Tj's txbegin.
+func TxnRT(a *spec.Analysis, i, j int) bool {
+	ti, tj := &a.Txns[i], &a.Txns[j]
+	if !ti.Status.Completed() {
+		return false
+	}
+	return ti.Last() < tj.First()
+}

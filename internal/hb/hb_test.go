@@ -1,0 +1,431 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"safepriv/internal/spec"
+)
+
+// Register roles used across the figure encodings.
+const (
+	regFlag spec.Reg = 0 // x_is_private / x_is_ready
+	regX    spec.Reg = 1
+	regY    spec.Reg = 2
+)
+
+// fig1aNoFence encodes the only Hatomic-history shape of Figure 1(a)
+// with conflicting accesses and no fence: T2 runs first (reads the flag
+// clear, writes x=42), then T1 privatizes, then ν writes x=1.
+func fig1aNoFence() *spec.Analysis {
+	b := spec.NewBuilder()
+	b.TxBeginOK(2).ReadRet(2, regFlag, spec.VInit).WriteRet(2, regX, 42).Commit(2)
+	b.TxBeginOK(1).WriteRet(1, regFlag, 5).Commit(1)
+	b.WriteRet(1, regX, 1)
+	return b.MustAnalyze()
+}
+
+// fig1aFence is the same with the paper's fence inserted between T1 and
+// ν in the left-hand thread.
+func fig1aFence() *spec.Analysis {
+	b := spec.NewBuilder()
+	b.TxBeginOK(2).ReadRet(2, regFlag, spec.VInit).WriteRet(2, regX, 42).Commit(2)
+	b.TxBeginOK(1).WriteRet(1, regFlag, 5).Commit(1)
+	b.Fence(1)
+	b.WriteRet(1, regX, 1)
+	return b.MustAnalyze()
+}
+
+// fig2Publication encodes Figure 2's interesting history ν T1 T2: the
+// non-transactional write to x is published by T1 clearing the flag,
+// and T2 reads the flag and then x.
+func fig2Publication() *spec.Analysis {
+	b := spec.NewBuilder()
+	b.WriteRet(1, regX, 42)
+	b.TxBeginOK(1).WriteRet(1, regFlag, 5).Commit(1)
+	b.TxBeginOK(2).ReadRet(2, regFlag, 5).ReadRet(2, regX, 42).Commit(2)
+	return b.MustAnalyze()
+}
+
+// fig3Racy encodes Figure 3: a transaction writing x and y with
+// uninstrumented reads of both by another thread.
+func fig3Racy() *spec.Analysis {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, regX, 1).WriteRet(1, regY, 2).Commit(1)
+	b.ReadRet(2, regX, 1)
+	b.ReadRet(2, regY, 2)
+	return b.MustAnalyze()
+}
+
+// fig6Agreement encodes Figure 6: privatization by agreement outside
+// transactions, via the client order on the flag.
+func fig6Agreement() *spec.Analysis {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, regX, 42).Commit(1)
+	b.WriteRet(1, regFlag, 7) // ν: x_is_ready := true
+	b.ReadRet(2, regFlag, 7)  // ν′: loop exit read
+	b.ReadRet(2, regX, 42)    // ν″
+	return b.MustAnalyze()
+}
+
+func TestFig1aNoFenceIsRacy(t *testing.T) {
+	a := fig1aNoFence()
+	ok, races := DRF(a)
+	if ok {
+		t.Fatal("Figure 1(a) without fence must be racy")
+	}
+	// The race is on regX between T2's transactional write and ν's
+	// non-transactional write.
+	found := false
+	for _, r := range races {
+		if r.Reg == regX {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("races %v do not include register x", races)
+	}
+}
+
+func TestFig1aFenceIsDRF(t *testing.T) {
+	a := fig1aFence()
+	if ok, races := DRF(a); !ok {
+		t.Fatalf("Figure 1(a) with fence must be DRF; races: %v", races)
+	}
+	// Specifically: T2's write to x happens-before ν's write via bf(H)
+	// and po(H).
+	h := Compute(a)
+	var t2write, nuWrite int = -1, -1
+	for i, act := range a.H {
+		if act.Kind == spec.KindWrite && act.Reg == regX {
+			if a.TxnOf[i] != -1 {
+				t2write = i
+			} else {
+				nuWrite = i
+			}
+		}
+	}
+	if t2write == -1 || nuWrite == -1 {
+		t.Fatal("encoding broken")
+	}
+	if !h.Less(t2write, nuWrite) {
+		t.Error("T2's write should happen-before ν via the fence")
+	}
+}
+
+func TestFig2PublicationIsDRF(t *testing.T) {
+	a := fig2Publication()
+	if ok, races := DRF(a); !ok {
+		t.Fatalf("Figure 2 must be DRF; races: %v", races)
+	}
+	// ν's write to x happens-before T2's read of x via xpo;txwr.
+	h := Compute(a)
+	var nuWrite, t2readX int = -1, -1
+	for i, act := range a.H {
+		if act.Kind == spec.KindWrite && act.Reg == regX && a.TxnOf[i] == -1 {
+			nuWrite = i
+		}
+		if act.Kind == spec.KindRead && act.Reg == regX && a.TxnOf[i] != -1 {
+			t2readX = i
+		}
+	}
+	if !h.Less(nuWrite, t2readX) {
+		t.Error("publication edge (xpo;txwr) missing")
+	}
+}
+
+func TestFig3IsRacy(t *testing.T) {
+	a := fig3Racy()
+	ok, races := DRF(a)
+	if ok {
+		t.Fatal("Figure 3 must be racy")
+	}
+	if len(races) < 2 {
+		t.Errorf("expected races on both x and y, got %v", races)
+	}
+}
+
+func TestFig6AgreementIsDRF(t *testing.T) {
+	a := fig6Agreement()
+	if ok, races := DRF(a); !ok {
+		t.Fatalf("Figure 6 must be DRF; races: %v", races)
+	}
+	// The client order cl(H) carries the synchronization: the write in
+	// ν happens-before the read in ν′.
+	h := Compute(a)
+	var nuW, nuR int = -1, -1
+	for i, act := range a.H {
+		if act.Kind == spec.KindWrite && act.Reg == regFlag {
+			nuW = i
+		}
+		if act.Kind == spec.KindRead && act.Reg == regFlag {
+			nuR = i
+		}
+	}
+	if !h.Less(nuW, nuR) {
+		t.Error("client order edge missing")
+	}
+}
+
+func TestConflictsDefinition(t *testing.T) {
+	// Two non-transactional accesses never conflict; two transactional
+	// accesses never conflict; read/read never conflicts; same thread
+	// never conflicts.
+	b := spec.NewBuilder()
+	b.WriteRet(1, regX, 1) // nontxn write by t1
+	b.WriteRet(2, regX, 2) // nontxn write by t2: no conflict (both nontxn)
+	b.TxBeginOK(3).ReadRet(3, regX, 2).Commit(3)
+	b.TxBeginOK(4).WriteRet(4, regX, 3).Commit(4)
+	a := b.MustAnalyze()
+	cs := Conflicts(a)
+	for _, c := range cs {
+		if a.TxnOf[c.Txn] == -1 {
+			t.Errorf("conflict %v: Txn side not transactional", c)
+		}
+		if a.TxnOf[c.NonTxn] != -1 {
+			t.Errorf("conflict %v: NonTxn side transactional", c)
+		}
+		if a.H[c.Txn].Thread == a.H[c.NonTxn].Thread {
+			t.Errorf("conflict %v: same thread", c)
+		}
+		if a.H[c.Txn].Kind != spec.KindWrite && a.H[c.NonTxn].Kind != spec.KindWrite {
+			t.Errorf("conflict %v: no write", c)
+		}
+	}
+	// Expected: t1/t3(read-write? t1 write vs t3 read = conflict),
+	// t1/t4 (write-write), t2/t3, t2/t4. That's 4.
+	if len(cs) != 4 {
+		t.Errorf("got %d conflicts, want 4: %v", len(cs), cs)
+	}
+}
+
+func TestSameThreadNonConflict(t *testing.T) {
+	// A thread's own transactional and non-transactional accesses to
+	// the same register never conflict (they are po-ordered anyway).
+	b := spec.NewBuilder()
+	b.WriteRet(1, regX, 1)
+	b.TxBeginOK(1).WriteRet(1, regX, 2).Commit(1)
+	a := b.MustAnalyze()
+	if cs := Conflicts(a); len(cs) != 0 {
+		t.Errorf("unexpected conflicts: %v", cs)
+	}
+}
+
+func TestWRPairs(t *testing.T) {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, regX, 10).Commit(1)
+	b.TxBeginOK(2).ReadRet(2, regX, 10).Commit(2)
+	b.ReadRet(3, regX, 10)
+	b.ReadRet(3, regY, spec.VInit) // reads initial: no wr edge
+	a := b.MustAnalyze()
+	prs := WRPairs(a)
+	if len(prs) != 2 {
+		t.Fatalf("got %d wr pairs, want 2: %v", len(prs), prs)
+	}
+	for _, p := range prs {
+		if a.H[p[0]].Kind != spec.KindWrite || a.H[p[1]].Kind != spec.KindRet {
+			t.Errorf("malformed wr pair %v", p)
+		}
+		if a.H[p[0]].Value != 10 {
+			t.Errorf("wr pair %v not on value 10", p)
+		}
+	}
+}
+
+func TestAFandBFEdges(t *testing.T) {
+	// fbegin → later txbegin (af); completion → later fend (bf).
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).Commit(1) // T0 completes before the fence
+	b.FBegin(2)
+	b.TxBeginOK(3) // T1 begins after fbegin
+	b.FEnd(2)
+	a := b.MustAnalyze()
+	h := Compute(a)
+	var fb, fe, t0end, t1begin int = -1, -1, -1, -1
+	for i, act := range a.H {
+		switch act.Kind {
+		case spec.KindFBegin:
+			fb = i
+		case spec.KindFEnd:
+			fe = i
+		case spec.KindCommitted:
+			t0end = i
+		case spec.KindTxBegin:
+			if act.Thread == 3 {
+				t1begin = i
+			}
+		}
+	}
+	if !h.Direct.Has(fb, t1begin) {
+		t.Error("af edge fbegin→txbegin missing")
+	}
+	if !h.Direct.Has(t0end, fe) {
+		t.Error("bf edge committed→fend missing")
+	}
+	// Transitively T0's committed happens-before T1's txbegin? Only via
+	// bf;?? — fend and txbegin are unrelated here (t1begin < fe in
+	// index order but af only goes fbegin→txbegin). Verify reachability
+	// follows the definition, not index order:
+	if h.Less(t0end, t1begin) {
+		// t0end→fe and fb→t1begin: no path t0end→t1begin expected
+		// because fe comes after t1begin and fb before t0end? fb < t0end
+		// is false here (t0end < fb). po connects nothing cross-thread.
+		t.Error("spurious hb edge committed→txbegin")
+	}
+}
+
+func TestHBIrreflexiveAndForward(t *testing.T) {
+	a := fig2Publication()
+	h := Compute(a)
+	n := len(a.H)
+	for i := 0; i < n; i++ {
+		if h.Less(i, i) {
+			t.Fatalf("hb reflexive at %d", i)
+		}
+		for j := 0; j < i; j++ {
+			if h.Less(i, j) {
+				t.Fatalf("hb edge %d→%d against execution order", i, j)
+			}
+		}
+	}
+}
+
+func TestNodeHB(t *testing.T) {
+	a := fig2Publication()
+	h := Compute(a)
+	// Node order: T0 (=T1 in paper), T1 (=T2), v0 (=ν).
+	nu := spec.AccNode(0)
+	t1 := spec.TxnNode(0)
+	t2 := spec.TxnNode(1)
+	if !h.NodeHB(nu, t1) {
+		t.Error("ν should happen-before T1 (program order)")
+	}
+	if !h.NodeHB(nu, t2) {
+		t.Error("ν should happen-before T2 (publication)")
+	}
+	// Footnote 2 of the paper: txwr itself is NOT included in hb — only
+	// xpo;txwr is. So T1's own actions do not happen-before T2's.
+	if h.NodeHB(t1, t2) {
+		t.Error("T1 must not happen-before T2: txwr alone is not in hb (paper footnote 2)")
+	}
+	if h.NodeHB(t2, nu) {
+		t.Error("T2 must not happen-before ν")
+	}
+}
+
+func TestRTPairsAndTxnRT(t *testing.T) {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).Commit(1)
+	b.TxBeginOK(2).Commit(2)
+	b.TxBeginOK(3)
+	a := b.MustAnalyze()
+	if !TxnRT(a, 0, 1) {
+		t.Error("T0 <RT T1 expected")
+	}
+	if !TxnRT(a, 0, 2) || !TxnRT(a, 1, 2) {
+		t.Error("completed transactions precede the live one in RT")
+	}
+	if TxnRT(a, 1, 0) || TxnRT(a, 2, 0) {
+		t.Error("RT misordered")
+	}
+	prs := RTPairs(a)
+	if len(prs) != 3 {
+		t.Errorf("RTPairs = %v, want 3 pairs", prs)
+	}
+}
+
+// --- BitRel unit + property tests ---
+
+func TestBitRelBasics(t *testing.T) {
+	r := NewBitRel(130)
+	r.Set(0, 129)
+	r.Set(64, 65)
+	if !r.Has(0, 129) || !r.Has(64, 65) || r.Has(129, 0) {
+		t.Fatal("Set/Has broken across word boundaries")
+	}
+	if got := r.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	succ := r.Successors(0)
+	if len(succ) != 1 || succ[0] != 129 {
+		t.Errorf("Successors(0) = %v", succ)
+	}
+}
+
+// closureRef is an O(n³) reference transitive closure.
+func closureRef(edges map[[2]int]bool, n int) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for e := range edges {
+		out[e] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !out[[2]int{a, b}] {
+					continue
+				}
+				for c := 0; c < n; c++ {
+					if out[[2]int{b, c}] && !out[[2]int{a, c}] {
+						out[[2]int{a, c}] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestCloseDAGAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 2 + rnd.Intn(40)
+		r := NewBitRel(n)
+		edges := map[[2]int]bool{}
+		for k := 0; k < n*2; k++ {
+			i := rnd.Intn(n - 1)
+			j := i + 1 + rnd.Intn(n-i-1)
+			r.Set(i, j)
+			edges[[2]int{i, j}] = true
+		}
+		r.CloseDAG()
+		want := closureRef(edges, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Has(i, j) != want[[2]int{i, j}] {
+					t.Logf("seed %d: mismatch at (%d,%d)", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectsRow(t *testing.T) {
+	r := NewBitRel(100)
+	r.Set(3, 70)
+	set := make([]uint64, 2)
+	set[70/64] |= 1 << (70 % 64)
+	if !r.IntersectsRow(3, set) {
+		t.Error("expected intersection")
+	}
+	if r.IntersectsRow(4, set) {
+		t.Error("unexpected intersection")
+	}
+}
+
+func TestOrRowInto(t *testing.T) {
+	r := NewBitRel(65)
+	r.Set(0, 64)
+	dst := make([]uint64, 2)
+	r.OrRowInto(0, dst)
+	if dst[1]&1 == 0 {
+		t.Error("OrRowInto missed bit 64")
+	}
+}

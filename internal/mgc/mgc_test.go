@@ -1,0 +1,102 @@
+package mgc
+
+import (
+	"testing"
+
+	"safepriv/internal/core"
+	"safepriv/internal/norec"
+	"safepriv/internal/record"
+	"safepriv/internal/tl2"
+)
+
+func TestRunAndCheckSmall(t *testing.T) {
+	res, err := RunAndCheck(Config{
+		Threads:       3,
+		DataRegs:      4,
+		TxnsPerThread: 15,
+		OpsPerTxn:     3,
+		Rounds:        4,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatalf("strong opacity violated: %v", err)
+	}
+	if !res.Report.DRF {
+		t.Fatal("protocol should produce DRF histories")
+	}
+	if res.Txns == 0 || res.NonTxn == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+}
+
+func TestRunAndCheckManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := RunAndCheck(Config{
+			Threads:       4,
+			DataRegs:      3,
+			TxnsPerThread: 10,
+			OpsPerTxn:     2,
+			Rounds:        3,
+			Seed:          seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Report.DRF {
+			t.Fatalf("seed %d: racy history", seed)
+		}
+	}
+}
+
+func TestRunAndCheckVariants(t *testing.T) {
+	variants := map[string][]tl2.Option{
+		"gv4":    {tl2.WithGV4()},
+		"epochs": {tl2.WithEpochFence()},
+		"rofast": {tl2.WithReadOnlyFastPath()},
+	}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			_, err := RunAndCheck(Config{
+				Threads:       3,
+				DataRegs:      3,
+				TxnsPerThread: 10,
+				OpsPerTxn:     2,
+				Rounds:        3,
+				Seed:          7,
+				TL2Options:    opts,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestRunAndCheckNOrec(t *testing.T) {
+	res, err := RunAndCheck(Config{
+		Threads:       3,
+		DataRegs:      3,
+		TxnsPerThread: 12,
+		OpsPerTxn:     2,
+		Rounds:        3,
+		Seed:          5,
+		MakeTM: func(sink record.Sink, regs, threads int) core.TM {
+			return norec.New(regs, threads, sink)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NOrec strong opacity violated: %v", err)
+	}
+	if !res.Report.DRF {
+		t.Fatal("NOrec mgc history racy")
+	}
+}

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// finalKey canonically encodes a Final for set comparison.
+func finalKey(f Final) string {
+	var b strings.Builder
+	for t := 1; t < len(f.Locals); t++ {
+		keys := make([]string, 0, len(f.Locals[t]))
+		for k := range f.Locals[t] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d.%s=%d;", t, k, f.Locals[t][k])
+		}
+		fmt.Fprintf(&b, "s%v;", f.Stuck[t])
+	}
+	fmt.Fprintf(&b, "r%v d%v", f.Regs, f.AllDone)
+	return b.String()
+}
+
+// TestSampledFinalsSubsetOfExplored: every final reached by random
+// scheduling must appear among the exhaustively explored finals — the
+// sampler and the explorer implement the same transition system.
+func TestSampledFinalsSubsetOfExplored(t *testing.T) {
+	p := Fig1aLike()
+	for _, kind := range []TMKind{TL2Kind, AtomicKind} {
+		res, err := Explore(Config{Prog: p, Model: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := map[string]bool{}
+		for _, f := range res.Finals {
+			all[finalKey(f)] = true
+		}
+		runs, err := Sample(Config{Prog: p, Model: kind}, 300, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			if !all[finalKey(r.Final)] {
+				t.Fatalf("kind %d run %d: sampled final not reachable by exploration:\n%s",
+					kind, i, finalKey(r.Final))
+			}
+		}
+	}
+}
+
+// TestAllHistoriesFinalsMatchExplore: path enumeration and memoized
+// exploration agree on the set of final outcomes (atomic model, where
+// path counts stay small).
+func TestAllHistoriesFinalsMatchExplore(t *testing.T) {
+	p := Fig1aLike()
+	res, err := Explore(Config{Prog: p, Model: AtomicKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored := map[string]bool{}
+	for _, f := range res.Finals {
+		explored[finalKey(f)] = true
+	}
+	runs, err := AllHistories(Config{Prog: p, Model: AtomicKind}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumerated := map[string]bool{}
+	for _, r := range runs {
+		enumerated[finalKey(r.Final)] = true
+	}
+	for k := range enumerated {
+		if !explored[k] {
+			t.Fatalf("enumerated final missing from exploration: %s", k)
+		}
+	}
+	for k := range explored {
+		if !enumerated[k] {
+			t.Fatalf("explored final missing from enumeration: %s", k)
+		}
+	}
+}
+
+// TestAllHistoriesBudget: the path budget is enforced.
+func TestAllHistoriesBudget(t *testing.T) {
+	p := Fig1aLike()
+	if _, err := AllHistories(Config{Prog: p, Model: TL2Kind}, 3); err == nil {
+		t.Fatal("path budget not enforced")
+	}
+}
+
+// TestModelWVersMatchCommitOrder: in sampled TL2-model runs, the
+// recorded write timestamps of committed transactions on the same
+// register are consistent with the order of their committed actions in
+// the history (single-register programs serialize write-backs).
+func TestModelWVersMatchCommitOrder(t *testing.T) {
+	inc := func(v Value) []Stmt {
+		return []Stmt{Atomic{Lv: "l", Body: []Stmt{
+			Read{Lv: "r", X: 0},
+			Write{X: 0, E: Const(v)},
+		}}}
+	}
+	p := Program{Name: "wvers", Regs: 1, Threads: [][]Stmt{inc(101), inc(202), inc(303)}}
+	runs, err := Sample(Config{Prog: p, Model: TL2Kind}, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		// Write timestamps of committed transactions must be distinct
+		// positive clock values (the model's fetch-and-increment).
+		seen := map[int64]bool{}
+		for _, w := range r.WVers {
+			if w <= 0 || seen[w] {
+				t.Fatalf("bad wver set %v", r.WVers)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+// TestAtomicModelWorldExclusion: while one thread's transaction runs,
+// no other thread takes steps — check via a program whose interleaving
+// would be visible in locals.
+func TestAtomicModelWorldExclusion(t *testing.T) {
+	p := Program{Name: "excl", Regs: 2, Threads: [][]Stmt{
+		{Atomic{Lv: "l", Body: []Stmt{
+			Write{X: 0, E: Const(1)},
+			Read{Lv: "peek", X: 1}, // must never see thread 2's nontxn write mid-txn...
+			Write{X: 1, E: Const(2)},
+		}}},
+		{Read{Lv: "a", X: 0}, Read{Lv: "b", X: 1}},
+	}}
+	res, err := Explore(Config{Prog: p, Model: AtomicKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Finals {
+		// Thread 2's two reads are separate non-transactional accesses;
+		// they may interleave BETWEEN transactions but never inside:
+		// seeing x0=1 (committed txn) implies x1=2 at that point, so
+		// a=1 ⇒ b=2 when the reads are ordered a then b... only when
+		// the txn committed before a.
+		if f.Locals[1]["l"] == ResCommitted && f.Locals[2]["a"] == 1 && f.Locals[2]["b"] != 2 {
+			t.Fatalf("atomic model leaked a mid-transaction state: %v", f.Locals)
+		}
+	}
+}
+
+// TestDesugarPreservesSemantics: a bounded countdown loop computes the
+// same result as its manual unrolling.
+func TestDesugarPreservesSemantics(t *testing.T) {
+	p := Program{Name: "loop", Regs: 1, Threads: [][]Stmt{{
+		Assign{"n", Const(3)},
+		Assign{"acc", Const(0)},
+		While{
+			Cond:  Ne{Var("n"), Const(0)},
+			Body:  []Stmt{Assign{"acc", Add{Var("acc"), Var("n")}}, Assign{"n", Add{Var("n"), Const(-1)}}},
+			Bound: 5,
+		},
+		Write{X: 0, E: Var("acc")},
+	}}}
+	res, err := Explore(Config{Prog: p, Model: TL2Kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finals) != 1 {
+		t.Fatalf("finals: %d", len(res.Finals))
+	}
+	if got := res.Finals[0].Regs[0]; got != 6 {
+		t.Fatalf("acc = %d, want 6", got)
+	}
+	if res.Finals[0].Stuck[1] {
+		t.Fatal("terminating loop marked stuck")
+	}
+}

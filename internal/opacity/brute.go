@@ -1,0 +1,124 @@
+package opacity
+
+import (
+	"fmt"
+
+	"safepriv/internal/atomictm"
+	"safepriv/internal/hb"
+	"safepriv/internal/spec"
+)
+
+// BruteCheck decides H ⊑ Hatomic directly from Definition 4.2, without
+// the graph characterization: it enumerates every happens-before
+// preserving non-interleaved permutation of the history (all
+// topological orders of the hb relation lifted to transactions,
+// accesses and fence actions) and tests each for membership in Hatomic.
+// It returns the first witness found.
+//
+// The search is exponential in the number of nodes and is intended for
+// cross-validating the graph-based Check on small histories (see
+// TestBruteAgreesWithGraphChecker). maxCandidates bounds the number of
+// serializations tried (0 = 200,000).
+func BruteCheck(h spec.History, maxCandidates int) (spec.History, error) {
+	if maxCandidates == 0 {
+		maxCandidates = 200_000
+	}
+	a, err := spec.CheckWellFormed(h)
+	if err != nil {
+		return nil, err
+	}
+	hbr := hb.Compute(a)
+
+	// Extended nodes: transactions, accesses, then fence actions.
+	type xnode struct {
+		actions []int
+	}
+	var nodes []xnode
+	for _, n := range a.Nodes() {
+		nodes = append(nodes, xnode{actions: a.ActionIndices(n)})
+	}
+	for i, act := range a.H {
+		if act.Kind == spec.KindFBegin || act.Kind == spec.KindFEnd {
+			nodes = append(nodes, xnode{actions: []int{i}})
+		}
+	}
+	n := len(nodes)
+
+	// hb lifted to extended nodes.
+	edge := make([][]bool, n)
+	indeg := make([]int, n)
+	for i := range edge {
+		edge[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+		scan:
+			for _, ai := range nodes[i].actions {
+				for _, aj := range nodes[j].actions {
+					if hbr.Less(ai, aj) {
+						edge[i][j] = true
+						indeg[j]++
+						break scan
+					}
+				}
+			}
+		}
+	}
+
+	tried := 0
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	var witness spec.History
+	var search func() bool
+	search = func() bool {
+		if len(order) == n {
+			tried++
+			cand := make(spec.History, 0, len(a.H))
+			for _, id := range order {
+				for _, ai := range nodes[id].actions {
+					cand = append(cand, a.H[ai])
+				}
+			}
+			if _, err := atomictm.Member(cand); err == nil {
+				witness = cand
+				return true
+			}
+			return tried >= maxCandidates
+		}
+		for id := 0; id < n; id++ {
+			if used[id] || indeg[id] != 0 {
+				continue
+			}
+			used[id] = true
+			order = append(order, id)
+			for j := 0; j < n; j++ {
+				if edge[id][j] {
+					indeg[j]--
+				}
+			}
+			done := search()
+			for j := 0; j < n; j++ {
+				if edge[id][j] {
+					indeg[j]++
+				}
+			}
+			order = order[:len(order)-1]
+			used[id] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	search()
+	if witness != nil {
+		return witness, nil
+	}
+	if tried >= maxCandidates {
+		return nil, fmt.Errorf("opacity: brute search budget (%d candidates) exhausted without a witness", maxCandidates)
+	}
+	return nil, fmt.Errorf("opacity: no hb-preserving atomic justification exists (%d candidates tried)", tried)
+}

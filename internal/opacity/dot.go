@@ -1,0 +1,75 @@
+package opacity
+
+import (
+	"fmt"
+	"io"
+
+	hbpkg "safepriv/internal/hb"
+	"safepriv/internal/spec"
+)
+
+// WriteDot renders the opacity graph in Graphviz DOT format: one node
+// per transaction (box; filled when visible) and per non-transactional
+// access (ellipse), with HB edges dashed and WR/WW/RW edges labeled.
+// Useful for debugging checker rejections (`opacheck -dot`).
+func (g *Graph) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph opacity {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=LR;`)
+	for id := 0; id < g.N; id++ {
+		n := g.NodeOf(id)
+		shape := "ellipse"
+		label := n.String()
+		if n.IsTxn() {
+			shape = "box"
+			tx := &g.A.Txns[n.TxnIndex]
+			label = fmt.Sprintf("%s\\nt%d %s", n, tx.Thread, tx.Status)
+		} else {
+			acc := g.A.NonTxn[n.AccIndex]
+			req := g.A.H[acc.Req]
+			label = fmt.Sprintf("%s\\nt%d %s x%d", n, acc.Thread, req.Kind, req.Reg)
+		}
+		style := ""
+		if g.Vis[id] {
+			style = ` style=filled fillcolor="#e8f0fe"`
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s label=\"%s\"%s];\n", id, shape, label, style); err != nil {
+			return err
+		}
+	}
+	edge := func(rel string, has func(i, j int) bool, attrs string) {
+		for i := 0; i < g.N; i++ {
+			for j := 0; j < g.N; j++ {
+				if i != j && has(i, j) {
+					fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\"%s];\n", i, j, rel, attrs)
+				}
+			}
+		}
+	}
+	edge("WR", g.WR.Has, ` color="#1a73e8"`)
+	edge("WW", g.WW.Has, ` color="#d93025"`)
+	edge("RW", g.RW.Has, ` color="#f9ab00"`)
+	// HB edges: only draw ones not implied by a dependency, to keep the
+	// picture readable.
+	edge("hb", func(i, j int) bool {
+		return g.HB.Has(i, j) && !g.Dep.Has(i, j)
+	}, ` style=dashed color="#5f6368"`)
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// DotOf is a convenience wrapper: it builds the opacity graph for a
+// history (even a racy one — useful when debugging why a history was
+// rejected) and renders it.
+func DotOf(w io.Writer, h spec.History) error {
+	a, err := spec.CheckWellFormed(h)
+	if err != nil {
+		return err
+	}
+	g, err := Build(a, hbpkg.Compute(a), Options{})
+	if err != nil {
+		return err
+	}
+	return g.WriteDot(w)
+}

@@ -1,0 +1,457 @@
+package opacity
+
+import (
+	"fmt"
+
+	"safepriv/internal/hb"
+	"safepriv/internal/spec"
+)
+
+// Options tunes opacity-graph construction (Definition 6.3 leaves the
+// visibility of commit-pending transactions and the write-dependency
+// order WW as existentially quantified choices; a TM proof supplies
+// them, cf. the TXVIS rule of Figure 10).
+type Options struct {
+	// VisPending decides the visibility of a commit-pending transaction
+	// (by index into Analysis.Txns). If nil, a commit-pending
+	// transaction is visible iff some other node reads one of its
+	// writes — the weakest choice that can satisfy Definition 6.3's
+	// requirement that read-from nodes be visible.
+	VisPending func(txn int) bool
+	// WVer optionally supplies the TL2 write timestamp of a transaction
+	// (Figure 7 line 19). When available for both of two transactional
+	// writers it fixes their WW order, mirroring the paper's INV.5(c).
+	WVer func(txn int) (int64, bool)
+}
+
+// Graph is an opacity graph G = (N, vis, HB, WR, WW, RW) of
+// Definition 6.3. Nodes are indexed 0..N-1: transactions first (by
+// Analysis.Txns order), then non-transactional accesses.
+type Graph struct {
+	A   *spec.Analysis
+	HBr *hb.HB
+	// N is the number of nodes.
+	N int
+	// Vis is the visibility predicate per node.
+	Vis []bool
+	// HB, WR, WW, RW are the edge relations lifted to nodes.
+	HB, WR, WW, RW *hb.BitRel
+	// Dep is WR ∪ WW ∪ RW.
+	Dep *hb.BitRel
+	// WWOrder[x] lists the visible writer nodes of x in WWx order.
+	WWOrder map[spec.Reg][]int
+}
+
+// nodeID maps a spec.Node to its graph index.
+func (g *Graph) nodeID(n spec.Node) int {
+	if n.IsTxn() {
+		return n.TxnIndex
+	}
+	return len(g.A.Txns) + n.AccIndex
+}
+
+// NodeOf returns the spec.Node of graph index id.
+func (g *Graph) NodeOf(id int) spec.Node {
+	if id < len(g.A.Txns) {
+		return spec.TxnNode(id)
+	}
+	return spec.AccNode(id - len(g.A.Txns))
+}
+
+// IsTxnNode reports whether graph index id denotes a transaction.
+func (g *Graph) IsTxnNode(id int) bool { return id < len(g.A.Txns) }
+
+// effectIndex is the history position at which a node's writes take
+// effect, used as the tie-breaker when ordering WWx.
+func (g *Graph) effectIndex(id int) int {
+	n := g.NodeOf(id)
+	if n.IsTxn() {
+		return g.A.Txns[n.TxnIndex].Last()
+	}
+	return g.A.NonTxn[n.AccIndex].Req
+}
+
+// Build constructs an opacity graph for the analyzed history using the
+// computed happens-before relation. It returns an error if the
+// mandatory side conditions of Definition 6.3 cannot be met (a node
+// that is read from is invisible, or the visible writers of some
+// register cannot be totally ordered consistently with HB and the
+// supplied timestamps).
+func Build(a *spec.Analysis, hbr *hb.HB, opts Options) (*Graph, error) {
+	nTxn := len(a.Txns)
+	g := &Graph{
+		A:       a,
+		HBr:     hbr,
+		N:       nTxn + len(a.NonTxn),
+		WWOrder: map[spec.Reg][]int{},
+	}
+	g.HB = hb.NewBitRel(g.N)
+	g.WR = hb.NewBitRel(g.N)
+	g.WW = hb.NewBitRel(g.N)
+	g.RW = hb.NewBitRel(g.N)
+
+	// Visibility.
+	readFrom := readFromNodes(a)
+	g.Vis = make([]bool, g.N)
+	for i := range a.Txns {
+		switch a.Txns[i].Status {
+		case spec.TxnCommitted:
+			g.Vis[i] = true
+		case spec.TxnCommitPending:
+			if opts.VisPending != nil {
+				g.Vis[i] = opts.VisPending(i)
+			} else {
+				g.Vis[i] = readFrom[i]
+			}
+		}
+	}
+	for i := nTxn; i < g.N; i++ {
+		g.Vis[i] = true // non-transactional accesses are always visible
+	}
+
+	// HB lifted to nodes.
+	nodes := a.Nodes()
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n == m {
+				continue
+			}
+			if hbr.NodeHB(n, m) {
+				g.HB.Set(g.nodeID(n), g.nodeID(m))
+			}
+		}
+	}
+
+	// WR edges; enforce vis of read-from nodes.
+	for _, p := range hb.WRPairs(a) {
+		wn, ok1 := a.NodeOf(p[0])
+		rn, ok2 := a.NodeOf(p[1])
+		if !ok1 || !ok2 {
+			continue
+		}
+		wi, ri := g.nodeID(wn), g.nodeID(rn)
+		if wi == ri {
+			continue
+		}
+		if !g.Vis[wi] {
+			return nil, fmt.Errorf("opacity: node %v is read from (by %v) but not visible", wn, rn)
+		}
+		g.WR.Set(wi, ri)
+	}
+
+	// WWx: total order on visible writers of each register.
+	for _, x := range a.H.Regs() {
+		var writers []int
+		for _, n := range nodes {
+			id := g.nodeID(n)
+			if !g.Vis[id] {
+				continue
+			}
+			if _, w := a.WriteAt(n, x); w {
+				writers = append(writers, id)
+			}
+		}
+		order, err := g.orderWriters(x, writers, opts)
+		if err != nil {
+			return nil, err
+		}
+		g.WWOrder[x] = order
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				g.WW.Set(order[i], order[j])
+			}
+		}
+	}
+
+	// RW edges per Definition 6.3.
+	g.buildRW()
+
+	g.Dep = g.WR.Clone()
+	for i := 0; i < g.N; i++ {
+		g.WW.OrRowInto(i, g.Dep.RowSlice(i))
+		g.RW.OrRowInto(i, g.Dep.RowSlice(i))
+	}
+	return g, nil
+}
+
+// readFromNodes marks transaction indices whose writes are read by a
+// different node.
+func readFromNodes(a *spec.Analysis) map[int]bool {
+	out := map[int]bool{}
+	for _, p := range hb.WRPairs(a) {
+		wt := a.TxnOf[p[0]]
+		rt := a.TxnOf[p[1]]
+		if wt != -1 && wt != rt {
+			out[wt] = true
+		}
+	}
+	return out
+}
+
+// orderWriters totally orders the visible writers of register x,
+// respecting (i) node-level HB, (ii) WVer timestamps when both are
+// transactional and hinted, breaking remaining ties by effect position.
+// It fails if the constraints are cyclic.
+func (g *Graph) orderWriters(x spec.Reg, writers []int, opts Options) ([]int, error) {
+	n := len(writers)
+	if n <= 1 {
+		out := make([]int, n)
+		copy(out, writers)
+		return out, nil
+	}
+	pos := map[int]int{}
+	for i, w := range writers {
+		pos[w] = i
+	}
+	adj := make([][]bool, n)
+	indeg := make([]int, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	addEdge := func(i, j int) {
+		if i != j && !adj[i][j] {
+			adj[i][j] = true
+			indeg[j]++
+		}
+	}
+	wver := func(id int) (int64, bool) {
+		if opts.WVer == nil || !g.IsTxnNode(id) {
+			return 0, false
+		}
+		return opts.WVer(id)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a, b := writers[i], writers[j]
+			if g.HB.Has(a, b) {
+				addEdge(i, j)
+				continue
+			}
+			va, oka := wver(a)
+			vb, okb := wver(b)
+			if oka && okb && va < vb {
+				addEdge(i, j)
+			}
+		}
+	}
+	// Kahn with min-effect-index tie-break for determinism.
+	var order []int
+	used := make([]bool, n)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] || indeg[i] != 0 {
+				continue
+			}
+			if best == -1 || g.effectIndex(writers[i]) < g.effectIndex(writers[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("opacity: cannot totally order visible writers of x%d (HB/timestamp constraints are cyclic)", x)
+		}
+		used[best] = true
+		order = append(order, writers[best])
+		for j := 0; j < n; j++ {
+			if adj[best][j] {
+				indeg[j]--
+			}
+		}
+	}
+	return order, nil
+}
+
+// buildRW computes anti-dependencies: n RWx→ n′ when n reads (from node
+// n″ or from the initial value) a value of x overwritten by n′.
+func (g *Graph) buildRW() {
+	a := g.A
+	for i, act := range a.H {
+		if act.Kind != spec.KindRet {
+			continue
+		}
+		ri := a.Match[i]
+		if ri == -1 || a.H[ri].Kind != spec.KindRead {
+			continue
+		}
+		rn, ok := a.NodeOf(ri)
+		if !ok {
+			continue
+		}
+		if IsLocalRead(a, ri) {
+			continue // local reads do not create dependencies
+		}
+		x := a.H[ri].Reg
+		rid := g.nodeID(rn)
+		v := act.Value
+		if v == spec.VInit {
+			// Overwritten by every visible writer of x.
+			for _, w := range g.WWOrder[x] {
+				if w != rid {
+					g.RW.Set(rid, w)
+				}
+			}
+			continue
+		}
+		wi := writerOf(a, x, v)
+		if wi == -1 {
+			continue // consistency check reports this
+		}
+		wn, ok := a.NodeOf(wi)
+		if !ok {
+			continue
+		}
+		wid := g.nodeID(wn)
+		after := false
+		for _, w := range g.WWOrder[x] {
+			if w == wid {
+				after = true
+				continue
+			}
+			if after && w != rid {
+				g.RW.Set(rid, w)
+			}
+		}
+	}
+}
+
+// CombinedHas reports whether any of HB, WR, WW, RW has the edge (i,j).
+func (g *Graph) CombinedHas(i, j int) bool {
+	return g.HB.Has(i, j) || g.Dep.Has(i, j)
+}
+
+// FindCycle returns a cycle over HB ∪ WR ∪ WW ∪ RW as a node-id path
+// (first == last), or nil if the graph is acyclic (acyclic(G),
+// Definition 6.3).
+func (g *Graph) FindCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.N)
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for v := 0; v < g.N; v++ {
+			if u == v || !g.CombinedHas(u, v) {
+				continue
+			}
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a cycle v → ... → u → v.
+				cycle = []int{v}
+				for w := u; w != v && w != -1; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				cycle = append(cycle, v)
+				// Reverse into forward order.
+				for l, r := 0, len(cycle)-1; l < r; l, r = l+1, r-1 {
+					cycle[l], cycle[r] = cycle[r], cycle[l]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.N; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// CheckAcyclic returns an error describing a cycle if the graph has
+// one.
+func (g *Graph) CheckAcyclic() error {
+	if c := g.FindCycle(); c != nil {
+		names := make([]string, len(c))
+		for i, id := range c {
+			names[i] = g.NodeOf(id).String()
+		}
+		return fmt.Errorf("opacity: graph cycle %v", names)
+	}
+	return nil
+}
+
+// CheckSmallCycles verifies the irreflexivity of (HB ; (WR ∪ WW ∪ RW))
+// required by Theorem 6.6: no pair of nodes with an HB edge one way and
+// a dependency edge back.
+func (g *Graph) CheckSmallCycles() error {
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if i != j && g.HB.Has(i, j) && g.Dep.Has(j, i) {
+				return fmt.Errorf("opacity: HB;DEP cycle between %v and %v",
+					g.NodeOf(i), g.NodeOf(j))
+			}
+		}
+	}
+	return nil
+}
+
+// TxnProjectionCycle searches for a cycle over transactions only, with
+// edges from RT ∪ txWR ∪ txWW ∪ txRW (the classical opacity check that
+// Theorem 6.6 reduces to). It returns the cycle or nil.
+func (g *Graph) TxnProjectionCycle() []int {
+	nTxn := len(g.A.Txns)
+	has := func(i, j int) bool {
+		if g.Dep.Has(i, j) {
+			return true
+		}
+		return hb.TxnRT(g.A, i, j)
+	}
+	color := make([]int, nTxn)
+	parent := make([]int, nTxn)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = 1
+		for v := 0; v < nTxn; v++ {
+			if u == v || !has(u, v) {
+				continue
+			}
+			switch color[v] {
+			case 0:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case 1:
+				cycle = []int{v}
+				for w := u; w != v && w != -1; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				cycle = append(cycle, v)
+				for l, r := 0, len(cycle)-1; l < r; l, r = l+1, r-1 {
+					cycle[l], cycle[r] = cycle[r], cycle[l]
+				}
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for u := 0; u < nTxn; u++ {
+		if color[u] == 0 && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package opacity
+
+import (
+	"fmt"
+
+	"safepriv/internal/hb"
+	"safepriv/internal/spec"
+)
+
+// BuildIncremental constructs an opacity graph by replaying the history
+// action by action and applying the graph-update rules of Figure 10 of
+// the paper:
+//
+//   - TXBEGIN(T): add an invisible node for T;
+//   - TXREAD(T,x,v): add the read's WR edge (from the node whose last
+//     write to x produced v) and the anti-dependency edges to every
+//     WW-later writer (or to every visible writer when v = vinit);
+//   - TXVIS(T): make T visible and append it to WWx for every register
+//     in its write set, adding the corresponding WW and RW edges (in
+//     the paper this fires when txcommit reaches the write-back, line
+//     27; at history granularity the committed response is the
+//     observable proxy, except that a transaction read before its
+//     committed response lands — §2.4's effectively-committed case —
+//     is made visible at that read);
+//   - NTXREAD(ν,x,v) / NTXWRITE(ν,x): add the visible access node with
+//     its WR/WW/RW edges.
+//
+// The HB component is the same lifting of happens-before used by Build
+// (Figure 10's HB updates recompute exactly that relation).
+//
+// BuildIncremental and Build are two independent implementations of
+// Definition 6.3; their agreement on recorded and model histories is a
+// test of both (see incremental_test.go).
+func BuildIncremental(a *spec.Analysis, hbr *hb.HB) (*Graph, error) {
+	nTxn := len(a.Txns)
+	g := &Graph{
+		A:       a,
+		HBr:     hbr,
+		N:       nTxn + len(a.NonTxn),
+		WWOrder: map[spec.Reg][]int{},
+	}
+	g.HB = hb.NewBitRel(g.N)
+	g.WR = hb.NewBitRel(g.N)
+	g.WW = hb.NewBitRel(g.N)
+	g.RW = hb.NewBitRel(g.N)
+	g.Vis = make([]bool, g.N)
+
+	// HB: identical lifting as Build (Figure 10 maintains the same
+	// relation incrementally).
+	nodes := a.Nodes()
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n != m && hbr.NodeHB(n, m) {
+				g.HB.Set(g.nodeID(n), g.nodeID(m))
+			}
+		}
+	}
+
+	// lastWriter[x] tracks, per register, which node's write produced a
+	// given value (for WR edges) — unique writes make value → writer a
+	// function.
+	writerOfVal := map[[2]int64]int{} // (reg, value) → node id
+	// readsOf[x] lists node ids that performed a non-local read of x
+	// (for TXVIS's RW rule).
+	readsOf := map[spec.Reg][]int{}
+	// initReaders[x] lists node ids that read vinit from x.
+	initReaders := map[spec.Reg][]int{}
+
+	// txvis makes transaction node id visible and appends it to WWx for
+	// each register in its write set (the TXVIS rule).
+	txvis := func(id int) {
+		if g.Vis[id] {
+			return
+		}
+		g.Vis[id] = true
+		n := g.NodeOf(id)
+		for _, x := range a.H.Regs() {
+			if _, w := a.WriteAt(n, x); !w {
+				continue
+			}
+			for _, m := range g.WWOrder[x] {
+				if m != id {
+					g.WW.Set(m, id)
+				}
+			}
+			for _, rd := range readsOf[x] {
+				if rd != id {
+					g.RW.Set(rd, id)
+				}
+			}
+			for _, rd := range initReaders[x] {
+				if rd != id {
+					g.RW.Set(rd, id)
+				}
+			}
+			g.WWOrder[x] = append(g.WWOrder[x], id)
+		}
+	}
+
+	for i, act := range a.H {
+		switch act.Kind {
+		case spec.KindTxBegin:
+			// TXBEGIN: node exists (invisible) — nothing to add; HB is
+			// precomputed.
+		case spec.KindWrite:
+			n, ok := a.NodeOf(i)
+			if !ok {
+				continue
+			}
+			id := g.nodeID(n)
+			writerOfVal[[2]int64{int64(act.Reg), int64(act.Value)}] = id
+			if !n.IsTxn() {
+				// NTXWRITE: the access node is visible immediately; its
+				// WW/RW edges follow the same rule as TXVIS for this
+				// register.
+				g.Vis[id] = true
+				x := act.Reg
+				for _, m := range g.WWOrder[x] {
+					if m != id {
+						g.WW.Set(m, id)
+					}
+				}
+				for _, rd := range readsOf[x] {
+					if rd != id {
+						g.RW.Set(rd, id)
+					}
+				}
+				for _, rd := range initReaders[x] {
+					if rd != id {
+						g.RW.Set(rd, id)
+					}
+				}
+				g.WWOrder[x] = append(g.WWOrder[x], id)
+			}
+		case spec.KindRet:
+			ri := a.Match[i]
+			if ri == -1 || a.H[ri].Kind != spec.KindRead {
+				continue
+			}
+			n, ok := a.NodeOf(ri)
+			if !ok {
+				continue
+			}
+			if IsLocalRead(a, ri) {
+				continue
+			}
+			id := g.nodeID(n)
+			if !n.IsTxn() {
+				g.Vis[id] = true // NTXREAD: visible access node
+			}
+			x := a.H[ri].Reg
+			v := act.Value
+			if v == spec.VInit {
+				// RW to every already-visible writer of x, and remember
+				// for writers arriving later.
+				for _, m := range g.WWOrder[x] {
+					if m != id {
+						g.RW.Set(id, m)
+					}
+				}
+				initReaders[x] = append(initReaders[x], id)
+				readsOf[x] = append(readsOf[x], id)
+				continue
+			}
+			wid, ok := writerOfVal[[2]int64{int64(x), int64(v)}]
+			if !ok {
+				return nil, fmt.Errorf("opacity: incremental: read of x%d=%d with no prior write", x, v)
+			}
+			if wid != id {
+				// §2.4's effectively-committed case: a transaction whose
+				// value is observed must already be visible (Figure 10's
+				// TXVIS fired at line 27, before this read's response).
+				if !g.Vis[wid] {
+					txvis(wid)
+				}
+				g.WR.Set(wid, id)
+			}
+			// Anti-dependencies to writers WW-after wid: existing ones…
+			after := false
+			for _, m := range g.WWOrder[x] {
+				if m == wid {
+					after = true
+					continue
+				}
+				if after && m != id {
+					g.RW.Set(id, m)
+				}
+			}
+			// …and future ones via readsOf.
+			readsOf[x] = append(readsOf[x], id)
+		case spec.KindCommitted:
+			ti := a.TxnOf[i]
+			if ti != -1 {
+				txvis(ti)
+			}
+		}
+	}
+
+	g.Dep = g.WR.Clone()
+	for i := 0; i < g.N; i++ {
+		g.WW.OrRowInto(i, g.Dep.RowSlice(i))
+		g.RW.OrRowInto(i, g.Dep.RowSlice(i))
+	}
+	return g, nil
+}

@@ -1,0 +1,164 @@
+package opacity
+
+import (
+	"testing"
+
+	"safepriv/internal/hb"
+	"safepriv/internal/model"
+	"safepriv/internal/spec"
+)
+
+// edgesEqual compares two node relations.
+func edgesEqual(a, b *hb.BitRel, n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Has(i, j) != b.Has(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIncrementalMatchesMonolithicSequential: on sequential histories
+// the two builders produce identical graphs (same vis, WR, WW, RW).
+func TestIncrementalMatchesMonolithicSequential(t *testing.T) {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, 0, 1).Commit(1)
+	b.TxBeginOK(2).ReadRet(2, 0, 1).WriteRet(2, 0, 2).WriteRet(2, 1, 3).Commit(2)
+	b.TxBeginOK(3).ReadRet(3, 1, 3).ReadRet(3, 2, spec.VInit).Commit(3)
+	b.TxBeginOK(1).WriteRet(1, 2, 4).Commit(1)
+	h := b.History()
+	a, err := spec.CheckWellFormed(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbr := hb.Compute(a)
+	mono, err := Build(a, hbr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := BuildIncremental(a, hbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mono.N; i++ {
+		if mono.Vis[i] != inc.Vis[i] {
+			t.Fatalf("vis differs at node %d", i)
+		}
+	}
+	if !edgesEqual(mono.WR, inc.WR, mono.N) {
+		t.Error("WR differs")
+	}
+	if !edgesEqual(mono.WW, inc.WW, mono.N) {
+		t.Error("WW differs")
+	}
+	if !edgesEqual(mono.RW, inc.RW, mono.N) {
+		t.Error("RW differs")
+	}
+}
+
+// TestIncrementalPipelineOnModelHistories: the incremental builder is a
+// complete alternative pipeline — its graphs are acyclic on correct
+// TL2-model histories of DRF programs, and the resulting serializations
+// verify end to end.
+func TestIncrementalPipelineOnModelHistories(t *testing.T) {
+	progs := []model.Program{litmusFig1aFence(), litmusFig2(), litmusFig6()}
+	for _, p := range progs {
+		runs, err := model.Sample(model.Config{Prog: p, Model: model.TL2Kind, Fence: model.FenceWaitAll}, 80, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			a, err := spec.CheckWellFormed(r.Hist)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", p.Name, i, err)
+			}
+			hbr := hb.Compute(a)
+			g, err := BuildIncremental(a, hbr)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", p.Name, i, err)
+			}
+			if err := g.CheckAcyclic(); err != nil {
+				t.Fatalf("%s run %d: %v\n%s", p.Name, i, err, r.Hist)
+			}
+			s, err := Serialize(g)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", p.Name, i, err)
+			}
+			if err := CheckRelation(r.Hist, hbr, s); err != nil {
+				t.Fatalf("%s run %d: %v", p.Name, i, err)
+			}
+		}
+	}
+}
+
+// TestIncrementalAgreesOnVerdicts: on both DRF and racy model
+// histories, the incremental and monolithic builders agree on
+// acyclicity (the verdict that matters).
+func TestIncrementalAgreesOnVerdicts(t *testing.T) {
+	progs := []model.Program{litmusFig1aFence(), litmusFig2()}
+	for _, p := range progs {
+		runs, err := model.Sample(model.Config{Prog: p, Model: model.TL2Kind, Fence: model.FenceWaitAll}, 60, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			a, err := spec.CheckWellFormed(r.Hist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hbr := hb.Compute(a)
+			mono, merr := Build(a, hbr, Options{})
+			inc, ierr := BuildIncremental(a, hbr)
+			if (merr == nil) != (ierr == nil) {
+				t.Fatalf("%s run %d: build disagreement: %v vs %v", p.Name, i, merr, ierr)
+			}
+			if merr != nil {
+				continue
+			}
+			ma := mono.CheckAcyclic() == nil
+			ia := inc.CheckAcyclic() == nil
+			if ma != ia {
+				t.Fatalf("%s run %d: acyclicity disagreement (mono=%v inc=%v)\n%s",
+					p.Name, i, ma, ia, r.Hist)
+			}
+		}
+	}
+}
+
+// TestIncrementalEffectivelyCommitted: H0's commit-pending transaction
+// whose value is observed becomes visible at the observing read (the
+// paper's line-27 TXVIS point).
+func TestIncrementalEffectivelyCommitted(t *testing.T) {
+	b := spec.NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, 0, 5).TxCommit(1)
+	b.TxBeginOK(2).ReadRet(2, 0, 5).Commit(2)
+	a := b.MustAnalyze()
+	hbr := hb.Compute(a)
+	g, err := BuildIncremental(a, hbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Vis[0] {
+		t.Error("observed commit-pending transaction not made visible")
+	}
+	if !g.WR.Has(0, 1) {
+		t.Error("WR edge missing")
+	}
+	if err := g.CheckAcyclic(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalRejectsPhantomRead: a read of a never-written value is
+// reported.
+func TestIncrementalRejectsPhantomRead(t *testing.T) {
+	b := spec.NewBuilder()
+	b.ReadRet(1, 0, 99)
+	a := b.MustAnalyze()
+	hbr := hb.Compute(a)
+	if _, err := BuildIncremental(a, hbr); err == nil {
+		t.Fatal("phantom read accepted")
+	}
+}

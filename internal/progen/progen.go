@@ -1,0 +1,188 @@
+// Package progen generates random programs in the paper's language
+// (§2.1) for differential testing of the whole stack:
+//
+//   - DRF-by-construction programs follow the privatization protocol
+//     (flag register, fence between privatizing transaction and
+//     non-transactional access), so every atomic-model trace must be
+//     race-free and every TL2-model trace must pass the strong-opacity
+//     checker;
+//   - unconstrained programs may race, allowing the DRF checker and the
+//     checker's no-obligation path to be exercised;
+//   - all generated writes use globally unique nonzero constants, so
+//     recorded histories satisfy the unique-writes assumption.
+//
+// The generator is deterministic in its seed.
+package progen
+
+import (
+	"math/rand"
+
+	"safepriv/internal/model"
+)
+
+// Config tunes generation.
+type Config struct {
+	// Threads is the number of threads (≥1).
+	Threads int
+	// DataRegs is the number of data registers; register 0 is reserved
+	// for the privatization flag in DRF mode.
+	DataRegs int
+	// MaxOpsPerThread bounds the straight-line TM operations generated
+	// per thread.
+	MaxOpsPerThread int
+	// MaxOpsPerTxn bounds operations inside one atomic block.
+	MaxOpsPerTxn int
+	// DRF selects the DRF-by-construction discipline; otherwise
+	// accesses are unconstrained (programs may race).
+	DRF bool
+	// Privatize enables privatize/fence/non-transactional/publish
+	// phases in thread 1 (DRF mode only).
+	Privatize bool
+}
+
+// gen carries generation state.
+type gen struct {
+	cfg  Config
+	r    *rand.Rand
+	next int64 // unique write values
+	lv   int   // fresh local variable names
+}
+
+func (g *gen) val() model.Value {
+	g.next++
+	return g.next
+}
+
+func (g *gen) local() string {
+	g.lv++
+	return "v" + string(rune('a'+(g.lv%26))) + itoa(g.lv)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// dataReg picks a random data register (1-based when DRF reserves 0).
+func (g *gen) dataReg() int {
+	if g.cfg.DRF {
+		return 1 + g.r.Intn(g.cfg.DataRegs)
+	}
+	return g.r.Intn(g.cfg.DataRegs)
+}
+
+// txnBody generates the interior of an atomic block. In DRF mode the
+// body is guarded: it reads the flag and touches data only when the
+// flag is even (shared).
+func (g *gen) txnBody() []model.Stmt {
+	n := 1 + g.r.Intn(g.cfg.MaxOpsPerTxn)
+	ops := make([]model.Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		x := g.dataReg()
+		if g.r.Intn(2) == 0 {
+			ops = append(ops, model.Read{Lv: g.local(), X: x})
+		} else {
+			ops = append(ops, model.Write{X: x, E: model.Const(g.val())})
+		}
+	}
+	if !g.cfg.DRF {
+		return ops
+	}
+	f := g.local()
+	return []model.Stmt{
+		model.Read{Lv: f, X: 0},
+		model.If{
+			Cond: model.Eq{A: model.Var(f), B: model.Const(0)},
+			Then: ops,
+		},
+	}
+}
+
+// workerThread generates a worker: a sequence of atomic blocks (DRF
+// mode) or a free mix of transactional and non-transactional accesses.
+func (g *gen) workerThread() []model.Stmt {
+	var out []model.Stmt
+	budget := 1 + g.r.Intn(g.cfg.MaxOpsPerThread)
+	for budget > 0 {
+		if g.cfg.DRF || g.r.Intn(2) == 0 {
+			body := g.txnBody()
+			out = append(out, model.Atomic{Lv: g.local(), Body: body})
+			budget -= len(body)
+		} else {
+			x := g.dataReg()
+			if g.r.Intn(2) == 0 {
+				out = append(out, model.Read{Lv: g.local(), X: x})
+			} else {
+				out = append(out, model.Write{X: x, E: model.Const(g.val())})
+			}
+			budget--
+		}
+	}
+	return out
+}
+
+// privatizerThread generates thread 1's privatize → fence →
+// non-transactional phase → publish cycle. Flag values: odd = private
+// (we use large constants disjoint from data values).
+func (g *gen) privatizerThread() []model.Stmt {
+	rounds := 1 + g.r.Intn(2)
+	var out []model.Stmt
+	for round := 0; round < rounds; round++ {
+		priv := model.Const(1_000_001 + 2*round) // odd
+		pub := model.Const(1_000_002 + 2*round)  // even
+		lv := g.local()
+		// Non-transactional private accesses, performed only if the
+		// privatizing transaction committed (the Figure 1 guard) and
+		// after a fence.
+		phase := []model.Stmt{model.FenceStmt{}}
+		n := 1 + g.r.Intn(2)
+		for i := 0; i < n; i++ {
+			x := g.dataReg()
+			if g.r.Intn(2) == 0 {
+				phase = append(phase, model.Read{Lv: g.local(), X: x})
+			} else {
+				phase = append(phase, model.Write{X: x, E: model.Const(g.val())})
+			}
+		}
+		phase = append(phase, model.Atomic{Lv: g.local(), Body: []model.Stmt{
+			model.Write{X: 0, E: pub},
+		}})
+		out = append(out,
+			model.Atomic{Lv: lv, Body: []model.Stmt{
+				model.Write{X: 0, E: priv},
+			}},
+			model.If{
+				Cond: model.Eq{A: model.Var(lv), B: model.Const(model.ResCommitted)},
+				Then: phase,
+			},
+		)
+	}
+	return out
+}
+
+// Generate produces a random program per the config.
+func Generate(cfg Config, seed int64) model.Program {
+	g := &gen{cfg: cfg, r: rand.New(rand.NewSource(seed)), next: 10}
+	regs := cfg.DataRegs
+	if cfg.DRF {
+		regs++ // register 0 is the flag
+	}
+	p := model.Program{Name: "progen", Regs: regs}
+	for t := 0; t < cfg.Threads; t++ {
+		if cfg.DRF && cfg.Privatize && t == 0 {
+			p.Threads = append(p.Threads, g.privatizerThread())
+			continue
+		}
+		p.Threads = append(p.Threads, g.workerThread())
+	}
+	return p
+}

@@ -1,0 +1,159 @@
+package progen
+
+import (
+	"testing"
+
+	"safepriv/internal/atomictm"
+	"safepriv/internal/hb"
+	"safepriv/internal/model"
+	"safepriv/internal/opacity"
+	"safepriv/internal/spec"
+)
+
+// TestDRFProgramsAreDRF: every atomic-model trace of a DRF-by-
+// construction program is race-free (the generator's discipline is
+// sound per §3 of the paper).
+func TestDRFProgramsAreDRF(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		p := Generate(Config{
+			Threads: 2, DataRegs: 2, MaxOpsPerThread: 4, MaxOpsPerTxn: 2,
+			DRF: true, Privatize: true,
+		}, seed)
+		runs, err := model.AllHistories(model.Config{Prog: p, Model: model.AtomicKind}, 300_000)
+		if err != nil {
+			t.Logf("seed %d: skipping (%v)", seed, err)
+			continue
+		}
+		for i, r := range runs {
+			a, err := spec.CheckWellFormed(r.Hist)
+			if err != nil {
+				t.Fatalf("seed %d run %d: ill-formed: %v\n%s", seed, i, err, r.Hist)
+			}
+			if ok, races := hb.DRF(a); !ok {
+				t.Fatalf("seed %d run %d: generated 'DRF' program raced: %v\n%s", seed, i, races, r.Hist)
+			}
+		}
+	}
+}
+
+// TestDRFProgramsStronglyOpaqueOnTL2Model: sampled TL2-model traces of
+// DRF programs pass the full strong-opacity pipeline — the Fundamental
+// Property exercised on machine-generated programs instead of the
+// paper's figures.
+func TestDRFProgramsStronglyOpaqueOnTL2Model(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		p := Generate(Config{
+			Threads: 3, DataRegs: 2, MaxOpsPerThread: 3, MaxOpsPerTxn: 2,
+			DRF: true, Privatize: true,
+		}, seed)
+		runs, err := model.Sample(model.Config{Prog: p, Model: model.TL2Kind, Fence: model.FenceWaitAll}, 40, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			wv := r.WVers
+			if _, err := opacity.Check(r.Hist, opacity.Options{
+				WVer: func(ti int) (int64, bool) { v, ok := wv[ti]; return v, ok },
+			}); err != nil {
+				t.Fatalf("seed %d run %d: %v\n%s", seed, i, err, r.Hist)
+			}
+		}
+	}
+}
+
+// TestUnconstrainedProgramsExerciseBothPaths: unconstrained programs
+// produce a mix of racy and race-free traces; racy traces must be
+// reported racy (not crash the checker) and race-free TL2-model traces
+// must still verify.
+func TestUnconstrainedProgramsExerciseBothPaths(t *testing.T) {
+	var racy, clean int
+	for seed := int64(1); seed <= 25; seed++ {
+		p := Generate(Config{
+			Threads: 2, DataRegs: 2, MaxOpsPerThread: 4, MaxOpsPerTxn: 2,
+			DRF: false,
+		}, seed)
+		runs, err := model.Sample(model.Config{Prog: p, Model: model.TL2Kind, Fence: model.FenceWaitAll}, 20, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			rep, err := opacity.Check(r.Hist, opacity.Options{})
+			switch {
+			case err == nil:
+				clean++
+			case rep != nil && !rep.DRF:
+				racy++
+			default:
+				// A non-racy history that fails the checker would be a
+				// TL2 bug (the TL2 model is correct; racy programs can
+				// produce non-DRF histories only).
+				t.Fatalf("seed %d run %d: non-racy TL2 history rejected: %v\n%s", seed, i, err, r.Hist)
+			}
+		}
+	}
+	if racy == 0 {
+		t.Error("no racy traces generated; generator too tame")
+	}
+	if clean == 0 {
+		t.Error("no clean traces generated")
+	}
+	t.Logf("racy=%d clean=%d", racy, clean)
+}
+
+// TestAtomicTracesAreMembers: atomic-model traces of arbitrary
+// generated programs are always members of Hatomic — the atomic model
+// is self-consistent regardless of raciness.
+func TestAtomicTracesAreMembers(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := Generate(Config{
+			Threads: 2, DataRegs: 3, MaxOpsPerThread: 4, MaxOpsPerTxn: 2,
+			DRF: false,
+		}, seed)
+		runs, err := model.Sample(model.Config{Prog: p, Model: model.AtomicKind}, 20, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range runs {
+			a, err := spec.CheckWellFormed(r.Hist)
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, i, err)
+			}
+			if err := noninterleavedLegal(a); err != nil {
+				t.Fatalf("seed %d run %d: %v\n%s", seed, i, err, r.Hist)
+			}
+		}
+	}
+}
+
+// noninterleavedLegal is a local helper asserting Hatomic membership
+// via the atomictm package (indirection keeps the import list honest).
+func noninterleavedLegal(a *spec.Analysis) error {
+	_, err := memberAnalyzed(a)
+	return err
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Threads: 3, DataRegs: 2, MaxOpsPerThread: 5, MaxOpsPerTxn: 3, DRF: true, Privatize: true}
+	a := Generate(cfg, 99)
+	b := Generate(cfg, 99)
+	if len(a.Threads) != len(b.Threads) {
+		t.Fatal("nondeterministic generation")
+	}
+	// Compile both and compare exploration sizes as a structural proxy.
+	ra, err := model.Explore(model.Config{Prog: a, Model: model.AtomicKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := model.Explore(model.Config{Prog: b, Model: model.AtomicKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.States != rb.States {
+		t.Fatalf("same seed, different state spaces: %d vs %d", ra.States, rb.States)
+	}
+}
+
+// memberAnalyzed adapts atomictm.MemberAnalyzed.
+func memberAnalyzed(a *spec.Analysis) (any, error) {
+	return atomictm.MemberAnalyzed(a)
+}

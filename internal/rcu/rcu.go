@@ -1,0 +1,147 @@
+// Package rcu implements transactional fences as RCU-style grace
+// periods (§1 and Figure 7 lines 33–39 of the paper, after Gotsman,
+// Rinetzky and Yang [17]): a fence blocks until every transaction that
+// was active when the fence was invoked completes.
+//
+// Two implementations are provided:
+//
+//   - Flags: the paper's two-pass algorithm over per-thread active
+//     flags (Figure 7): snapshot the flags, then wait for each flagged
+//     thread to clear its flag.
+//   - Epochs: a sequence-counter grace period in the style of RCU
+//     quiescent-state detection: each thread's counter is odd while a
+//     transaction is active; a fence waits until every odd counter
+//     observed in its snapshot has changed.
+//
+// The Flags fence can wait for a *later* transaction of the same thread
+// if the thread completes one transaction and starts another between
+// the fence's two passes — harmless (it only waits longer). The Epochs
+// fence waits for exactly the observed transaction. Benchmarks compare
+// the two (experiment E14).
+package rcu
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Quiescer tracks per-thread transaction activity and implements the
+// fence's wait. Thread ids are 1-based and must be < the size the
+// quiescer was created with.
+type Quiescer interface {
+	// Enter marks thread t as running a transaction (Figure 9 line 10:
+	// active[t] := true).
+	Enter(t int)
+	// Exit marks thread t's transaction complete (abort/commit handler:
+	// active[t] := false).
+	Exit(t int)
+	// Active reports whether thread t currently runs a transaction.
+	Active(t int) bool
+	// Wait blocks until every transaction active at the time of the
+	// call has completed (the fence body).
+	Wait()
+}
+
+// cacheLinePad separates per-thread words to avoid false sharing.
+type cacheLinePad [64]byte
+
+type flagSlot struct {
+	active atomic.Uint32
+	_      cacheLinePad
+}
+
+// Flags is the paper's flag-based fence (Figure 7).
+type Flags struct {
+	slots []flagSlot
+}
+
+// NewFlags returns a flag quiescer for thread ids 1..n.
+func NewFlags(n int) *Flags { return &Flags{slots: make([]flagSlot, n+1)} }
+
+// Enter implements Quiescer.
+func (f *Flags) Enter(t int) { f.slots[t].active.Store(1) }
+
+// Exit implements Quiescer.
+func (f *Flags) Exit(t int) { f.slots[t].active.Store(0) }
+
+// Active implements Quiescer.
+func (f *Flags) Active(t int) bool { return f.slots[t].active.Load() == 1 }
+
+// Wait implements the two-pass fence of Figure 7 lines 33–39.
+func (f *Flags) Wait() {
+	n := len(f.slots)
+	r := make([]bool, n)
+	for t := 1; t < n; t++ {
+		r[t] = f.slots[t].active.Load() == 1
+	}
+	for t := 1; t < n; t++ {
+		if !r[t] {
+			continue
+		}
+		for f.slots[t].active.Load() == 1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+type epochSlot struct {
+	seq atomic.Uint64 // odd while a transaction is active
+	_   cacheLinePad
+}
+
+// Epochs is a sequence-counter grace-period fence.
+type Epochs struct {
+	slots []epochSlot
+}
+
+// NewEpochs returns an epoch quiescer for thread ids 1..n.
+func NewEpochs(n int) *Epochs { return &Epochs{slots: make([]epochSlot, n+1)} }
+
+// Enter implements Quiescer: the counter becomes odd.
+func (e *Epochs) Enter(t int) { e.slots[t].seq.Add(1) }
+
+// Exit implements Quiescer: the counter becomes even.
+func (e *Epochs) Exit(t int) { e.slots[t].seq.Add(1) }
+
+// Active implements Quiescer.
+func (e *Epochs) Active(t int) bool { return e.slots[t].seq.Load()%2 == 1 }
+
+// Wait blocks until every counter observed odd has changed.
+func (e *Epochs) Wait() {
+	n := len(e.slots)
+	snap := make([]uint64, n)
+	for t := 1; t < n; t++ {
+		snap[t] = e.slots[t].seq.Load()
+	}
+	for t := 1; t < n; t++ {
+		if snap[t]%2 == 0 {
+			continue
+		}
+		for e.slots[t].seq.Load() == snap[t] {
+			runtime.Gosched()
+		}
+	}
+}
+
+// NoOp is a quiescer whose Wait returns immediately: the "unsafe
+// privatization" baseline used to reproduce the delayed-commit and
+// doomed-transaction anomalies (experiments E1, E2).
+type NoOp struct {
+	inner Quiescer
+}
+
+// NewNoOp wraps a real quiescer for Enter/Exit/Active bookkeeping but
+// makes Wait a no-op.
+func NewNoOp(n int) *NoOp { return &NoOp{inner: NewFlags(n)} }
+
+// Enter implements Quiescer.
+func (q *NoOp) Enter(t int) { q.inner.Enter(t) }
+
+// Exit implements Quiescer.
+func (q *NoOp) Exit(t int) { q.inner.Exit(t) }
+
+// Active implements Quiescer.
+func (q *NoOp) Active(t int) bool { return q.inner.Active(t) }
+
+// Wait implements Quiescer by not waiting.
+func (q *NoOp) Wait() {}

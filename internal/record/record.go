@@ -1,0 +1,204 @@
+// Package record builds spec.History values from live TM executions.
+//
+// A Recorder is attached to a TM (internal/tl2 accepts a Sink); the TM
+// emits every TM interface action of Figure 4 at its linearization
+// point. The recorder serializes emissions through one mutex, so the
+// order of actions in the recorded history is a real-time order the
+// execution actually passed through:
+//
+//   - non-transactional accesses perform their memory operation inside
+//     the recorder's critical section, making the recorded position the
+//     access's true linearization point (condition 7 of Definition 2.1,
+//     atomicity of non-transactional accesses, holds by construction);
+//   - a transaction's committed/aborted response is emitted before its
+//     active flag is cleared, and a fence's fend after the waited flags
+//     clear, so condition 10 (fences wait for active transactions)
+//     transfers from the implementation to the recorded history;
+//   - txbegin is emitted after the active flag is set but before the
+//     read timestamp is sampled, so af/bf edges in the recorded history
+//     reflect orderings the implementation really enforced.
+//
+// The recorder also captures each committed transaction's TL2 write
+// timestamp (wver), which the opacity checker uses to fix the WW order
+// (Options.WVer).
+package record
+
+import (
+	"sync"
+
+	"safepriv/internal/spec"
+)
+
+// Sink receives TM interface events. All methods may be called
+// concurrently from multiple threads.
+type Sink interface {
+	// TxBegin records txbegin followed by ok for thread t.
+	TxBegin(t int)
+	// ReadOK records read(x) followed by ret(v).
+	ReadOK(t, x int, v int64)
+	// ReadAborted records read(x) followed by aborted.
+	ReadAborted(t, x int)
+	// Write records write(x,v) followed by ret(⊥). (TL2 buffers writes;
+	// they never abort.)
+	Write(t, x int, v int64)
+	// TxCommitReq records the txcommit request.
+	TxCommitReq(t int)
+	// Committed records the committed response, with the transaction's
+	// write timestamp (0 if not applicable).
+	Committed(t int, wver int64)
+	// Aborted records an aborted response to txcommit.
+	Aborted(t int)
+	// FBegin records the fence request.
+	FBegin(t int)
+	// FEnd records the fence response.
+	FEnd(t int)
+	// NonTxnRead runs load inside the recorder's critical section and
+	// records read(x), ret(v) at that point; it returns load's value.
+	NonTxnRead(t, x int, load func() int64) int64
+	// NonTxnWrite runs store inside the critical section and records
+	// write(x,v), ret(⊥).
+	NonTxnWrite(t, x int, v int64, store func())
+}
+
+// Recorder is a Sink accumulating a spec.History.
+type Recorder struct {
+	mu   sync.Mutex
+	h    spec.History
+	next spec.ActionID
+	// openTxn[t] is the Analysis index (txbegin ordinal) of thread t's
+	// open transaction, or -1.
+	openTxn map[int]int
+	nTxns   int
+	wver    map[int]int64 // txn ordinal → write timestamp
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{openTxn: map[int]int{}, wver: map[int]int64{}}
+}
+
+func (r *Recorder) emit(t int, k spec.Kind, x spec.Reg, v spec.Value) {
+	r.next++
+	r.h = append(r.h, spec.Action{ID: r.next, Thread: spec.ThreadID(t), Kind: k, Reg: x, Value: v})
+}
+
+// TxBegin implements Sink.
+func (r *Recorder) TxBegin(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.openTxn[t] = r.nTxns
+	r.nTxns++
+	r.emit(t, spec.KindTxBegin, 0, 0)
+	r.emit(t, spec.KindOK, 0, 0)
+}
+
+// ReadOK implements Sink.
+func (r *Recorder) ReadOK(t, x int, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindRead, spec.Reg(x), 0)
+	r.emit(t, spec.KindRet, 0, spec.Value(v))
+}
+
+// ReadAborted implements Sink.
+func (r *Recorder) ReadAborted(t, x int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindRead, spec.Reg(x), 0)
+	r.emit(t, spec.KindAborted, 0, 0)
+	r.openTxn[t] = -1
+}
+
+// Write implements Sink.
+func (r *Recorder) Write(t, x int, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindWrite, spec.Reg(x), spec.Value(v))
+	r.emit(t, spec.KindRet, 0, 0)
+}
+
+// TxCommitReq implements Sink.
+func (r *Recorder) TxCommitReq(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindTxCommit, 0, 0)
+}
+
+// Committed implements Sink.
+func (r *Recorder) Committed(t int, wver int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ti := r.openTxn[t]; ti >= 0 && wver != 0 {
+		r.wver[ti] = wver
+	}
+	r.openTxn[t] = -1
+	r.emit(t, spec.KindCommitted, 0, 0)
+}
+
+// Aborted implements Sink.
+func (r *Recorder) Aborted(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.openTxn[t] = -1
+	r.emit(t, spec.KindAborted, 0, 0)
+}
+
+// FBegin implements Sink.
+func (r *Recorder) FBegin(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindFBegin, 0, 0)
+}
+
+// FEnd implements Sink.
+func (r *Recorder) FEnd(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindFEnd, 0, 0)
+}
+
+// NonTxnRead implements Sink.
+func (r *Recorder) NonTxnRead(t, x int, load func() int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := load()
+	r.emit(t, spec.KindRead, spec.Reg(x), 0)
+	r.emit(t, spec.KindRet, 0, spec.Value(v))
+	return v
+}
+
+// NonTxnWrite implements Sink.
+func (r *Recorder) NonTxnWrite(t, x int, v int64, store func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	store()
+	r.emit(t, spec.KindWrite, spec.Reg(x), spec.Value(v))
+	r.emit(t, spec.KindRet, 0, 0)
+}
+
+// History returns a copy of the recorded history. Call after all
+// recorded threads have quiesced.
+func (r *Recorder) History() spec.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(spec.History, len(r.h))
+	copy(out, r.h)
+	return out
+}
+
+// WVer returns the write-timestamp hint for the opacity checker: the
+// TL2 wver of transaction ti (by txbegin order, matching
+// spec.Analysis.Txns indices).
+func (r *Recorder) WVer(ti int) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.wver[ti]
+	return v, ok
+}
+
+// Len returns the number of recorded actions.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.h)
+}

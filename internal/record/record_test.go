@@ -1,0 +1,122 @@
+package record
+
+import (
+	"sync"
+	"testing"
+
+	"safepriv/internal/spec"
+)
+
+func TestEmissionSequence(t *testing.T) {
+	r := NewRecorder()
+	r.TxBegin(1)
+	r.ReadOK(1, 0, 0)
+	r.Write(1, 1, 5)
+	r.TxCommitReq(1)
+	r.Committed(1, 3)
+	r.FBegin(2)
+	r.FEnd(2)
+	v := r.NonTxnRead(2, 1, func() int64 { return 5 })
+	if v != 5 {
+		t.Fatalf("NonTxnRead passthrough = %d", v)
+	}
+	stored := false
+	r.NonTxnWrite(2, 0, 9, func() { stored = true })
+	if !stored {
+		t.Fatal("NonTxnWrite did not run the store")
+	}
+	h := r.History()
+	a, err := spec.CheckWellFormed(h)
+	if err != nil {
+		t.Fatalf("recorded history ill-formed: %v\n%s", err, h)
+	}
+	if len(a.Txns) != 1 || a.Txns[0].Status != spec.TxnCommitted {
+		t.Fatalf("txns = %+v", a.Txns)
+	}
+	if len(a.NonTxn) != 2 {
+		t.Fatalf("nontxn = %+v", a.NonTxn)
+	}
+	if wv, ok := r.WVer(0); !ok || wv != 3 {
+		t.Fatalf("WVer = %d,%v", wv, ok)
+	}
+	if r.Len() != len(h) {
+		t.Fatal("Len mismatch")
+	}
+}
+
+func TestAbortPaths(t *testing.T) {
+	r := NewRecorder()
+	r.TxBegin(1)
+	r.ReadAborted(1, 2)
+	r.TxBegin(1)
+	r.TxCommitReq(1)
+	r.Aborted(1)
+	h := r.History()
+	a, err := spec.CheckWellFormed(h)
+	if err != nil {
+		t.Fatalf("ill-formed: %v", err)
+	}
+	if len(a.Txns) != 2 {
+		t.Fatalf("want 2 txns, got %d", len(a.Txns))
+	}
+	for i, tx := range a.Txns {
+		if tx.Status != spec.TxnAborted {
+			t.Errorf("txn %d status %v", i, tx.Status)
+		}
+	}
+	if _, ok := r.WVer(0); ok {
+		t.Error("aborted transaction has a WVer")
+	}
+}
+
+func TestConcurrentEmissionsSafe(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for th := 1; th <= 8; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.TxBegin(th)
+				r.ReadOK(th, 0, 0)
+				r.TxCommitReq(th)
+				r.Committed(th, int64(th*1000+i))
+			}
+		}(th)
+	}
+	wg.Wait()
+	h := r.History()
+	if _, err := spec.CheckWellFormed(h); err != nil {
+		t.Fatalf("concurrent recording produced ill-formed history: %v", err)
+	}
+	// 6 actions per transaction: txbegin, ok, read, ret, txcommit,
+	// committed.
+	if len(h) != 8*100*6 {
+		t.Fatalf("len = %d", len(h))
+	}
+}
+
+func TestWVerIndexMatchesAnalysisOrder(t *testing.T) {
+	// Interleave begins so that txn ordinals are interesting: t1 begins
+	// first, t2 second; t2 commits first.
+	r := NewRecorder()
+	r.TxBegin(1) // txn 0
+	r.TxBegin(2) // txn 1
+	r.TxCommitReq(2)
+	r.Committed(2, 100)
+	r.TxCommitReq(1)
+	r.Committed(1, 200)
+	a, err := spec.CheckWellFormed(r.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Txns[0].Thread != 1 || a.Txns[1].Thread != 2 {
+		t.Fatal("analysis order unexpected")
+	}
+	if v, _ := r.WVer(0); v != 200 {
+		t.Errorf("WVer(0) = %d, want 200 (thread 1's txn)", v)
+	}
+	if v, _ := r.WVer(1); v != 100 {
+		t.Errorf("WVer(1) = %d, want 100 (thread 2's txn)", v)
+	}
+}

@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format writes the history in the line-oriented text format accepted
+// by Parse:
+//
+//	t1 txbegin
+//	t1 ok
+//	t1 write x0 5
+//	t1 ret
+//	t1 read x0
+//	t1 ret 5
+//	t1 txcommit
+//	t1 committed
+//	t2 fbegin
+//	t2 fend
+//
+// Lines starting with '#' and blank lines are comments.
+func Format(w io.Writer, h History) error {
+	for _, a := range h {
+		var line string
+		switch a.Kind {
+		case KindWrite:
+			line = fmt.Sprintf("t%d write x%d %d", a.Thread, a.Reg, a.Value)
+		case KindRead:
+			line = fmt.Sprintf("t%d read x%d", a.Thread, a.Reg)
+		case KindRet:
+			if a.Value != 0 {
+				line = fmt.Sprintf("t%d ret %d", a.Thread, a.Value)
+			} else {
+				line = fmt.Sprintf("t%d ret", a.Thread)
+			}
+		default:
+			line = fmt.Sprintf("t%d %s", a.Thread, a.Kind)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a history in the Format text format, assigning fresh
+// action identifiers in line order.
+func Parse(r io.Reader) (History, error) {
+	var h History
+	var id ActionID
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("spec: line %d: want 'tN kind ...'", lineNo)
+		}
+		if !strings.HasPrefix(fields[0], "t") {
+			return nil, fmt.Errorf("spec: line %d: bad thread %q", lineNo, fields[0])
+		}
+		tn, err := strconv.Atoi(fields[0][1:])
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: bad thread %q", lineNo, fields[0])
+		}
+		id++
+		a := Action{ID: id, Thread: ThreadID(tn)}
+		parseReg := func(s string) (Reg, error) {
+			if !strings.HasPrefix(s, "x") {
+				return 0, fmt.Errorf("spec: line %d: bad register %q", lineNo, s)
+			}
+			n, err := strconv.Atoi(s[1:])
+			return Reg(n), err
+		}
+		switch fields[1] {
+		case "txbegin":
+			a.Kind = KindTxBegin
+		case "ok":
+			a.Kind = KindOK
+		case "txcommit":
+			a.Kind = KindTxCommit
+		case "committed":
+			a.Kind = KindCommitted
+		case "aborted":
+			a.Kind = KindAborted
+		case "fbegin":
+			a.Kind = KindFBegin
+		case "fend":
+			a.Kind = KindFEnd
+		case "read":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("spec: line %d: read wants a register", lineNo)
+			}
+			a.Kind = KindRead
+			if a.Reg, err = parseReg(fields[2]); err != nil {
+				return nil, err
+			}
+		case "write":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("spec: line %d: write wants register and value", lineNo)
+			}
+			a.Kind = KindWrite
+			if a.Reg, err = parseReg(fields[2]); err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: bad value %q", lineNo, fields[3])
+			}
+			a.Value = Value(v)
+		case "ret":
+			a.Kind = KindRet
+			if len(fields) == 3 {
+				v, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("spec: line %d: bad value %q", lineNo, fields[2])
+				}
+				a.Value = Value(v)
+			}
+		default:
+			return nil, fmt.Errorf("spec: line %d: unknown kind %q", lineNo, fields[1])
+		}
+		h = append(h, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

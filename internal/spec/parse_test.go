@@ -1,0 +1,74 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.TxBeginOK(1).WriteRet(1, 0, 5).ReadRet(1, 0, 5).Commit(1)
+	b.Fence(2)
+	b.ReadRet(2, 0, 5)
+	b.TxBeginOK(3).Read(3, 1).Aborted(3)
+	h := b.History()
+
+	var buf bytes.Buffer
+	if err := Format(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v\ntext:\n%s", err, buf.String())
+	}
+	if len(h2) != len(h) {
+		t.Fatalf("round trip length %d vs %d", len(h2), len(h))
+	}
+	for i := range h {
+		a, b := h[i], h2[i]
+		if a.Thread != b.Thread || a.Kind != b.Kind || a.Reg != b.Reg || a.Value != b.Value {
+			t.Fatalf("action %d differs: %v vs %v", i, a, b)
+		}
+	}
+	if _, err := CheckWellFormed(h2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	in := `
+# a comment
+t1 write x0 3
+t1 ret
+
+t2 read x0
+t2 ret 3
+`
+	h, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 4 {
+		t.Fatalf("len = %d", len(h))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t1",
+		"x1 read x0",
+		"t1 read",
+		"t1 read y0",
+		"t1 write x0",
+		"t1 write x0 abc",
+		"t1 ret abc",
+		"t1 frobnicate",
+		"tq read x0",
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package stmds builds transactional data structures on top of the
+// core TM API, the way STAMP-style applications use an STM: registers
+// serve as words of a transactional heap, a bump allocator hands out
+// nodes, and every operation is one atomic block.
+//
+// Provided structures: a sorted linked-list set (the classic STM
+// microbenchmark) and a FIFO queue. Both work on any core.TM (TL2,
+// NOrec, global-lock) and are exercised by cross-implementation tests
+// and benchmarks.
+package stmds
+
+import (
+	"fmt"
+
+	"safepriv/internal/core"
+)
+
+// nilPtr is the null node pointer. Register index 0 is never allocated
+// to a node, so 0 can encode nil (it is also VInit, giving zeroed
+// next-pointers the right meaning).
+const nilPtr int64 = 0
+
+// Alloc is a transactional bump allocator over a TM's registers:
+// register `counter` holds the next free register index. Allocation is
+// transactional, so aborted transactions leak no memory — their
+// allocations are rolled back with everything else.
+type Alloc struct {
+	tm      core.TM
+	counter int
+	limit   int
+}
+
+// NewAlloc returns an allocator whose arena is [first, limit) and whose
+// bump counter lives in register `counter`. The caller must initialize
+// the counter register to `first` (non-transactionally, before use).
+func NewAlloc(tm core.TM, counter, first, limit int) *Alloc {
+	tm.Store(1, counter, int64(first))
+	return &Alloc{tm: tm, counter: counter, limit: limit}
+}
+
+// New allocates n consecutive registers inside tx and returns the index
+// of the first.
+func (a *Alloc) New(tx core.Txn, n int) (int64, error) {
+	next, err := tx.Read(a.counter)
+	if err != nil {
+		return 0, err
+	}
+	if int(next)+n > a.limit {
+		return 0, fmt.Errorf("stmds: arena exhausted (%d+%d > %d)", next, n, a.limit)
+	}
+	if err := tx.Write(a.counter, next+int64(n)); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Set is a sorted singly-linked-list set of int64 keys. The list head
+// pointer lives in register `head`; each node occupies two registers:
+// node+0 = key, node+1 = next.
+type Set struct {
+	tm    core.TM
+	head  int
+	alloc *Alloc
+}
+
+// NewSet returns a set with its head pointer in register head.
+func NewSet(tm core.TM, head int, alloc *Alloc) *Set {
+	return &Set{tm: tm, head: head, alloc: alloc}
+}
+
+// find positions the traversal at the first node with key >= k,
+// returning (prevPtrReg, nodePtr): prevPtrReg is the register holding
+// the pointer to node (the head register or a next field).
+func (s *Set) find(tx core.Txn, k int64) (int, int64, error) {
+	prevReg := s.head
+	cur, err := tx.Read(prevReg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for cur != nilPtr {
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return 0, 0, err
+		}
+		if key >= k {
+			break
+		}
+		prevReg = int(cur) + 1
+		if cur, err = tx.Read(prevReg); err != nil {
+			return 0, 0, err
+		}
+	}
+	return prevReg, cur, nil
+}
+
+// Contains reports membership, running its own transaction in thread
+// th.
+func (s *Set) Contains(th int, k int64) (bool, error) {
+	var found bool
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+		_, cur, err := s.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur != nilPtr {
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			found = key == k
+		} else {
+			found = false
+		}
+		return nil
+	})
+	return found, err
+}
+
+// Insert adds k, reporting whether it was absent.
+func (s *Set) Insert(th int, k int64) (bool, error) {
+	var added bool
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+		added = false
+		prevReg, cur, err := s.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur != nilPtr {
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			if key == k {
+				return nil // already present
+			}
+		}
+		node, err := s.alloc.New(tx, 2)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(int(node), k); err != nil {
+			return err
+		}
+		if err := tx.Write(int(node)+1, cur); err != nil {
+			return err
+		}
+		if err := tx.Write(prevReg, node); err != nil {
+			return err
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Remove deletes k, reporting whether it was present. Removed nodes are
+// unlinked but not recycled (the arena is append-only; STAMP-style
+// benchmarks size the arena for the run).
+func (s *Set) Remove(th int, k int64) (bool, error) {
+	var removed bool
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+		removed = false
+		prevReg, cur, err := s.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur == nilPtr {
+			return nil
+		}
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return err
+		}
+		if key != k {
+			return nil
+		}
+		next, err := tx.Read(int(cur) + 1)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(prevReg, next); err != nil {
+			return err
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Snapshot returns the keys in order, read in one transaction.
+func (s *Set) Snapshot(th int) ([]int64, error) {
+	var out []int64
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+		out = out[:0]
+		cur, err := tx.Read(s.head)
+		if err != nil {
+			return err
+		}
+		for cur != nilPtr {
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			out = append(out, key)
+			if cur, err = tx.Read(int(cur) + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Queue is a FIFO queue of int64 values: register head points at the
+// oldest node, tail at the newest; each node is (value, next).
+type Queue struct {
+	tm         core.TM
+	head, tail int
+	alloc      *Alloc
+}
+
+// NewQueue returns a queue with head/tail pointers in the given
+// registers.
+func NewQueue(tm core.TM, head, tail int, alloc *Alloc) *Queue {
+	return &Queue{tm: tm, head: head, tail: tail, alloc: alloc}
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(th int, v int64) error {
+	return core.Atomically(q.tm, th, func(tx core.Txn) error {
+		node, err := q.alloc.New(tx, 2)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(int(node), v); err != nil {
+			return err
+		}
+		if err := tx.Write(int(node)+1, nilPtr); err != nil {
+			return err
+		}
+		tailPtr, err := tx.Read(q.tail)
+		if err != nil {
+			return err
+		}
+		if tailPtr == nilPtr {
+			if err := tx.Write(q.head, node); err != nil {
+				return err
+			}
+		} else if err := tx.Write(int(tailPtr)+1, node); err != nil {
+			return err
+		}
+		return tx.Write(q.tail, node)
+	})
+}
+
+// Dequeue removes and returns the oldest value; ok=false on empty.
+func (q *Queue) Dequeue(th int) (int64, bool, error) {
+	var v int64
+	var ok bool
+	err := core.Atomically(q.tm, th, func(tx core.Txn) error {
+		ok = false
+		headPtr, err := tx.Read(q.head)
+		if err != nil {
+			return err
+		}
+		if headPtr == nilPtr {
+			return nil
+		}
+		if v, err = tx.Read(int(headPtr)); err != nil {
+			return err
+		}
+		next, err := tx.Read(int(headPtr) + 1)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(q.head, next); err != nil {
+			return err
+		}
+		if next == nilPtr {
+			if err := tx.Write(q.tail, nilPtr); err != nil {
+				return err
+			}
+		}
+		ok = true
+		return nil
+	})
+	return v, ok, err
+}

@@ -1,0 +1,301 @@
+package stmds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"safepriv/internal/baseline"
+	"safepriv/internal/core"
+	"safepriv/internal/norec"
+	"safepriv/internal/tl2"
+)
+
+// layout: reg 0 unused (nil), reg 1 = set head, reg 2 = queue head,
+// reg 3 = queue tail, reg 4 = alloc counter, arena from 8.
+const (
+	regHead    = 1
+	regQHead   = 2
+	regQTail   = 3
+	regCounter = 4
+	arenaFirst = 8
+)
+
+func tms(regs, threads int) map[string]core.TM {
+	return map[string]core.TM{
+		"tl2":      tl2.New(regs, threads),
+		"norec":    norec.New(regs, threads, nil),
+		"baseline": baseline.New(regs, threads, nil),
+	}
+}
+
+func TestSetSequential(t *testing.T) {
+	for name, tm := range tms(256, 2) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			s := NewSet(tm, regHead, alloc)
+			for _, k := range []int64{5, 3, 9, 3, 7} {
+				want := k != 3 || func() bool { // second 3 is duplicate
+					ok, _ := s.Contains(1, 3)
+					return !ok
+				}()
+				added, err := s.Insert(1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = want
+				_ = added
+			}
+			snap, err := s.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys := []int64{3, 5, 7, 9}
+			if len(snap) != len(wantKeys) {
+				t.Fatalf("snapshot %v", snap)
+			}
+			for i := range wantKeys {
+				if snap[i] != wantKeys[i] {
+					t.Fatalf("snapshot %v, want %v", snap, wantKeys)
+				}
+			}
+			if ok, _ := s.Contains(1, 7); !ok {
+				t.Fatal("7 missing")
+			}
+			if ok, _ := s.Contains(1, 8); ok {
+				t.Fatal("8 present")
+			}
+			if removed, _ := s.Remove(1, 5); !removed {
+				t.Fatal("remove 5 failed")
+			}
+			if removed, _ := s.Remove(1, 5); removed {
+				t.Fatal("double remove succeeded")
+			}
+			if ok, _ := s.Contains(1, 5); ok {
+				t.Fatal("5 still present")
+			}
+		})
+	}
+}
+
+func TestSetSortedInvariant(t *testing.T) {
+	// Property: after random operations, the snapshot is sorted and
+	// duplicate-free, and matches a reference map.
+	for name, tm := range tms(4096, 2) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			s := NewSet(tm, regHead, alloc)
+			ref := map[int64]bool{}
+			r := rand.New(rand.NewSource(7))
+			for i := 0; i < 500; i++ {
+				k := int64(r.Intn(60) + 1)
+				switch r.Intn(3) {
+				case 0, 1:
+					added, err := s.Insert(1, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if added == ref[k] {
+						t.Fatalf("Insert(%d) added=%v but ref has=%v", k, added, ref[k])
+					}
+					ref[k] = true
+				case 2:
+					removed, err := s.Remove(1, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if removed != ref[k] {
+						t.Fatalf("Remove(%d) removed=%v but ref has=%v", k, removed, ref[k])
+					}
+					delete(ref, k)
+				}
+			}
+			snap, err := s.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+				t.Fatalf("snapshot unsorted: %v", snap)
+			}
+			if len(snap) != len(ref) {
+				t.Fatalf("size %d vs ref %d", len(snap), len(ref))
+			}
+			for _, k := range snap {
+				if !ref[k] {
+					t.Fatalf("phantom key %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	for name, tm := range tms(1<<16, 9) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			s := NewSet(tm, regHead, alloc)
+			const threads = 8
+			var inserted [threads + 1]int64
+			var wg sync.WaitGroup
+			for th := 1; th <= threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(th)))
+					for i := 0; i < 150; i++ {
+						k := int64(r.Intn(400) + 1)
+						added, err := s.Insert(th, k)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if added {
+							inserted[th]++
+						}
+					}
+				}(th)
+			}
+			wg.Wait()
+			snap, err := s.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for _, n := range inserted {
+				total += n
+			}
+			if int64(len(snap)) != total {
+				t.Fatalf("set size %d, successful inserts %d", len(snap), total)
+			}
+			if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+				t.Fatal("snapshot unsorted after concurrency")
+			}
+			for i := 1; i < len(snap); i++ {
+				if snap[i] == snap[i-1] {
+					t.Fatalf("duplicate key %d", snap[i])
+				}
+			}
+		})
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	for name, tm := range tms(256, 2) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			q := NewQueue(tm, regQHead, regQTail, alloc)
+			if _, ok, _ := q.Dequeue(1); ok {
+				t.Fatal("empty dequeue succeeded")
+			}
+			for i := int64(1); i <= 10; i++ {
+				if err := q.Enqueue(1, i*11); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := int64(1); i <= 10; i++ {
+				v, ok, err := q.Dequeue(1)
+				if err != nil || !ok || v != i*11 {
+					t.Fatalf("dequeue %d: %d,%v,%v", i, v, ok, err)
+				}
+			}
+			if _, ok, _ := q.Dequeue(1); ok {
+				t.Fatal("drained queue non-empty")
+			}
+		})
+	}
+}
+
+func TestQueueMPMC(t *testing.T) {
+	for name, tm := range tms(1<<16, 9) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			q := NewQueue(tm, regQHead, regQTail, alloc)
+			const producers, consumers, per = 4, 4, 200
+			var wg sync.WaitGroup
+			var consumed sync.Map
+			var count int64
+			var mu sync.Mutex
+			for p := 1; p <= producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						v := int64(p*1_000_000 + i)
+						if err := q.Enqueue(p, v); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(p)
+			}
+			for c := 1; c <= consumers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					th := producers + c
+					for {
+						mu.Lock()
+						if count >= producers*per {
+							mu.Unlock()
+							return
+						}
+						mu.Unlock()
+						v, ok, err := q.Dequeue(th)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !ok {
+							continue
+						}
+						if _, dup := consumed.LoadOrStore(v, true); dup {
+							t.Errorf("value %d consumed twice", v)
+							return
+						}
+						mu.Lock()
+						count++
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			n := 0
+			consumed.Range(func(_, _ any) bool { n++; return true })
+			if n != producers*per {
+				t.Fatalf("consumed %d, want %d", n, producers*per)
+			}
+		})
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	tm := tl2.New(16, 2)
+	alloc := NewAlloc(tm, regCounter, arenaFirst, 12) // room for 2 nodes
+	s := NewSet(tm, regHead, alloc)
+	if _, err := s.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(1, 3); err == nil {
+		t.Fatal("arena exhaustion not reported")
+	}
+}
+
+func TestAbortedAllocationRollsBack(t *testing.T) {
+	// A transaction that allocates and then aborts must not consume
+	// arena space (the bump counter is transactional).
+	tm := tl2.New(64, 2)
+	alloc := NewAlloc(tm, regCounter, arenaFirst, 64)
+	before := tm.Load(1, regCounter)
+	tx := tm.Begin(1)
+	if _, err := alloc.New(tx, 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if got := tm.Load(1, regCounter); got != before {
+		t.Fatalf("aborted allocation leaked: counter %d → %d", before, got)
+	}
+}

@@ -1,0 +1,133 @@
+package tl2
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"safepriv/internal/core"
+	"safepriv/internal/opacity"
+	"safepriv/internal/record"
+)
+
+// runContended drives a read-modify-write workload with unique write
+// values on a recording TM and returns whether the recorded history
+// passes the strong-opacity checker.
+func runContended(t *testing.T, seed int64, opts ...Option) error {
+	t.Helper()
+	rec := record.NewRecorder()
+	tm := New(2, 5, append([]Option{WithSink(rec)}, opts...)...)
+	var vals uniqueVals
+	vals.n.Store(seed * 100000)
+	var wg sync.WaitGroup
+	for th := 1; th <= 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				err := core.Atomically(tm, th, func(tx core.Txn) error {
+					if _, err := tx.Read(0); err != nil {
+						return err
+					}
+					if _, err := tx.Read(1); err != nil {
+						return err
+					}
+					if err := tx.Write(0, vals.next()); err != nil {
+						return err
+					}
+					return tx.Write(1, vals.next())
+				})
+				if err != nil && !errors.Is(err, core.ErrAborted) {
+					t.Error(err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	_, err := opacity.Check(rec.History(), opacity.Options{WVer: rec.WVer})
+	return err
+}
+
+// TestFaultInjectionCheckerCatchesBugs is the negative test of the
+// strong-opacity checker: each injected TL2 bug must produce, within a
+// handful of contended runs, a recorded history the checker rejects —
+// while the correct TM passes every run. A checker that cannot
+// distinguish these tells us nothing about §7's claim.
+func TestFaultInjectionCheckerCatchesBugs(t *testing.T) {
+	bugs := map[string]Bug{
+		"skip-read-validation":   BugSkipReadValidation,
+		"skip-commit-validation": BugSkipCommitValidation,
+		"no-commit-locks":        BugNoCommitLocks,
+	}
+	const runs = 20
+	for name, bug := range bugs {
+		t.Run(name, func(t *testing.T) {
+			caught := 0
+			for seed := int64(0); seed < runs; seed++ {
+				if err := runContended(t, seed, WithBug(bug)); err != nil {
+					caught++
+				}
+			}
+			if caught == 0 {
+				t.Fatalf("checker never rejected a history of the %s TM in %d runs", name, runs)
+			}
+			t.Logf("%s: checker rejected %d/%d runs", name, caught, runs)
+		})
+	}
+	// Control: the correct TM passes every run.
+	for seed := int64(0); seed < runs; seed++ {
+		if err := runContended(t, seed); err != nil {
+			t.Fatalf("correct TM rejected at seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestBugSemanticsSmoke pins down what each bug does at the semantic
+// level with a deterministic two-transaction schedule.
+func TestBugSemanticsSmoke(t *testing.T) {
+	// skip-commit-validation: a doomed read-modify-write commits.
+	tm := New(1, 3, WithBug(BugSkipCommitValidation))
+	tx1 := tm.Begin(1)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := tm.Begin(2)
+	tx2.Write(0, 100)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx1.Write(0, 200)
+	if err := tx1.Commit(); err != nil {
+		t.Fatal("doomed transaction should commit under the injected bug:", err)
+	}
+
+	// Correct TM aborts the same schedule.
+	tm = New(1, 3)
+	tx1 = tm.Begin(1)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	tx2 = tm.Begin(2)
+	tx2.Write(0, 100)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx1.Write(0, 200)
+	if err := tx1.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("correct TM must abort, got %v", err)
+	}
+
+	// skip-read-validation: a read inside a snapshot-broken transaction
+	// succeeds instead of aborting.
+	tm = New(2, 3, WithBug(BugSkipReadValidation))
+	tx1 = tm.Begin(1)
+	tx2 = tm.Begin(2)
+	tx2.Write(0, 7)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx1.Read(0); err != nil || v != 7 {
+		t.Fatalf("buggy read should return the too-new value, got %d, %v", v, err)
+	}
+}

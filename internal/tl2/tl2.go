@@ -1,0 +1,302 @@
+// Package tl2 implements the TL2 software transactional memory of Dice,
+// Shalev and Shavit, exactly as presented in Figure 9 of "Safe
+// Privatization in Transactional Memory" (PPoPP 2018), extended with
+// the paper's transactional fences implemented over RCU-style grace
+// periods (Figure 7 lines 33–39).
+//
+// Per register x the TM keeps its value reg[x] and a versioned
+// write-lock combining ver[x] and lock[x] (package vlock); a global
+// version clock (package vclock) generates timestamps; per-thread
+// active flags (package rcu) implement fences.
+//
+//   - txbegin: active[t] := true; rver := clock            (lines 9–12)
+//   - read:    write-set hit, else versioned-lock validated
+//     optimistic read aborting on lock/version conflict    (lines 14–24)
+//   - write:   buffered in the write-set                   (lines 26–28)
+//   - txcommit: lock write-set (trylock, abort on failure);
+//     wver := clock++ + 1; validate read-set; write back
+//     reg, ver and unlock per register; committed          (lines 30–55)
+//   - abort/commit handlers clear active[t] after the
+//     response is recorded                                 (lines 57–63)
+//   - fence: two-pass wait on active flags                 (lines 30–37)
+//
+// Non-transactional accesses are uninstrumented: plain atomic loads and
+// stores of reg[x] that ignore locks and versions — the source of the
+// delayed-commit and doomed-transaction anomalies when programs are not
+// DRF, and safe exactly for the paper's DRF programs.
+package tl2
+
+import (
+	"fmt"
+
+	"safepriv/internal/core"
+	"safepriv/internal/rcu"
+	"safepriv/internal/record"
+	"safepriv/internal/vclock"
+	"safepriv/internal/vlock"
+	"sync/atomic"
+)
+
+// FencePolicy selects the fence implementation, for the paper's
+// experiments on fence placement and the GCC fence-elision bug.
+type FencePolicy int
+
+const (
+	// FenceWait is the correct fence of Figure 7: wait for all active
+	// transactions.
+	FenceWait FencePolicy = iota
+	// FenceNoOp makes Fence return immediately (and records nothing):
+	// the "TM used out-of-the-box" configuration that exhibits the
+	// delayed-commit and doomed-transaction problems (Figure 1).
+	FenceNoOp
+	// FenceSkipReadOnly reproduces the GCC libitm bug reported by Zhou,
+	// Zardoshti and Spear (ICPP 2017, [43] in the paper): the fence
+	// does not wait for transactions that have not written anything,
+	// which violates strong atomicity for doomed read-only transactions.
+	FenceSkipReadOnly
+)
+
+// Config collects TL2 construction options.
+type Config struct {
+	// Regs is the number of registers.
+	Regs int
+	// Threads is the number of thread ids (1-based ids 1..Threads).
+	Threads int
+	// Fence selects the fence implementation. Default FenceWait.
+	Fence FencePolicy
+	// Epochs selects the epoch-based grace period instead of the
+	// paper's flag-based one (ablation E14).
+	Epochs bool
+	// GV4 selects the pass-on-failure global clock (ablation).
+	GV4 bool
+	// ReadOnlyFastPath commits read-only transactions without ticking
+	// the clock or revalidating the read-set (classic TL2 optimization;
+	// Figure 9 as printed always ticks). Ablation only.
+	ReadOnlyFastPath bool
+	// SortedLocks acquires commit-time locks in ascending register
+	// order instead of write-set insertion order (Figure 9 iterates the
+	// write-set). With trylock-and-abort either is livelock-free, but
+	// canonical order reduces mutual aborts between transactions whose
+	// write sets overlap in opposite orders. Ablation.
+	SortedLocks bool
+	// DebugInvariants enables runtime assertion of the timestamp
+	// invariants of Figure 11 that are locally checkable (INV.7(a,b),
+	// per-register version monotonicity, lock ownership discipline).
+	// Violations panic.
+	DebugInvariants bool
+	// Sink, if non-nil, receives every TM interface action (package
+	// record) for offline strong-opacity checking.
+	Sink record.Sink
+	// Bug injects a deliberate correctness bug, for negative testing of
+	// the strong-opacity checker (the checker must reject histories the
+	// buggy TM produces under contention). Never use outside tests.
+	Bug Bug
+}
+
+// Bug selects an injected correctness bug.
+type Bug int
+
+const (
+	// BugNone is the correct algorithm.
+	BugNone Bug = iota
+	// BugSkipReadValidation makes reads return the current register
+	// value without the version/lock check of Figure 9 lines 17–22:
+	// transactions can observe inconsistent snapshots.
+	BugSkipReadValidation
+	// BugSkipCommitValidation skips the read-set revalidation of
+	// Figure 9 lines 41–50: doomed transactions commit (lost updates).
+	BugSkipCommitValidation
+	// BugNoCommitLocks writes back without acquiring register locks:
+	// concurrent commits interleave their write-backs.
+	BugNoCommitLocks
+)
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithFence sets the fence policy.
+func WithFence(p FencePolicy) Option { return func(c *Config) { c.Fence = p } }
+
+// WithEpochFence selects the epoch-based grace period.
+func WithEpochFence() Option { return func(c *Config) { c.Epochs = true } }
+
+// WithGV4 selects the GV4 clock.
+func WithGV4() Option { return func(c *Config) { c.GV4 = true } }
+
+// WithReadOnlyFastPath enables the read-only commit fast path.
+func WithReadOnlyFastPath() Option { return func(c *Config) { c.ReadOnlyFastPath = true } }
+
+// WithSortedLocks acquires commit locks in canonical register order.
+func WithSortedLocks() Option { return func(c *Config) { c.SortedLocks = true } }
+
+// WithDebugInvariants enables runtime invariant checking.
+func WithDebugInvariants() Option { return func(c *Config) { c.DebugInvariants = true } }
+
+// WithSink attaches a recording sink.
+func WithSink(s record.Sink) Option { return func(c *Config) { c.Sink = s } }
+
+// WithBug injects a correctness bug (tests only).
+func WithBug(b Bug) Option { return func(c *Config) { c.Bug = b } }
+
+// threadState is the per-thread metadata of Figure 9 (rset, wset, rver,
+// wver), reused across the thread's transactions.
+type threadState struct {
+	tx Txn
+	_  [64]byte // keep threads' states off each other's cache lines
+}
+
+// TM is a TL2 transactional memory. It implements core.TM.
+type TM struct {
+	cfg      Config
+	regs     []atomic.Int64
+	locks    []vlock.VLock
+	clock    vclock.Clock
+	q        rcu.Quiescer
+	hasWrite []writerFlag // per thread: current txn wrote something
+	threads  []threadState
+}
+
+// New constructs a TL2 TM with regs registers and thread ids
+// 1..threads.
+func New(regs, threads int, opts ...Option) *TM {
+	cfg := Config{Regs: regs, Threads: threads}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tm := &TM{
+		cfg:      cfg,
+		regs:     make([]atomic.Int64, regs),
+		locks:    make([]vlock.VLock, regs),
+		hasWrite: make([]writerFlag, threads+1),
+		threads:  make([]threadState, threads+1),
+	}
+	if cfg.GV4 {
+		tm.clock = vclock.NewGV4()
+	} else {
+		tm.clock = vclock.NewFAI()
+	}
+	if cfg.Epochs {
+		tm.q = rcu.NewEpochs(threads)
+	} else {
+		tm.q = rcu.NewFlags(threads)
+	}
+	for t := range tm.threads {
+		tx := &tm.threads[t].tx
+		tx.tm = tm
+		tx.thread = t
+	}
+	return tm
+}
+
+// NumRegs implements core.TM.
+func (tm *TM) NumRegs() int { return tm.cfg.Regs }
+
+// Load implements core.TM: an uninstrumented non-transactional read.
+func (tm *TM) Load(thread, x int) int64 {
+	if s := tm.cfg.Sink; s != nil {
+		return s.NonTxnRead(thread, x, func() int64 { return tm.regs[x].Load() })
+	}
+	return tm.regs[x].Load()
+}
+
+// Store implements core.TM: an uninstrumented non-transactional write.
+func (tm *TM) Store(thread, x int, v int64) {
+	if s := tm.cfg.Sink; s != nil {
+		s.NonTxnWrite(thread, x, v, func() { tm.regs[x].Store(v) })
+		return
+	}
+	tm.regs[x].Store(v)
+}
+
+// Fence implements core.TM per the configured policy.
+func (tm *TM) Fence(thread int) {
+	switch tm.cfg.Fence {
+	case FenceNoOp:
+		// Models the absence of a fence in the program: nothing waits,
+		// nothing is recorded.
+		return
+	case FenceSkipReadOnly:
+		if s := tm.cfg.Sink; s != nil {
+			s.FBegin(thread)
+		}
+		tm.waitWritersOnly()
+		if s := tm.cfg.Sink; s != nil {
+			s.FEnd(thread)
+		}
+	default:
+		if s := tm.cfg.Sink; s != nil {
+			s.FBegin(thread)
+		}
+		tm.q.Wait()
+		if s := tm.cfg.Sink; s != nil {
+			s.FEnd(thread)
+		}
+	}
+}
+
+// waitWritersOnly is the buggy fence: it snapshots only threads whose
+// current transaction has performed a write, and waits for those.
+// Doomed read-only transactions are not waited for.
+func (tm *TM) waitWritersOnly() {
+	n := tm.cfg.Threads
+	r := make([]bool, n+1)
+	for t := 1; t <= n; t++ {
+		r[t] = tm.q.Active(t) && tm.hasWrite[t].v.Load() == 1
+	}
+	for t := 1; t <= n; t++ {
+		if !r[t] {
+			continue
+		}
+		for tm.q.Active(t) {
+			// spin; rcu's Wait yields, do the same
+			spinYield()
+		}
+	}
+}
+
+// Begin implements core.TM (Figure 9 txbegin): set the active flag,
+// then sample the read timestamp.
+func (tm *TM) Begin(thread int) core.Txn {
+	tx := &tm.threads[thread].tx
+	if tx.live {
+		panic(fmt.Sprintf("tl2: thread %d began a transaction inside a transaction", thread))
+	}
+	tx.reset()
+	tm.q.Enter(thread)
+	if s := tm.cfg.Sink; s != nil {
+		s.TxBegin(thread)
+	}
+	tx.rver = tm.clock.Load()
+	tx.live = true
+	if tm.cfg.DebugInvariants && tx.rver > tm.clock.Load() {
+		panic("tl2: INV.7(b) violated: rver > clock")
+	}
+	return tx
+}
+
+// BeginTL2 is Begin returning the concrete type (avoids the interface
+// allocation in benchmarks).
+func (tm *TM) BeginTL2(thread int) *Txn {
+	return tm.Begin(thread).(*Txn)
+}
+
+// writerFlag is a per-thread "current transaction has written" flag on
+// its own cache line; it is read by the FenceSkipReadOnly fence. The
+// set/clear methods avoid redundant stores so read-only transactions
+// never write the flag after reset.
+type writerFlag struct {
+	v atomic.Uint32
+	_ [60]byte
+}
+
+func (f *writerFlag) set() {
+	if f.v.Load() == 0 {
+		f.v.Store(1)
+	}
+}
+
+func (f *writerFlag) clear() {
+	if f.v.Load() != 0 {
+		f.v.Store(0)
+	}
+}

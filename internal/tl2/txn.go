@@ -1,0 +1,309 @@
+package tl2
+
+import (
+	"runtime"
+	"sort"
+
+	"safepriv/internal/core"
+	"safepriv/internal/vlock"
+)
+
+// spinYield backs off a spin loop.
+func spinYield() { runtime.Gosched() }
+
+// wentry is one write-set entry.
+type wentry struct {
+	x int
+	v int64
+}
+
+// Txn is a TL2 transaction (the per-transaction metadata of Figure 9:
+// rset, wset, rver, wver). It is reused across a thread's transactions;
+// the sets are insertion-ordered slices — write and read sets are small
+// in practice, so linear scans beat maps and avoid per-transaction
+// allocation entirely after warm-up.
+type Txn struct {
+	tm     *TM
+	thread int
+	live   bool
+
+	rver int64
+	wver int64
+
+	// Write-set (Figure 9's Map<Register,Value> wset), insertion order.
+	wset []wentry
+	// widx indexes wset by register once the write-set grows past
+	// smallSet (long transactions would otherwise pay O(n²) lookups).
+	widx map[int]int
+	// Read-set: registers read non-locally (Figure 9's rset). It may
+	// contain duplicates — revalidating a register twice is harmless
+	// and appending beats any dedup structure on real workloads.
+	rset []int
+	// oldVers[i] is the pre-lock version of wset[i] during commit.
+	oldVers []int64
+}
+
+// smallSet is the size up to which read/write sets use plain linear
+// scans; beyond it a map index is built. Typical transactions stay
+// small (zero allocation); list traversals and other long transactions
+// stay O(n).
+const smallSet = 32
+
+// wsetLookup returns the buffered value for x.
+func (tx *Txn) wsetLookup(x int) (int64, bool) {
+	if tx.widx != nil {
+		if i, ok := tx.widx[x]; ok {
+			return tx.wset[i].v, true
+		}
+		return 0, false
+	}
+	for i := range tx.wset {
+		if tx.wset[i].x == x {
+			return tx.wset[i].v, true
+		}
+	}
+	return 0, false
+}
+
+// wsetPut inserts or updates the buffered value for x.
+func (tx *Txn) wsetPut(x int, v int64) {
+	if tx.widx != nil {
+		if i, ok := tx.widx[x]; ok {
+			tx.wset[i].v = v
+			return
+		}
+		tx.wset = append(tx.wset, wentry{x, v})
+		tx.widx[x] = len(tx.wset) - 1
+		return
+	}
+	for i := range tx.wset {
+		if tx.wset[i].x == x {
+			tx.wset[i].v = v
+			return
+		}
+	}
+	tx.wset = append(tx.wset, wentry{x, v})
+	if len(tx.wset) > smallSet {
+		tx.widx = make(map[int]int, 2*len(tx.wset))
+		for i := range tx.wset {
+			tx.widx[tx.wset[i].x] = i
+		}
+	}
+}
+
+// rsetAdd records a non-local read of x.
+func (tx *Txn) rsetAdd(x int) {
+	tx.rset = append(tx.rset, x)
+}
+
+// reset clears the transaction for reuse.
+func (tx *Txn) reset() {
+	tx.rver, tx.wver = 0, 0
+	tx.wset = tx.wset[:0]
+	tx.rset = tx.rset[:0]
+	tx.oldVers = tx.oldVers[:0]
+	tx.widx = nil
+	tx.tm.hasWrite[tx.thread].clear()
+}
+
+// finish ends the transaction: clear the active flag after the
+// response has been recorded (the abort/commit handlers of Figure 9
+// lines 57–63).
+func (tx *Txn) finish() {
+	tx.live = false
+	tx.tm.hasWrite[tx.thread].clear()
+	tx.tm.q.Exit(tx.thread)
+}
+
+// Read implements core.Txn (Figure 9 lines 14–24).
+func (tx *Txn) Read(x int) (int64, error) {
+	tm := tx.tm
+	if !tx.live {
+		panic("tl2: Read on finished transaction")
+	}
+	if v, ok := tx.wsetLookup(x); ok {
+		// Write-set hit: a local read.
+		if s := tm.cfg.Sink; s != nil {
+			s.ReadOK(tx.thread, x, v)
+		}
+		return v, nil
+	}
+	w1 := tm.locks[x].Raw()
+	v := tm.regs[x].Load()
+	w2 := tm.locks[x].Raw()
+	ts, locked := vlock.RawVersion(w2)
+	if tm.cfg.Bug == BugSkipReadValidation {
+		locked, w1, ts = false, w2, 0 // injected bug: accept anything
+	}
+	if locked || w1 != w2 || tx.rver < ts {
+		if s := tm.cfg.Sink; s != nil {
+			s.ReadAborted(tx.thread, x)
+		}
+		tx.finish()
+		return 0, core.ErrAborted
+	}
+	tx.rsetAdd(x)
+	if s := tm.cfg.Sink; s != nil {
+		s.ReadOK(tx.thread, x, v)
+	}
+	return v, nil
+}
+
+// Write implements core.Txn (Figure 9 lines 26–28): writes are buffered
+// and never abort.
+func (tx *Txn) Write(x int, v int64) error {
+	if !tx.live {
+		panic("tl2: Write on finished transaction")
+	}
+	tx.wsetPut(x, v)
+	tx.tm.hasWrite[tx.thread].set()
+	if s := tx.tm.cfg.Sink; s != nil {
+		s.Write(tx.thread, x, v)
+	}
+	return nil
+}
+
+// Commit implements core.Txn (Figure 9 txcommit, lines 30–55).
+func (tx *Txn) Commit() error {
+	tm := tx.tm
+	if !tx.live {
+		panic("tl2: Commit on finished transaction")
+	}
+	if s := tm.cfg.Sink; s != nil {
+		s.TxCommitReq(tx.thread)
+	}
+	if tm.cfg.ReadOnlyFastPath && len(tx.wset) == 0 {
+		// Classic TL2: a read-only transaction's reads were all
+		// validated against rver; commit without clock traffic.
+		if s := tm.cfg.Sink; s != nil {
+			s.Committed(tx.thread, 0)
+		}
+		tx.finish()
+		return nil
+	}
+
+	if tm.cfg.Bug == BugNoCommitLocks {
+		// Injected bug: unguarded write-back; version bumps are dropped
+		// too, so readers cannot even detect the interleaving.
+		tx.wver = tm.clock.Tick()
+		for i := range tx.wset {
+			tm.regs[tx.wset[i].x].Store(tx.wset[i].v)
+		}
+		if s := tm.cfg.Sink; s != nil {
+			s.Committed(tx.thread, tx.wver)
+		}
+		tx.finish()
+		return nil
+	}
+
+	if tm.cfg.SortedLocks {
+		sort.Slice(tx.wset, func(i, j int) bool { return tx.wset[i].x < tx.wset[j].x })
+		tx.widx = nil // insertion-order index invalidated
+	}
+
+	// Acquire write locks (lines 31–39). Record prior versions for the
+	// abort path.
+	for i := range tx.wset {
+		old, ok := tm.locks[tx.wset[i].x].TryLockVersioned(tx.thread)
+		if !ok {
+			for j := 0; j < i; j++ {
+				tm.locks[tx.wset[j].x].AbortUnlock(tx.oldVers[j])
+			}
+			return tx.abortCommit()
+		}
+		tx.oldVers = append(tx.oldVers, old)
+	}
+
+	// Generate the write timestamp (line 40).
+	tx.wver = tm.clock.Tick()
+	if tm.cfg.DebugInvariants {
+		if tx.wver <= tx.rver {
+			panic("tl2: INV.7(a) violated: wver <= rver")
+		}
+	}
+
+	// Validate the read-set (lines 41–50): abort if a read register is
+	// locked by another transaction or its version exceeds rver. The
+	// paper keeps ver[x] readable while lock[x] is held; our combined
+	// lock word hides it, so for registers the transaction itself has
+	// locked we validate the version captured at lock time.
+	if tm.cfg.Bug == BugSkipCommitValidation {
+		tx.rset = tx.rset[:0] // injected bug: nothing to validate
+	}
+	for _, x := range tx.rset {
+		ts, locked, owner := tm.locks[x].Sample()
+		if locked && owner == tx.thread {
+			locked = false
+			ts = 0
+			if tx.widx != nil {
+				if j, ok := tx.widx[x]; ok {
+					ts = tx.oldVers[j]
+				}
+			} else {
+				for j := range tx.wset {
+					if tx.wset[j].x == x {
+						ts = tx.oldVers[j]
+						break
+					}
+				}
+			}
+		}
+		if locked || tx.rver < ts {
+			for j := range tx.wset {
+				tm.locks[tx.wset[j].x].AbortUnlock(tx.oldVers[j])
+			}
+			return tx.abortCommit()
+		}
+	}
+
+	// Write back and release (lines 51–54): reg[x] := v; ver[x] :=
+	// wver; unlock — the last two are one store of the combined word.
+	for i := range tx.wset {
+		x, v := tx.wset[i].x, tx.wset[i].v
+		if tm.cfg.DebugInvariants {
+			if _, locked, owner := tm.locks[x].Sample(); !locked || owner != tx.thread {
+				panic("tl2: write-back without holding the lock")
+			}
+			if tx.oldVers[i] >= tx.wver {
+				panic("tl2: register version not monotonic")
+			}
+		}
+		tm.regs[x].Store(v)
+		tm.locks[x].Unlock(tx.wver)
+	}
+
+	if s := tm.cfg.Sink; s != nil {
+		s.Committed(tx.thread, tx.wver)
+	}
+	tx.finish()
+	return nil
+}
+
+// abortCommit finishes an abort decided during txcommit.
+func (tx *Txn) abortCommit() error {
+	if s := tx.tm.cfg.Sink; s != nil {
+		s.Aborted(tx.thread)
+	}
+	tx.finish()
+	return core.ErrAborted
+}
+
+// Abort implements core.Txn: a voluntary abort, modeled as an aborting
+// commit (the paper's language has no explicit abort; see core.Txn).
+func (tx *Txn) Abort() {
+	if !tx.live {
+		panic("tl2: Abort on finished transaction")
+	}
+	if s := tx.tm.cfg.Sink; s != nil {
+		s.TxCommitReq(tx.thread)
+		s.Aborted(tx.thread)
+	}
+	tx.finish()
+}
+
+// RVer returns the transaction's read timestamp (for tests and
+// invariant checks).
+func (tx *Txn) RVer() int64 { return tx.rver }
+
+// WVer returns the transaction's write timestamp, 0 before commit.
+func (tx *Txn) WVer() int64 { return tx.wver }

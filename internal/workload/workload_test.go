@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"safepriv/internal/baseline"
+	"safepriv/internal/core"
+	"safepriv/internal/norec"
+	"safepriv/internal/tl2"
+)
+
+func tms(regs, threads int) map[string]core.TM {
+	return map[string]core.TM{
+		"tl2":      tl2.New(regs, threads),
+		"norec":    norec.New(regs, threads, nil),
+		"baseline": baseline.New(regs, threads, nil),
+	}
+}
+
+func TestBankPreservesTotal(t *testing.T) {
+	for name, tm := range tms(8, 5) {
+		t.Run(name, func(t *testing.T) {
+			for x := 0; x < tm.NumRegs(); x++ {
+				tm.Store(1, x, 50)
+			}
+			want := Total(tm)
+			st, err := Bank(tm, 4, 200, FenceNone, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Total(tm); got != want {
+				t.Fatalf("total = %d, want %d", got, want)
+			}
+			if st.Commits != 4*200 {
+				t.Fatalf("commits = %d", st.Commits)
+			}
+		})
+	}
+}
+
+func TestCounterExact(t *testing.T) {
+	for name, tm := range tms(1, 5) {
+		t.Run(name, func(t *testing.T) {
+			st, err := Counter(tm, 4, 100, FenceAfterEveryTxn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tm.Load(1, 0); got != 400 {
+				t.Fatalf("counter = %d", got)
+			}
+			if st.Fences != 400 {
+				t.Fatalf("fences = %d", st.Fences)
+			}
+		})
+	}
+}
+
+func TestReadMostlyCompletes(t *testing.T) {
+	tm := tl2.New(32, 5)
+	st, err := ReadMostly(tm, 4, 300, 4, 90, FenceNone, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 4*300 {
+		t.Fatalf("commits = %d", st.Commits)
+	}
+}
+
+func TestPipelineRuns(t *testing.T) {
+	for _, mode := range []FenceMode{FenceSelective, FenceAfterEveryTxn} {
+		tm := tl2.New(9, 6)
+		st, err := Pipeline(tm, 4, 100, 5, mode, 3)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if st.Commits == 0 {
+			t.Fatalf("mode %v: no commits", mode)
+		}
+		if st.Fences == 0 {
+			t.Fatalf("mode %v: no fences", mode)
+		}
+	}
+}
+
+func TestPipelineNeedsRegisters(t *testing.T) {
+	tm := tl2.New(1, 3)
+	if _, err := Pipeline(tm, 1, 1, 1, FenceSelective, 0); err == nil {
+		t.Fatal("pipeline with one register accepted")
+	}
+}
+
+func TestFenceModeString(t *testing.T) {
+	if FenceNone.String() != "none" || FenceAfterEveryTxn.String() != "conservative" || FenceSelective.String() != "selective" {
+		t.Fatal("FenceMode names wrong")
+	}
+}

@@ -1,0 +1,234 @@
+// Package wtstm is a write-through software TM: encounter-time write
+// locking with in-place updates and an undo log, in the style of
+// TinySTM/McRT-STM's write-through mode. It exists to reproduce the
+// second half of the paper's §1 observation:
+//
+//	"TMs that make transactional updates in-place and undo them on
+//	 abort are subject to a similar [delayed-commit] problem."
+//
+// For a write-back TM (TL2) the privatization hazard is a *delayed
+// commit* overwriting the owner's private write; for a write-through TM
+// it is a *delayed abort*: a doomed transaction's rollback restores the
+// pre-transaction value on top of the owner's uninstrumented write
+// (TestDelayedAbortAnomaly demonstrates it; the transactional fence —
+// which waits until aborting transactions finish their rollback —
+// excludes it).
+//
+// The algorithm: writes lock the register (abort on conflict), log the
+// old value and version, and store in place; reads validate against the
+// transaction's read timestamp like TL2; commit ticks the global clock,
+// revalidates the read-set, installs the new version per written
+// register and unlocks; abort rolls the undo log back in reverse and
+// restores the old versions before clearing the active flag.
+package wtstm
+
+import (
+	"fmt"
+
+	"safepriv/internal/core"
+	"safepriv/internal/rcu"
+	"safepriv/internal/vclock"
+	"safepriv/internal/vlock"
+	"sync/atomic"
+)
+
+// TM is a write-through TM implementing core.TM.
+type TM struct {
+	regs    []atomic.Int64
+	locks   []vlock.VLock
+	clock   vclock.Clock
+	q       rcu.Quiescer
+	threads []slot
+	// UnsafeFence makes Fence a no-op, to exhibit the delayed-abort
+	// anomaly in tests.
+	UnsafeFence bool
+}
+
+type slot struct {
+	tx Txn
+	_  [64]byte
+}
+
+// New returns a write-through TM with regs registers and thread ids
+// 1..threads.
+func New(regs, threads int) *TM {
+	tm := &TM{
+		regs:    make([]atomic.Int64, regs),
+		locks:   make([]vlock.VLock, regs),
+		clock:   vclock.NewFAI(),
+		q:       rcu.NewFlags(threads),
+		threads: make([]slot, threads+1),
+	}
+	for t := range tm.threads {
+		tm.threads[t].tx.tm = tm
+		tm.threads[t].tx.thread = t
+	}
+	return tm
+}
+
+// NumRegs implements core.TM.
+func (tm *TM) NumRegs() int { return len(tm.regs) }
+
+// Load implements core.TM (uninstrumented).
+func (tm *TM) Load(thread, x int) int64 { return tm.regs[x].Load() }
+
+// Store implements core.TM (uninstrumented).
+func (tm *TM) Store(thread, x int, v int64) { tm.regs[x].Store(v) }
+
+// Fence implements core.TM: wait for all active transactions, including
+// aborting ones mid-rollback.
+func (tm *TM) Fence(thread int) {
+	if tm.UnsafeFence {
+		return
+	}
+	tm.q.Wait()
+}
+
+// Begin implements core.TM.
+func (tm *TM) Begin(thread int) core.Txn {
+	tx := &tm.threads[thread].tx
+	if tx.live {
+		panic(fmt.Sprintf("wtstm: thread %d began a transaction inside a transaction", thread))
+	}
+	tx.reset()
+	tm.q.Enter(thread)
+	tx.rver = tm.clock.Load()
+	tx.live = true
+	return tx
+}
+
+// undoEntry records a register's pre-transaction state.
+type undoEntry struct {
+	x   int
+	v   int64 // value before the transaction's first write
+	ver int64 // version before locking
+}
+
+// Txn is a write-through transaction.
+type Txn struct {
+	tm     *TM
+	thread int
+	live   bool
+	rver   int64
+	wver   int64
+	undo   []undoEntry
+	rset   []int
+}
+
+func (tx *Txn) reset() {
+	tx.rver, tx.wver = 0, 0
+	tx.undo = tx.undo[:0]
+	tx.rset = tx.rset[:0]
+}
+
+func (tx *Txn) finish() {
+	tx.live = false
+	tx.tm.q.Exit(tx.thread)
+}
+
+// owns reports whether the transaction already holds x's lock.
+func (tx *Txn) owns(x int) bool {
+	for i := range tx.undo {
+		if tx.undo[i].x == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements core.Txn.
+func (tx *Txn) Read(x int) (int64, error) {
+	tm := tx.tm
+	if !tx.live {
+		panic("wtstm: Read on finished transaction")
+	}
+	if tx.owns(x) {
+		// We hold the lock; the in-place value is our own.
+		return tm.regs[x].Load(), nil
+	}
+	w1 := tm.locks[x].Raw()
+	v := tm.regs[x].Load()
+	w2 := tm.locks[x].Raw()
+	ts, locked := vlock.RawVersion(w2)
+	if locked || w1 != w2 || tx.rver < ts {
+		tx.rollback()
+		return 0, core.ErrAborted
+	}
+	tx.rset = append(tx.rset, x)
+	return v, nil
+}
+
+// Write implements core.Txn: encounter-time lock, log, store in place.
+func (tx *Txn) Write(x int, v int64) error {
+	tm := tx.tm
+	if !tx.live {
+		panic("wtstm: Write on finished transaction")
+	}
+	if !tx.owns(x) {
+		old, ok := tm.locks[x].TryLockVersioned(tx.thread)
+		if !ok {
+			tx.rollback()
+			return core.ErrAborted
+		}
+		if tx.rver < old {
+			// The register moved past our snapshot before we locked it.
+			tm.locks[x].AbortUnlock(old)
+			tx.rollback()
+			return core.ErrAborted
+		}
+		tx.undo = append(tx.undo, undoEntry{x: x, v: tm.regs[x].Load(), ver: old})
+	}
+	tm.regs[x].Store(v)
+	return nil
+}
+
+// Commit implements core.Txn.
+func (tx *Txn) Commit() error {
+	tm := tx.tm
+	if !tx.live {
+		panic("wtstm: Commit on finished transaction")
+	}
+	if len(tx.undo) == 0 && len(tx.rset) == 0 {
+		tx.finish()
+		return nil
+	}
+	tx.wver = tm.clock.Tick()
+	for _, x := range tx.rset {
+		ts, locked, owner := tm.locks[x].Sample()
+		if locked && owner == tx.thread {
+			continue // validated at lock time in Write
+		}
+		if locked || tx.rver < ts {
+			tx.rollback()
+			return core.ErrAborted
+		}
+	}
+	// Install versions and release locks; values are already in place.
+	for i := range tx.undo {
+		tm.locks[tx.undo[i].x].Unlock(tx.wver)
+	}
+	tx.finish()
+	return nil
+}
+
+// rollback undoes in-place writes in reverse order, restores versions,
+// releases locks, and only then clears the active flag — the ordering
+// the fence relies on.
+func (tx *Txn) rollback() {
+	tm := tx.tm
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		tm.regs[e.x].Store(e.v)
+		tm.locks[e.x].AbortUnlock(e.ver)
+	}
+	tx.undo = tx.undo[:0]
+	tx.finish()
+}
+
+// Abort implements core.Txn.
+func (tx *Txn) Abort() {
+	if !tx.live {
+		panic("wtstm: Abort on finished transaction")
+	}
+	tx.rollback()
+}
