@@ -7,19 +7,18 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"safepriv/internal/baseline"
 	"safepriv/internal/core"
+	"safepriv/internal/engine"
 	"safepriv/internal/hb"
 	"safepriv/internal/litmus"
 	"safepriv/internal/mgc"
 	"safepriv/internal/model"
-	"safepriv/internal/norec"
+	"safepriv/internal/oaset"
 	"safepriv/internal/opacity"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 	"safepriv/internal/spec"
 	"safepriv/internal/stmds"
-	"safepriv/internal/tl2"
 	"safepriv/internal/vclock"
 	"safepriv/internal/workload"
 )
@@ -27,10 +26,10 @@ import (
 // --- TL2 primitive costs ---
 
 func BenchmarkTL2ReadOnlyTxn(b *testing.B) {
-	tm := tl2.New(64, 2, tl2.WithReadOnlyFastPath())
+	tm := engine.MustNewSpec("tl2+rofast", 64, 2, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tx := tm.BeginTL2(1)
+		tx := tm.Begin(1)
 		for x := 0; x < 4; x++ {
 			if _, err := tx.Read(x); err != nil {
 				b.Fatal(err)
@@ -43,10 +42,10 @@ func BenchmarkTL2ReadOnlyTxn(b *testing.B) {
 }
 
 func BenchmarkTL2WriteTxn(b *testing.B) {
-	tm := tl2.New(64, 2)
+	tm := engine.MustNewSpec("tl2", 64, 2, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tx := tm.BeginTL2(1)
+		tx := tm.Begin(1)
 		if err := tx.Write(i%64, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +56,7 @@ func BenchmarkTL2WriteTxn(b *testing.B) {
 }
 
 func BenchmarkTL2NonTxnLoad(b *testing.B) {
-	tm := tl2.New(64, 2)
+	tm := engine.MustNewSpec("tl2", 64, 2, nil)
 	var sink int64
 	for i := 0; i < b.N; i++ {
 		sink += tm.Load(1, i%64)
@@ -66,7 +65,7 @@ func BenchmarkTL2NonTxnLoad(b *testing.B) {
 }
 
 func BenchmarkGlobalLockTxn(b *testing.B) {
-	tm := baseline.New(64, 2, nil)
+	tm := engine.MustNewSpec("baseline", 64, 2, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tx := tm.Begin(1)
@@ -79,20 +78,70 @@ func BenchmarkGlobalLockTxn(b *testing.B) {
 	}
 }
 
-// --- E9: fence overhead per workload and placement ---
+// --- Write-set indexing: the seed's per-transaction map vs the
+// open-addressing index (internal/oaset). The map version allocates a
+// fresh map per transaction (Go maps cannot be reset in O(1)); the
+// index resets by generation and allocates only until its table has
+// grown to the working-set size. ---
 
-func benchWorkload(b *testing.B, mode workload.FenceMode, run func(tm core.TM, mode workload.FenceMode) error, regs int) {
-	threads := runtime.GOMAXPROCS(0)
-	if threads > 8 {
-		threads = 8
+func BenchmarkWriteSetIndex(b *testing.B) {
+	for _, size := range []int{64, 256} {
+		b.Run(fmt.Sprintf("map/%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The seed implementation: build a map index once the
+				// write-set crosses the small-set threshold.
+				m := make(map[int]int, 2*size)
+				for k := 0; k < size; k++ {
+					m[k] = k
+				}
+				for k := 0; k < size; k++ {
+					if _, ok := m[k]; !ok {
+						b.Fatal("lost key")
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("oaset/%d", size), func(b *testing.B) {
+			var ix oaset.Index
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Reset()
+				for k := 0; k < size; k++ {
+					ix.Put(k, k)
+				}
+				for k := 0; k < size; k++ {
+					if _, ok := ix.Get(k); !ok {
+						b.Fatal("lost key")
+					}
+				}
+			}
+		})
 	}
+}
+
+// BenchmarkTL2LargeWriteTxn measures the TM-level effect: a 128-write
+// transaction crosses the small-set threshold, so the seed allocated a
+// map in every such transaction; the open-addressing index is reused
+// and steady-state allocs/op is 0.
+func BenchmarkTL2LargeWriteTxn(b *testing.B) {
+	tm := engine.MustNewSpec("tl2", 256, 2, nil)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tm := tl2.New(regs, threads+2)
-		if err := run(tm, mode); err != nil {
+		tx := tm.Begin(1)
+		for x := 0; x < 128; x++ {
+			if err := tx.Write(x, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// --- E9: fence overhead per workload and placement ---
 
 func BenchmarkE9Fence(b *testing.B) {
 	threads := runtime.GOMAXPROCS(0)
@@ -102,30 +151,27 @@ func BenchmarkE9Fence(b *testing.B) {
 	const ops = 3000
 	wls := []struct {
 		name string
-		run  func(tm core.TM, mode workload.FenceMode) error
 		regs int
 	}{
-		{"shorttxn", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.PerThread(tm, threads, ops, m)
-			return err
-		}, 64},
-		{"bank", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.Bank(tm, threads, ops, m, 1)
-			return err
-		}, 64},
-		{"readmostly", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.ReadMostly(tm, threads, ops, 4, 90, m, 1)
-			return err
-		}, 256},
-		{"pipeline", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.Pipeline(tm, threads-1, ops, 10, m, 1)
-			return err
-		}, 65},
+		{"shorttxn", 64},
+		{"bank", 64},
+		{"readmostly", 256},
+		{"pipeline", 65},
 	}
 	for _, w := range wls {
+		run, ok := workload.ByName(w.name)
+		if !ok {
+			b.Fatalf("unknown workload %q", w.name)
+		}
 		for _, mode := range []workload.FenceMode{workload.FenceNone, workload.FenceAfterEveryTxn} {
 			b.Run(fmt.Sprintf("%s/%s", w.name, mode), func(b *testing.B) {
-				benchWorkload(b, mode, w.run, w.regs)
+				for i := 0; i < b.N; i++ {
+					tm := engine.MustNewSpec("tl2", w.regs, threads+2, nil)
+					// Rounds 10 matches the seed benchmark's pipeline shape.
+					if _, err := run(tm, workload.Params{Threads: threads, Ops: ops, Mode: mode, Seed: 1, Rounds: 10}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}
@@ -141,27 +187,22 @@ func BenchmarkE13Scalability(b *testing.B) {
 	const totalOps = 64_000
 	for th := 1; th <= maxT; th *= 2 {
 		ops := totalOps / th
-		b.Run(fmt.Sprintf("tl2/threads-%d", th), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				tm := tl2.New(256, th+1, tl2.WithReadOnlyFastPath())
-				if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, 1); err != nil {
-					b.Fatal(err)
+		for _, spec := range []string{"tl2+rofast", "atomic", "baseline"} {
+			b.Run(fmt.Sprintf("%s/threads-%d", spec, th), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tm := engine.MustNewSpec(spec, 256, th+1, nil)
+					if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, 1); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
-		b.Run(fmt.Sprintf("globallock/threads-%d", th), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				tm := baseline.New(256, th+1, nil)
-				if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, 1); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
 // --- E13b ablation: Figure 9 verbatim (clock tick on read-only commit)
-// vs the classic read-only fast path ---
+// vs the classic read-only fast path, plus the GV4 clock — all selected
+// through the registry ---
 
 func BenchmarkE13bClockAblation(b *testing.B) {
 	threads := runtime.GOMAXPROCS(0)
@@ -169,18 +210,31 @@ func BenchmarkE13bClockAblation(b *testing.B) {
 		threads = 8
 	}
 	const ops = 8000
-	for _, v := range []struct {
-		name string
-		opts []tl2.Option
-	}{
-		{"fig9-verbatim", nil},
-		{"ro-fastpath", []tl2.Option{tl2.WithReadOnlyFastPath()}},
-		{"gv4-clock", []tl2.Option{tl2.WithGV4()}},
-	} {
-		b.Run(v.name, func(b *testing.B) {
+	for _, spec := range []string{"tl2", "tl2+rofast", "tl2+gv4"} {
+		b.Run(spec, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tm := tl2.New(256, threads+1, v.opts...)
+				tm := engine.MustNewSpec(spec, 256, threads+1, nil)
 				if _, err := workload.ReadMostly(tm, threads, ops, 4, 90, workload.FenceNone, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClockContended compares the FAI and GV4 clocks where they
+// differ: writer commits hammering the shared clock word (the counter
+// workload is all writers).
+func BenchmarkClockContended(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	for _, spec := range []string{"tl2", "tl2+gv4"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tm := engine.MustNewSpec(spec, 1, threads+1, nil)
+				if _, err := workload.Counter(tm, threads, 500, workload.FenceNone); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -210,15 +264,9 @@ func BenchmarkE14FenceQuiet(b *testing.B) {
 func BenchmarkE14FenceUnderLoad(b *testing.B) {
 	// Fences racing short transactions: measures grace-period latency
 	// with genuinely active transactions.
-	for _, v := range []struct {
-		name string
-		opts []tl2.Option
-	}{
-		{"flags", nil},
-		{"epochs", []tl2.Option{tl2.WithEpochFence()}},
-	} {
-		b.Run(v.name, func(b *testing.B) {
-			tm := tl2.New(8, 6, v.opts...)
+	for _, spec := range []string{"tl2", "tl2+epochs"} {
+		b.Run(spec, func(b *testing.B) {
+			tm := engine.MustNewSpec(spec, 8, 6, nil)
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
 			for th := 2; th <= 5; th++ {
@@ -253,7 +301,7 @@ func BenchmarkE14FenceUnderLoad(b *testing.B) {
 	}
 }
 
-// --- Global clock ablation ---
+// --- Global clock ablation (raw clock word) ---
 
 func BenchmarkClockTick(b *testing.B) {
 	for _, c := range []struct {
@@ -314,15 +362,15 @@ func BenchmarkE6OpacityCheck(b *testing.B) {
 func BenchmarkRecordingOverhead(b *testing.B) {
 	for _, v := range []struct {
 		name string
-		mk   func() *tl2.TM
+		mk   func() core.TM
 	}{
-		{"bare", func() *tl2.TM { return tl2.New(8, 2) }},
-		{"recorded", func() *tl2.TM { return tl2.New(8, 2, tl2.WithSink(record.NewRecorder())) }},
+		{"bare", func() core.TM { return engine.MustNewSpec("tl2", 8, 2, nil) }},
+		{"recorded", func() core.TM { return engine.MustNewSpec("tl2", 8, 2, record.NewRecorder()) }},
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			tm := v.mk()
 			for i := 0; i < b.N; i++ {
-				tx := tm.BeginTL2(1)
+				tx := tm.Begin(1)
 				tx.Write(i%8, int64(i+1))
 				if err := tx.Commit(); err != nil {
 					b.Fatal(err)
@@ -335,14 +383,9 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 // --- Transactional data structures (STAMP-style usage) ---
 
 func BenchmarkStmSetInsert(b *testing.B) {
-	impls := map[string]func() core.TM{
-		"tl2":        func() core.TM { return tl2.New(1<<20, 10) },
-		"norec":      func() core.TM { return norec.New(1<<20, 10, nil) },
-		"globallock": func() core.TM { return baseline.New(1<<20, 10, nil) },
-	}
-	for name, mk := range impls {
-		b.Run(name, func(b *testing.B) {
-			tm := mk()
+	for _, spec := range []string{"tl2", "norec", "baseline"} {
+		b.Run(spec, func(b *testing.B) {
+			tm := engine.MustNewSpec(spec, 1<<20, 10, nil)
 			alloc := stmds.NewAlloc(tm, 4, 8, tm.NumRegs())
 			set := stmds.NewSet(tm, 1, alloc)
 			b.ResetTimer()
@@ -356,13 +399,9 @@ func BenchmarkStmSetInsert(b *testing.B) {
 }
 
 func BenchmarkStmSetContainsParallel(b *testing.B) {
-	impls := map[string]func() core.TM{
-		"tl2":   func() core.TM { return tl2.New(1<<18, 33, tl2.WithReadOnlyFastPath()) },
-		"norec": func() core.TM { return norec.New(1<<18, 33, nil) },
-	}
-	for name, mk := range impls {
-		b.Run(name, func(b *testing.B) {
-			tm := mk()
+	for _, spec := range []string{"tl2+rofast", "norec"} {
+		b.Run(spec, func(b *testing.B) {
+			tm := engine.MustNewSpec(spec, 1<<18, 33, nil)
 			alloc := stmds.NewAlloc(tm, 4, 8, tm.NumRegs())
 			set := stmds.NewSet(tm, 1, alloc)
 			for k := int64(1); k <= 256; k++ {
@@ -393,16 +432,10 @@ func BenchmarkLockOrder(b *testing.B) {
 	if threads > 8 {
 		threads = 8
 	}
-	for _, v := range []struct {
-		name string
-		opts []tl2.Option
-	}{
-		{"insertion-order", nil},
-		{"sorted", []tl2.Option{tl2.WithSortedLocks()}},
-	} {
-		b.Run(v.name, func(b *testing.B) {
+	for _, spec := range []string{"tl2", "tl2+sorted"} {
+		b.Run(spec, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tm := tl2.New(16, threads+1, v.opts...)
+				tm := engine.MustNewSpec(spec, 16, threads+1, nil)
 				if _, err := workload.Bank(tm, threads, 2000, workload.FenceNone, 1); err != nil {
 					b.Fatal(err)
 				}

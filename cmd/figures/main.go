@@ -22,17 +22,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"safepriv/internal/baseline"
 	"safepriv/internal/core"
+	"safepriv/internal/engine"
 	"safepriv/internal/litmus"
 	"safepriv/internal/mgc"
 	"safepriv/internal/model"
-	"safepriv/internal/norec"
 	"safepriv/internal/opacity"
 	"safepriv/internal/rcu"
-	"safepriv/internal/tl2"
 	"safepriv/internal/workload"
-	"safepriv/internal/wtstm"
 )
 
 func main() {
@@ -240,42 +237,32 @@ func fenceOverheadTable(seed int64) {
 	fmt.Printf("%-12s %-14s %-14s %-10s\n", "workload", "none", "conservative", "overhead")
 	type wl struct {
 		name string
-		run  func(tm core.TM, mode workload.FenceMode) error
+		ops  int
 		regs int
 	}
 	wls := []wl{
-		{"shorttxn", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.PerThread(tm, threads, ops, m)
-			return err
-		}, 64},
-		{"counter", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.Counter(tm, threads, ops/4, m)
-			return err
-		}, 1},
-		{"bank", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.Bank(tm, threads, ops, m, seed)
-			return err
-		}, 64},
-		{"readmostly", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.ReadMostly(tm, threads, ops, 4, 90, m, seed)
-			return err
-		}, 256},
-		{"pipeline", func(tm core.TM, m workload.FenceMode) error {
-			_, err := workload.Pipeline(tm, threads-1, ops, 20, m, seed)
-			return err
-		}, 65},
+		{"shorttxn", ops, 64},
+		{"counter", ops / 4, 1},
+		{"bank", ops, 64},
+		{"readmostly", ops, 256},
+		{"pipeline", ops, 65},
 	}
 	for _, w := range wls {
+		run, ok := workload.ByName(w.name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", w.name)
+			return
+		}
 		var times [2]time.Duration
 		for i, mode := range []workload.FenceMode{workload.FenceNone, workload.FenceAfterEveryTxn} {
-			tm := tl2.New(w.regs, threads+2)
+			tm := engine.MustNewSpec("tl2", w.regs, threads+2, nil)
 			if w.name == "bank" {
 				for x := 0; x < w.regs; x++ {
 					tm.Store(1, x, 100)
 				}
 			}
 			start := time.Now()
-			if err := w.run(tm, mode); err != nil {
+			if _, err := run(tm, workload.Params{Threads: threads, Ops: w.ops, Mode: mode, Seed: seed}); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return
 			}
@@ -295,27 +282,29 @@ func scalabilityTable(seed int64) {
 		maxT = 16
 	}
 	const totalOps = 1_600_000 // fixed total work, divided among threads
+	specs := []string{"tl2+rofast", "norec", "atomic", "baseline"}
 	fmt.Printf("read-mostly throughput (ops/µs-scaled), %d total ops, 90%% read-only scans\n", totalOps)
-	fmt.Printf("%-8s %-12s %-12s %-12s\n", "threads", "TL2", "NOrec", "global-lock")
+	fmt.Printf("%-8s", "threads")
+	for _, s := range specs {
+		fmt.Printf(" %-12s", s)
+	}
+	fmt.Println()
 	for th := 1; th <= maxT; th *= 2 {
 		ops := totalOps / th
-		var rates [3]float64
-		for i, mk := range []func() core.TM{
-			func() core.TM { return tl2.New(256, th+1, tl2.WithReadOnlyFastPath()) },
-			func() core.TM { return norec.New(256, th+1, nil) },
-			func() core.TM { return baseline.New(256, th+1, nil) },
-		} {
-			tm := mk()
+		fmt.Printf("%-8d", th)
+		for _, spec := range specs {
+			tm := engine.MustNewSpec(spec, 256, th+1, nil)
 			start := time.Now()
 			if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, seed); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return
 			}
-			rates[i] = float64(totalOps) / float64(time.Since(start).Microseconds())
+			fmt.Printf(" %-12.2f", float64(totalOps)/float64(time.Since(start).Microseconds()))
 		}
-		fmt.Printf("%-8d %-12.2f %-12.2f %-12.2f\n", th, rates[0], rates[1], rates[2])
+		fmt.Println()
 	}
-	fmt.Println("expected shape: TL2 and NOrec scale with threads on read-mostly; global lock is flat")
+	fmt.Println("expected shape: TL2, NOrec and the striped 2PL runtime scale with threads")
+	fmt.Println("on read-mostly; the global lock is flat")
 	fmt.Println("(TL2 uses the classic read-only commit fast path; Figure 9 as printed")
 	fmt.Println(" ticks the global clock on every commit and does not scale — see E13b)")
 }
@@ -335,11 +324,8 @@ func clockAblationTable(seed int64) {
 	for th := 1; th <= maxT; th *= 2 {
 		ops := totalOps / th
 		var rates [2]float64
-		for i, mk := range []func() core.TM{
-			func() core.TM { return tl2.New(256, th+1) },
-			func() core.TM { return tl2.New(256, th+1, tl2.WithReadOnlyFastPath()) },
-		} {
-			tm := mk()
+		for i, spec := range []string{"tl2", "tl2+rofast"} {
+			tm := engine.MustNewSpec(spec, 256, th+1, nil)
 			start := time.Now()
 			if _, err := workload.ReadMostly(tm, th, ops, 4, 90, workload.FenceNone, seed); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -378,7 +364,7 @@ func norecTable() {
 	const iters = 2000
 	violations := 0
 	for i := 0; i < iters; i++ {
-		tm := norec.New(2, 3, nil)
+		tm := engine.MustNewSpec("norec", 2, 3, nil)
 		var committed atomic.Bool
 		var wg sync.WaitGroup
 		wg.Add(2)
@@ -419,8 +405,11 @@ func wtstmTable() {
 	fmt.Println("write-through (undo-log) TM: the in-place variant of the privatization hazard")
 	const flag, x = 0, 1
 	demo := func(unsafe bool) int64 {
-		tm := wtstm.New(2, 3)
-		tm.UnsafeFence = unsafe
+		spec := "wtstm"
+		if unsafe {
+			spec = "wtstm+nofence"
+		}
+		tm := engine.MustNewSpec(spec, 2, 3, nil)
 		t2 := tm.Begin(2)
 		t2.Write(x, 42) // in place, lock held
 		core.Atomically(tm, 1, func(tx core.Txn) error { return tx.Write(flag, 1) })

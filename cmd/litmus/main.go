@@ -1,12 +1,17 @@
 // Command litmus model-checks one of the paper's litmus programs under
 // a chosen TM model and fence policy and prints the distinct final
-// outcomes.
+// outcomes. With -exec it instead runs the Figure 1(a) privatization
+// idiom concurrently on a *runtime* TM selected by engine
+// specification, connecting the model-checked verdicts to observed
+// behaviour of the real implementations.
 //
 // Usage:
 //
 //	litmus -prog fig1a -fence wait          # Figure 1(a) with fence
 //	litmus -prog fig1a-nofence -model tl2   # exhibit delayed commit
 //	litmus -prog fig1b -fence skipro        # the GCC fence bug
+//	litmus -exec tl2+nofence -runs 5000     # delayed commit, live
+//	litmus -exec norec -runs 5000           # fence-free safe on NOrec
 package main
 
 import (
@@ -14,16 +19,82 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"safepriv/internal/core"
+	"safepriv/internal/engine"
 	"safepriv/internal/litmus"
 	"safepriv/internal/model"
 )
+
+// execFig1a runs the Figure 1(a) privatization idiom (with the fence
+// the spec's fence policy provides) on the runtime TM named by spec and
+// counts postcondition violations (l=committed ⇒ x=1).
+func execFig1a(spec string, runs int) error {
+	const flagReg, x = 0, 1
+	violations := 0
+	for i := 0; i < runs; i++ {
+		tm, err := engine.NewSpec(spec, 2, 3, nil)
+		if err != nil {
+			return err
+		}
+		var committed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := core.Atomically(tm, 1, func(tx core.Txn) error {
+				return tx.Write(flagReg, 1)
+			}); err == nil {
+				committed.Store(true)
+				tm.Fence(1) // a no-op under +nofence specs
+				tm.Store(1, x, 1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			core.Atomically(tm, 2, func(tx core.Txn) error {
+				f, err := tx.Read(flagReg)
+				if err != nil {
+					return err
+				}
+				if f == 0 {
+					return tx.Write(x, 42)
+				}
+				return nil
+			})
+		}()
+		wg.Wait()
+		if committed.Load() && tm.Load(1, x) != 1 {
+			violations++
+		}
+	}
+	fmt.Printf("fig1a on %s, %d runs: %d postcondition violations\n", spec, runs, violations)
+	return nil
+}
 
 func main() {
 	prog := flag.String("prog", "fig1a", "program: fig1a, fig1a-nofence, fig1b, fig1b-nofence, fig2, fig3, fig6")
 	mk := flag.String("model", "tl2", "TM model: tl2 or atomic")
 	fence := flag.String("fence", "wait", "fence policy (tl2 model): wait, skipro, noop")
+	exec := flag.String("exec", "", "run fig1a on a runtime TM by engine spec instead of model checking (or 'list')")
+	runs := flag.Int("runs", 2000, "iterations for -exec")
 	flag.Parse()
+
+	if *exec != "" {
+		if *exec == "list" {
+			for _, s := range engine.Specs() {
+				fmt.Println(s)
+			}
+			return
+		}
+		if err := execFig1a(*exec, *runs); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	progs := map[string]model.Program{
 		"fig1a":         litmus.Fig1a(true),

@@ -1,11 +1,17 @@
 // Command stress runs the most-general-client workload (§7's proof
-// device as a tester) on the real concurrent TL2 runtime and verifies
+// device as a tester) on a real concurrent TM runtime and verifies
 // every recorded history's strong-opacity obligations. Nonzero exit
 // means a violation was found.
 //
+// The TM under test is selected by an engine specification (see
+// internal/engine): any registered TM × clock × fence × quiescer
+// configuration, e.g. -tm tl2, -tm tl2+gv4+epochs, -tm norec,
+// -tm atomic.
+//
 // Usage:
 //
-//	stress -iters 20 -threads 4 -regs 4 -txns 50
+//	stress -iters 20 -threads 4 -regs 4 -txns 50 -tm tl2+gv4
+//	stress -tm list          # print the registered configurations
 package main
 
 import (
@@ -13,11 +19,9 @@ import (
 	"fmt"
 	"os"
 
-	"safepriv/internal/core"
+	"safepriv/internal/engine"
 	"safepriv/internal/mgc"
-	"safepriv/internal/norec"
 	"safepriv/internal/record"
-	"safepriv/internal/tl2"
 )
 
 func main() {
@@ -28,25 +32,19 @@ func main() {
 	ops := flag.Int("ops", 3, "max operations per transaction")
 	rounds := flag.Int("rounds", 6, "privatize/publish rounds")
 	seed := flag.Int64("seed", 1, "base seed")
-	variant := flag.String("variant", "default", "TM under test: default, gv4, epochs, rofast (TL2 variants) or norec")
+	tmSpec := flag.String("tm", "tl2", "TM under test: an engine spec (or 'list' to print them)")
 	flag.Parse()
 
-	var opts []tl2.Option
-	var mk func(sink record.Sink, regs, threads int) core.TM
-	switch *variant {
-	case "default":
-	case "gv4":
-		opts = append(opts, tl2.WithGV4())
-	case "epochs":
-		opts = append(opts, tl2.WithEpochFence())
-	case "rofast":
-		opts = append(opts, tl2.WithReadOnlyFastPath())
-	case "norec":
-		mk = func(sink record.Sink, regs, threads int) core.TM {
-			return norec.New(regs, threads, sink)
+	if *tmSpec == "list" {
+		for _, s := range engine.Specs() {
+			fmt.Println(s)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		return
+	}
+	// Validate the spec upfront, including sink support (the harness
+	// records histories), so a bad -tm is a usage error, not N FAILs.
+	if _, err := engine.NewSpec(*tmSpec, 1, 1, record.NewRecorder()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -59,8 +57,7 @@ func main() {
 			OpsPerTxn:     *ops,
 			Rounds:        *rounds,
 			Seed:          *seed + int64(i),
-			TL2Options:    opts,
-			MakeTM:        mk,
+			TM:            *tmSpec,
 		})
 		if err != nil {
 			failures++

@@ -7,7 +7,8 @@
 // interleaving model checker for the paper's litmus programs, and the
 // benchmark harnesses regenerating every experiment.
 //
-// See README.md for the layout and DESIGN.md / EXPERIMENTS.md for the
-// experiment index. The benchmarks in bench_test.go regenerate the
+// See README.md for the package layout, the engine registry's
+// configuration names, and how to run the examples, litmus tests, and
+// benchmarks. The benchmarks in bench_test.go regenerate the
 // quantitative experiments (E9, E13, E14 and the checker/model costs).
 package safepriv

@@ -1,0 +1,3 @@
+module safepriv
+
+go 1.24

@@ -1,0 +1,327 @@
+// Package engine is the unified construction layer for every TM in the
+// repository: a registry keyed by specification strings so harnesses
+// (cmd/stress, cmd/figures, cmd/litmus, internal/workload,
+// bench_test.go) select any TM × clock × fence × quiescer configuration
+// by name instead of calling bespoke constructors. Adding a TM or a
+// configuration axis is an edit here, not a cross-cutting change to
+// every harness.
+//
+// A specification is a base TM name followed by '+'-separated
+// modifiers:
+//
+//	baseline              global-lock TM (trivially strongly atomic)
+//	atomic                striped 2PL strongly-atomic runtime
+//	norec                 NOrec (value validation, no ownership records)
+//	wtstm                 write-through undo-log TM
+//	tl2                   TL2 (the paper's case-study TM)
+//
+//	modifiers (availability depends on the TM):
+//	gv4        GV4 pass-on-failure global clock  (tl2, wtstm)
+//	fai        fetch-and-increment clock — the default, for explicitness
+//	epochs     epoch-based grace period          (tl2, norec, wtstm)
+//	flags      flag-based grace period — the default
+//	rofast     read-only commit fast path        (tl2)
+//	sorted     commit locks in register order    (tl2)
+//	nofence    Fence is a no-op — unsafe, for anomaly reproduction
+//	skipro     fence skips read-only txns (GCC libitm bug) (tl2)
+//
+// Examples: "tl2+gv4+epochs+rofast", "wtstm+nofence", "norec".
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safepriv/internal/atomictm"
+	"safepriv/internal/baseline"
+	"safepriv/internal/core"
+	"safepriv/internal/norec"
+	"safepriv/internal/record"
+	"safepriv/internal/tl2"
+	"safepriv/internal/wtstm"
+)
+
+// Config is a fully explicit TM configuration: the parsed form of a
+// specification string plus the sizing and instrumentation parameters
+// that harnesses supply per run.
+type Config struct {
+	// TM is the base TM name: "baseline", "atomic", "norec", "wtstm",
+	// or "tl2".
+	TM string
+	// Regs is the number of registers.
+	Regs int
+	// Threads is the number of thread ids (1-based ids 1..Threads).
+	Threads int
+	// Clock selects the global version clock: "" or "fai" (default),
+	// or "gv4". Only tl2 and wtstm have a clock.
+	Clock string
+	// Fence selects the fence behaviour: "" or "wait" (default),
+	// "noop", or "skipro" (tl2 only).
+	Fence string
+	// Quiescer selects the grace-period implementation backing the
+	// fence: "" or "flags" (default), or "epochs".
+	Quiescer string
+	// ReadOnlyFastPath enables TL2's read-only commit fast path.
+	ReadOnlyFastPath bool
+	// SortedLocks acquires TL2 commit locks in register order.
+	SortedLocks bool
+	// Stripes sets the version-lock table size for the striped TMs
+	// (tl2, wtstm, atomic); 0 selects the stripe-package default.
+	Stripes int
+	// Sink, if non-nil, receives every TM interface action for offline
+	// checking (TMs without sink support reject a non-nil Sink).
+	Sink record.Sink
+}
+
+// Spec returns the canonical specification string for the configuration
+// (Parse(cfg.Spec()) round-trips the named fields).
+func (c Config) Spec() string {
+	var mods []string
+	if c.Clock == "gv4" {
+		mods = append(mods, "gv4")
+	}
+	if c.Quiescer == "epochs" {
+		mods = append(mods, "epochs")
+	}
+	if c.ReadOnlyFastPath {
+		mods = append(mods, "rofast")
+	}
+	if c.SortedLocks {
+		mods = append(mods, "sorted")
+	}
+	switch c.Fence {
+	case "noop":
+		mods = append(mods, "nofence")
+	case "skipro":
+		mods = append(mods, "skipro")
+	}
+	if len(mods) == 0 {
+		return c.TM
+	}
+	return c.TM + "+" + strings.Join(mods, "+")
+}
+
+// Parse decodes a specification string into a Config with zero sizing
+// (callers fill in Regs/Threads/Stripes/Sink).
+func Parse(spec string) (Config, error) {
+	parts := strings.Split(spec, "+")
+	cfg := Config{TM: strings.TrimSpace(parts[0])}
+	switch cfg.TM {
+	case "baseline", "atomic", "norec", "wtstm", "tl2":
+	case "":
+		return Config{}, fmt.Errorf("engine: empty TM spec")
+	default:
+		return Config{}, fmt.Errorf("engine: unknown TM %q (want baseline, atomic, norec, wtstm, or tl2)", cfg.TM)
+	}
+	for _, m := range parts[1:] {
+		switch strings.TrimSpace(m) {
+		case "gv4":
+			cfg.Clock = "gv4"
+		case "fai":
+			cfg.Clock = "fai"
+		case "epochs":
+			cfg.Quiescer = "epochs"
+		case "flags":
+			cfg.Quiescer = "flags"
+		case "rofast":
+			cfg.ReadOnlyFastPath = true
+		case "sorted":
+			cfg.SortedLocks = true
+		case "nofence":
+			cfg.Fence = "noop"
+		case "wait":
+			cfg.Fence = "wait"
+		case "skipro":
+			cfg.Fence = "skipro"
+		case "":
+			return Config{}, fmt.Errorf("engine: empty modifier in spec %q", spec)
+		default:
+			return Config{}, fmt.Errorf("engine: unknown modifier %q in spec %q", m, spec)
+		}
+	}
+	return cfg, nil
+}
+
+// normalize fills defaults and validates the modifier/TM combination.
+func (c *Config) normalize() error {
+	if c.Regs < 0 || c.Threads <= 0 {
+		return fmt.Errorf("engine: bad sizing regs=%d threads=%d", c.Regs, c.Threads)
+	}
+	if c.Clock == "" {
+		c.Clock = "fai"
+	}
+	if c.Fence == "" {
+		c.Fence = "wait"
+	}
+	if c.Quiescer == "" {
+		c.Quiescer = "flags"
+	}
+	type axis struct{ name, val, dflt string }
+	reject := func(ax ...axis) error {
+		for _, a := range ax {
+			if a.val != a.dflt {
+				return fmt.Errorf("engine: TM %q does not support %s=%q", c.TM, a.name, a.val)
+			}
+		}
+		return nil
+	}
+	switch c.TM {
+	case "baseline":
+		if c.ReadOnlyFastPath || c.SortedLocks || c.Stripes != 0 {
+			return fmt.Errorf("engine: TM %q supports no modifiers", c.TM)
+		}
+		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"}, axis{"quiescer", c.Quiescer, "flags"})
+	case "atomic":
+		if c.ReadOnlyFastPath || c.SortedLocks {
+			return fmt.Errorf("engine: TM %q supports only the stripes modifier", c.TM)
+		}
+		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"}, axis{"quiescer", c.Quiescer, "flags"})
+	case "norec":
+		if c.ReadOnlyFastPath || c.SortedLocks || c.Stripes != 0 {
+			return fmt.Errorf("engine: TM %q has no lock table", c.TM)
+		}
+		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"})
+	case "wtstm":
+		if c.ReadOnlyFastPath || c.SortedLocks {
+			return fmt.Errorf("engine: TM %q does not support rofast/sorted", c.TM)
+		}
+		if c.Fence == "skipro" {
+			return fmt.Errorf("engine: TM %q does not support fence=skipro", c.TM)
+		}
+		if c.Sink != nil {
+			return fmt.Errorf("engine: TM %q does not support a recording sink", c.TM)
+		}
+		return nil
+	case "tl2":
+		return nil
+	}
+	return fmt.Errorf("engine: unknown TM %q", c.TM)
+}
+
+// New constructs the TM described by cfg.
+func New(cfg Config) (core.TM, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	switch cfg.TM {
+	case "baseline":
+		return baseline.New(cfg.Regs, cfg.Threads, cfg.Sink), nil
+	case "atomic":
+		var opts []atomictm.Option
+		if cfg.Stripes != 0 {
+			opts = append(opts, atomictm.WithStripes(cfg.Stripes))
+		}
+		if cfg.Sink != nil {
+			opts = append(opts, atomictm.WithSink(cfg.Sink))
+		}
+		return atomictm.New(cfg.Regs, cfg.Threads, opts...), nil
+	case "norec":
+		var opts []norec.Option
+		if cfg.Quiescer == "epochs" {
+			opts = append(opts, norec.WithEpochFence())
+		}
+		return norec.New(cfg.Regs, cfg.Threads, cfg.Sink, opts...), nil
+	case "wtstm":
+		var opts []wtstm.Option
+		if cfg.Clock == "gv4" {
+			opts = append(opts, wtstm.WithGV4())
+		}
+		if cfg.Quiescer == "epochs" {
+			opts = append(opts, wtstm.WithEpochFence())
+		}
+		if cfg.Fence == "noop" {
+			opts = append(opts, wtstm.WithUnsafeFence())
+		}
+		if cfg.Stripes != 0 {
+			opts = append(opts, wtstm.WithStripes(cfg.Stripes))
+		}
+		return wtstm.New(cfg.Regs, cfg.Threads, opts...), nil
+	case "tl2":
+		var opts []tl2.Option
+		if cfg.Clock == "gv4" {
+			opts = append(opts, tl2.WithGV4())
+		}
+		if cfg.Quiescer == "epochs" {
+			opts = append(opts, tl2.WithEpochFence())
+		}
+		switch cfg.Fence {
+		case "noop":
+			opts = append(opts, tl2.WithFence(tl2.FenceNoOp))
+		case "skipro":
+			opts = append(opts, tl2.WithFence(tl2.FenceSkipReadOnly))
+		}
+		if cfg.ReadOnlyFastPath {
+			opts = append(opts, tl2.WithReadOnlyFastPath())
+		}
+		if cfg.SortedLocks {
+			opts = append(opts, tl2.WithSortedLocks())
+		}
+		if cfg.Stripes != 0 {
+			opts = append(opts, tl2.WithStripes(cfg.Stripes))
+		}
+		if cfg.Sink != nil {
+			opts = append(opts, tl2.WithSink(cfg.Sink))
+		}
+		return tl2.New(cfg.Regs, cfg.Threads, opts...), nil
+	}
+	return nil, fmt.Errorf("engine: unknown TM %q", cfg.TM)
+}
+
+// MustNew is New, panicking on error — for harnesses whose
+// configurations are static.
+func MustNew(cfg Config) core.TM {
+	tm, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// NewSpec parses spec, applies sizing, and constructs the TM.
+func NewSpec(spec string, regs, threads int, sink record.Sink) (core.TM, error) {
+	cfg, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Regs, cfg.Threads, cfg.Sink = regs, threads, sink
+	return New(cfg)
+}
+
+// MustNewSpec is NewSpec, panicking on error.
+func MustNewSpec(spec string, regs, threads int, sink record.Sink) core.TM {
+	tm, err := NewSpec(spec, regs, threads, sink)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Specs returns the canonical registered configurations: every base TM
+// plus the named variants the experiment harnesses use. Each returned
+// spec parses and constructs (the engine round-trip test holds this).
+func Specs() []string {
+	s := []string{
+		"baseline",
+		"atomic",
+		"norec",
+		"norec+epochs",
+		"wtstm",
+		"wtstm+gv4",
+		"wtstm+epochs",
+		"wtstm+nofence",
+		"tl2",
+		"tl2+gv4",
+		"tl2+epochs",
+		"tl2+rofast",
+		"tl2+sorted",
+		"tl2+gv4+epochs+rofast",
+		"tl2+nofence",
+		"tl2+skipro",
+	}
+	sort.Strings(s)
+	return s
+}
+
+// TMs returns the base TM names.
+func TMs() []string { return []string{"atomic", "baseline", "norec", "tl2", "wtstm"} }

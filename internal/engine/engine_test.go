@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"safepriv/internal/core"
+	"safepriv/internal/record"
+	"safepriv/internal/workload"
+)
+
+// smoke exercises one constructed TM end to end: a read-modify-write
+// transaction, a fence, and a non-transactional store/load.
+func smoke(t *testing.T, spec string, tm core.TM) {
+	t.Helper()
+	if tm.NumRegs() != 4 {
+		t.Fatalf("%s: NumRegs = %d, want 4", spec, tm.NumRegs())
+	}
+	if err := core.Atomically(tm, 1, func(tx core.Txn) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(0, v+41)
+	}); err != nil {
+		t.Fatalf("%s: transaction failed: %v", spec, err)
+	}
+	tm.Fence(1)
+	if got := tm.Load(1, 0); got != 41 {
+		t.Fatalf("%s: reg 0 = %d after transactional +41, want 41", spec, got)
+	}
+	tm.Store(1, 1, 7)
+	if got := tm.Load(1, 1); got != 7 {
+		t.Fatalf("%s: non-transactional store/load got %d, want 7", spec, got)
+	}
+}
+
+// TestSpecsRoundTrip: every registered configuration parses, reprints
+// to itself, constructs a working TM, and passes the smoke transaction
+// + fence + non-transactional access.
+func TestSpecsRoundTrip(t *testing.T) {
+	for _, spec := range Specs() {
+		t.Run(spec, func(t *testing.T) {
+			cfg, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", spec, err)
+			}
+			if got := cfg.Spec(); got != spec {
+				t.Fatalf("Parse(%q).Spec() = %q, want round-trip", spec, got)
+			}
+			cfg.Regs, cfg.Threads = 4, 3
+			tm, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New(%q): %v", spec, err)
+			}
+			smoke(t, spec, tm)
+		})
+	}
+}
+
+// TestNewSpecWithSink: sink-capable TMs accept a recorder; the recorded
+// history is non-empty after the smoke run.
+func TestNewSpecWithSink(t *testing.T) {
+	for _, spec := range []string{"baseline", "atomic", "norec", "tl2", "tl2+gv4+epochs+rofast"} {
+		rec := record.NewRecorder()
+		tm, err := NewSpec(spec, 4, 3, rec)
+		if err != nil {
+			t.Fatalf("NewSpec(%q): %v", spec, err)
+		}
+		smoke(t, spec, tm)
+		if rec.Len() == 0 {
+			t.Fatalf("%s: recorder saw no actions", spec)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "tl3", "tl2+warp", "norec+gv4", "baseline+rofast", "wtstm+skipro", "atomic+sorted", "tl2++gv4",
+	} {
+		cfg, err := Parse(spec)
+		if err == nil {
+			// Some invalid combinations parse but fail construction.
+			cfg.Regs, cfg.Threads = 2, 2
+			if _, err = New(cfg); err == nil {
+				t.Fatalf("spec %q: expected an error", spec)
+			}
+		}
+		if !strings.Contains(err.Error(), "engine:") {
+			t.Fatalf("spec %q: error %q lacks package prefix", spec, err)
+		}
+	}
+}
+
+func TestWtstmRejectsSink(t *testing.T) {
+	if _, err := NewSpec("wtstm", 4, 2, record.NewRecorder()); err == nil {
+		t.Fatal("wtstm with a sink must be rejected")
+	}
+}
+
+// TestRunWorkload: every registered workload runs against a registry
+// TM through the one-call form.
+func TestRunWorkload(t *testing.T) {
+	for _, wl := range workload.Names() {
+		t.Run(wl, func(t *testing.T) {
+			st, err := RunWorkload("tl2", wl, workload.Params{Threads: 3, Ops: 50, Mode: workload.FenceSelective, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Commits == 0 {
+				t.Fatal("no commits")
+			}
+		})
+	}
+	if _, err := RunWorkload("tl2", "nosuch", workload.Params{Threads: 1, Ops: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunWorkload("nosuchtm", "counter", workload.Params{Threads: 1, Ops: 1}); err == nil {
+		t.Fatal("unknown TM accepted")
+	}
+}
+
+func TestStripesFlowThrough(t *testing.T) {
+	for _, tmName := range []string{"tl2", "wtstm", "atomic"} {
+		cfg := Config{TM: tmName, Regs: 64, Threads: 3, Stripes: 4}
+		tm, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s with stripes: %v", tmName, err)
+		}
+		// Transactions over registers that alias with only 4 stripes
+		// must still work.
+		if err := core.Atomically(tm, 1, func(tx core.Txn) error {
+			for x := 0; x < 16; x++ {
+				if err := tx.Write(x, int64(x)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s aliased transaction: %v", tmName, err)
+		}
+		for x := 0; x < 16; x++ {
+			if got := tm.Load(1, x); got != int64(x) {
+				t.Fatalf("%s: reg %d = %d, want %d", tmName, x, got, x)
+			}
+		}
+	}
+}

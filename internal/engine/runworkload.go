@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"fmt"
+
+	"safepriv/internal/workload"
+)
+
+// RunWorkload constructs the TM named by the engine specification and
+// runs the named workload (package workload's registry) on it: the
+// one-call form for callers that need no handle on the TM (smoke
+// tests, quick sweeps). Harnesses that pre-seed registers or time the
+// run themselves (cmd/figures, bench_test.go) construct via NewSpec
+// and call workload.ByName directly; keep this function's sizing
+// (workload.RegsFor, the +2 spare thread ids) in step with them.
+func RunWorkload(tmSpec, name string, p workload.Params) (workload.Stats, error) {
+	run, ok := workload.ByName(name)
+	if !ok {
+		return workload.Stats{}, fmt.Errorf("engine: unknown workload %q (have %v)", name, workload.Names())
+	}
+	// +2: thread 1 is the maintenance/privatizer slot in pipeline, and
+	// every workload numbers workers from low ids; a spare id keeps the
+	// harnesses' historical sizing.
+	tm, err := NewSpec(tmSpec, workload.RegsFor(name, p.Threads), p.Threads+2, nil)
+	if err != nil {
+		return workload.Stats{}, err
+	}
+	return run(tm, p)
+}

@@ -20,9 +20,9 @@ import (
 	"sync/atomic"
 
 	"safepriv/internal/core"
+	"safepriv/internal/engine"
 	"safepriv/internal/opacity"
 	"safepriv/internal/record"
-	"safepriv/internal/tl2"
 )
 
 // Config parameterizes a most-general-client run.
@@ -41,12 +41,14 @@ type Config struct {
 	Rounds int
 	// Seed makes the run reproducible.
 	Seed int64
-	// TL2Options are extra TL2 configuration options.
-	TL2Options []tl2.Option
-	// MakeTM overrides the TM under test. It must wire the given sink
-	// into the TM (for history recording). When nil, a TL2 TM with
-	// TL2Options is used. The TM must support `regs` registers and
-	// thread ids 1..threads.
+	// TM is the engine specification of the TM under test
+	// (engine.Parse); empty selects "tl2". The TM must support a
+	// recording sink.
+	TM string
+	// MakeTM overrides the TM under test with an arbitrary
+	// constructor. It must wire the given sink into the TM (for
+	// history recording) and support `regs` registers and thread ids
+	// 1..threads. When nil, the TM spec is used.
 	MakeTM func(sink record.Sink, regs, threads int) core.TM
 }
 
@@ -71,8 +73,15 @@ func Run(cfg Config) (*record.Recorder, error) {
 	if cfg.MakeTM != nil {
 		tm = cfg.MakeTM(rec, 1+cfg.DataRegs, cfg.Threads+1)
 	} else {
-		opts := append([]tl2.Option{tl2.WithSink(rec)}, cfg.TL2Options...)
-		tm = tl2.New(1+cfg.DataRegs, cfg.Threads+1, opts...)
+		spec := cfg.TM
+		if spec == "" {
+			spec = "tl2"
+		}
+		var err error
+		tm, err = engine.NewSpec(spec, 1+cfg.DataRegs, cfg.Threads+1, rec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	const flag = 0
 	var vals atomic.Int64

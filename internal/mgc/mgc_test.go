@@ -2,11 +2,6 @@ package mgc
 
 import (
 	"testing"
-
-	"safepriv/internal/core"
-	"safepriv/internal/norec"
-	"safepriv/internal/record"
-	"safepriv/internal/tl2"
 )
 
 func TestRunAndCheckSmall(t *testing.T) {
@@ -52,13 +47,8 @@ func TestRunAndCheckManySeeds(t *testing.T) {
 }
 
 func TestRunAndCheckVariants(t *testing.T) {
-	variants := map[string][]tl2.Option{
-		"gv4":    {tl2.WithGV4()},
-		"epochs": {tl2.WithEpochFence()},
-		"rofast": {tl2.WithReadOnlyFastPath()},
-	}
-	for name, opts := range variants {
-		t.Run(name, func(t *testing.T) {
+	for _, spec := range []string{"tl2+gv4", "tl2+epochs", "tl2+rofast", "atomic"} {
+		t.Run(spec, func(t *testing.T) {
 			_, err := RunAndCheck(Config{
 				Threads:       3,
 				DataRegs:      3,
@@ -66,10 +56,10 @@ func TestRunAndCheckVariants(t *testing.T) {
 				OpsPerTxn:     2,
 				Rounds:        3,
 				Seed:          7,
-				TL2Options:    opts,
+				TM:            spec,
 			})
 			if err != nil {
-				t.Fatalf("%s: %v", name, err)
+				t.Fatalf("%s: %v", spec, err)
 			}
 		})
 	}
@@ -89,9 +79,7 @@ func TestRunAndCheckNOrec(t *testing.T) {
 		OpsPerTxn:     2,
 		Rounds:        3,
 		Seed:          5,
-		MakeTM: func(sink record.Sink, regs, threads int) core.TM {
-			return norec.New(regs, threads, sink)
-		},
+		TM:            "norec",
 	})
 	if err != nil {
 		t.Fatalf("NOrec strong opacity violated: %v", err)

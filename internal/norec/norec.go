@@ -35,6 +35,15 @@ import (
 	"safepriv/internal/record"
 )
 
+// Option mutates NOrec construction.
+type Option func(*options)
+
+type options struct{ epochs bool }
+
+// WithEpochFence selects the epoch-based grace period for the fence
+// instead of the flag-based one.
+func WithEpochFence() Option { return func(o *options) { o.epochs = true } }
+
 // TM is a NOrec transactional memory implementing core.TM.
 type TM struct {
 	// seq is the global sequence lock: even = no writer committing; a
@@ -53,12 +62,19 @@ type slot struct {
 }
 
 // New returns a NOrec TM with regs registers and thread ids 1..threads.
-func New(regs, threads int, sink record.Sink) *TM {
+func New(regs, threads int, sink record.Sink, opts ...Option) *TM {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
 	tm := &TM{
 		regs:    make([]atomic.Int64, regs),
 		q:       rcu.NewFlags(threads),
 		sink:    sink,
 		threads: make([]slot, threads+1),
+	}
+	if o.epochs {
+		tm.q = rcu.NewEpochs(threads)
 	}
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm

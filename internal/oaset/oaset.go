@@ -1,0 +1,112 @@
+// Package oaset provides a small open-addressing integer index for the
+// hot transaction paths: write-sets need register→slot lookup, and the
+// built-in map allocates (and re-allocates per transaction, since Go
+// maps cannot be reset in O(1)).
+//
+// Index maps non-negative int keys to int values with linear probing
+// and generation-stamped slots: Reset bumps a generation counter
+// instead of clearing, so a transaction-scoped index costs one
+// allocation for the lifetime of its owning thread, not one per
+// transaction. Capacity grows by rehashing when load exceeds 1/2.
+package oaset
+
+// slot is one probe slot. A slot is live iff gen equals the index's
+// current generation; stale slots are free without any clearing pass.
+type slot struct {
+	key int32
+	val int32
+	gen uint32
+}
+
+// Index is a reusable open-addressing map from small non-negative ints
+// to small non-negative ints. The zero value is ready to use.
+type Index struct {
+	slots []slot
+	mask  uint32
+	gen   uint32
+	n     int
+}
+
+// minCap is the initial table size on first insertion.
+const minCap = 64
+
+// Reset empties the index in O(1), retaining capacity.
+func (ix *Index) Reset() {
+	ix.n = 0
+	ix.gen++
+	if ix.gen == 0 {
+		// Generation wrapped: stale slots from 2^32 resets ago would
+		// read as live. Clear once per 4 billion resets.
+		for i := range ix.slots {
+			ix.slots[i].gen = 0
+		}
+		ix.gen = 1
+	}
+}
+
+// Len returns the number of live entries.
+func (ix *Index) Len() int { return ix.n }
+
+// hash spreads keys; registers are often sequential, and multiplication
+// by a 32-bit odd constant (Fibonacci hashing) spreads runs across the
+// table while staying a single multiply on the hot path.
+func hash(k int32) uint32 { return uint32(k) * 2654435769 }
+
+// Get returns the value stored for key k.
+func (ix *Index) Get(k int) (int, bool) {
+	if ix.slots == nil {
+		return 0, false
+	}
+	key := int32(k)
+	for i := hash(key) & ix.mask; ; i = (i + 1) & ix.mask {
+		s := &ix.slots[i]
+		if s.gen != ix.gen {
+			return 0, false
+		}
+		if s.key == key {
+			return int(s.val), true
+		}
+	}
+}
+
+// Put stores v for key k, replacing any prior value.
+func (ix *Index) Put(k, v int) {
+	if ix.slots == nil {
+		ix.slots = make([]slot, minCap)
+		ix.mask = minCap - 1
+		if ix.gen == 0 {
+			ix.gen = 1
+		}
+	}
+	key, val := int32(k), int32(v)
+	for i := hash(key) & ix.mask; ; i = (i + 1) & ix.mask {
+		s := &ix.slots[i]
+		if s.gen != ix.gen {
+			s.key, s.val, s.gen = key, val, ix.gen
+			ix.n++
+			if ix.n*2 > len(ix.slots) {
+				ix.grow()
+			}
+			return
+		}
+		if s.key == key {
+			s.val = val
+			return
+		}
+	}
+}
+
+// grow doubles the table and rehashes live entries.
+func (ix *Index) grow() {
+	old := ix.slots
+	oldGen := ix.gen
+	ix.slots = make([]slot, 2*len(old))
+	ix.mask = uint32(len(ix.slots) - 1)
+	ix.gen = 1
+	ix.n = 0
+	for i := range old {
+		if old[i].gen == oldGen {
+			ix.Put(int(old[i].key), int(old[i].val))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package oaset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPutGetOverwrite(t *testing.T) {
+	var ix Index
+	if _, ok := ix.Get(3); ok {
+		t.Fatal("empty index returned a hit")
+	}
+	ix.Put(3, 10)
+	ix.Put(7, 20)
+	if v, ok := ix.Get(3); !ok || v != 10 {
+		t.Fatalf("Get(3) = %d,%v want 10,true", v, ok)
+	}
+	ix.Put(3, 11)
+	if v, ok := ix.Get(3); !ok || v != 11 {
+		t.Fatalf("after overwrite Get(3) = %d,%v want 11,true", v, ok)
+	}
+	if v, ok := ix.Get(7); !ok || v != 20 {
+		t.Fatalf("Get(7) = %d,%v want 20,true", v, ok)
+	}
+	if _, ok := ix.Get(4); ok {
+		t.Fatal("Get(4) hit for a key never inserted")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}
+
+func TestResetIsEmpty(t *testing.T) {
+	var ix Index
+	for k := 0; k < 100; k++ {
+		ix.Put(k, k*2)
+	}
+	ix.Reset()
+	if ix.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", ix.Len())
+	}
+	for k := 0; k < 100; k++ {
+		if _, ok := ix.Get(k); ok {
+			t.Fatalf("Get(%d) hit after Reset", k)
+		}
+	}
+	// Reuse after reset works.
+	ix.Put(5, 99)
+	if v, ok := ix.Get(5); !ok || v != 99 {
+		t.Fatalf("Get(5) after reuse = %d,%v", v, ok)
+	}
+}
+
+func TestGrowKeepsEntries(t *testing.T) {
+	var ix Index
+	const n = 10_000
+	for k := 0; k < n; k++ {
+		ix.Put(k, k+1)
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n)
+	}
+	for k := 0; k < n; k++ {
+		if v, ok := ix.Get(k); !ok || v != k+1 {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, v, ok, k+1)
+		}
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var ix Index
+	model := map[int]int{}
+	for round := 0; round < 50; round++ {
+		for op := 0; op < 500; op++ {
+			k := r.Intn(200)
+			if r.Intn(3) == 0 {
+				v, ok := ix.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("round %d: Get(%d) = %d,%v; model %d,%v", round, k, v, ok, mv, mok)
+				}
+			} else {
+				v := r.Intn(1 << 20)
+				ix.Put(k, v)
+				model[k] = v
+			}
+		}
+		if ix.Len() != len(model) {
+			t.Fatalf("round %d: Len %d != model %d", round, ix.Len(), len(model))
+		}
+		ix.Reset()
+		model = map[int]int{}
+	}
+}
+
+func TestManyResetsNoAllocs(t *testing.T) {
+	var ix Index
+	ix.Put(0, 0) // warm up the table
+	allocs := testing.AllocsPerRun(1000, func() {
+		ix.Reset()
+		for k := 0; k < 16; k++ {
+			ix.Put(k, k)
+		}
+		for k := 0; k < 16; k++ {
+			ix.Get(k)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset/Put/Get allocates %v per run, want 0", allocs)
+	}
+}

@@ -41,6 +41,10 @@ type Sink interface {
 	// Write records write(x,v) followed by ret(⊥). (TL2 buffers writes;
 	// they never abort.)
 	Write(t, x int, v int64)
+	// WriteAborted records write(x,v) followed by aborted — for
+	// encounter-time-locking TMs whose writes can abort on conflict
+	// (the spec allows aborted to answer any request).
+	WriteAborted(t, x int, v int64)
 	// TxCommitReq records the txcommit request.
 	TxCommitReq(t int)
 	// Committed records the committed response, with the transaction's
@@ -115,6 +119,15 @@ func (r *Recorder) Write(t, x int, v int64) {
 	defer r.mu.Unlock()
 	r.emit(t, spec.KindWrite, spec.Reg(x), spec.Value(v))
 	r.emit(t, spec.KindRet, 0, 0)
+}
+
+// WriteAborted implements Sink.
+func (r *Recorder) WriteAborted(t, x int, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit(t, spec.KindWrite, spec.Reg(x), spec.Value(v))
+	r.emit(t, spec.KindAborted, 0, 0)
+	r.openTxn[t] = -1
 }
 
 // TxCommitReq implements Sink.

@@ -1,0 +1,98 @@
+// Package stripe provides the shared register/version-lock table used
+// by the ownership-record TMs (tl2, wtstm, and the executable atomictm
+// runtime): a dense array of register values plus a striped array of
+// versioned write-locks (package vlock), each lock stripe on its own
+// cache line.
+//
+// Striping decouples the lock-table size from the register count, the
+// classic TL2 "PS" (per-stripe) mode: register x is guarded by stripe
+// x & mask. With at least as many stripes as registers (the default for
+// small register counts) the mapping is injective and the table behaves
+// exactly like the per-register parallel arrays it replaces; with fewer
+// stripes than registers, distinct registers may alias to one lock,
+// which is conservative — aliasing can only add false conflicts, never
+// hide a true one — and lets a TM manage register counts far beyond
+// what dedicated per-register lock arrays would allow.
+//
+// TMs that lock their write-sets must dedupe by *stripe*, not by
+// register: two distinct registers in one write-set may share a stripe,
+// and the versioned locks are not reentrant. LockFor/StripeOf expose
+// the mapping so commit paths can do this.
+package stripe
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"safepriv/internal/vlock"
+)
+
+// MaxDefaultStripes caps the lock table allocated when the stripe count
+// is left to the default. 1<<16 stripes is 4 MiB of padded locks —
+// beyond that, aliasing is cheaper than the memory (and its cache
+// pressure).
+const MaxDefaultStripes = 1 << 16
+
+// paddedLock keeps each lock stripe on its own cache line so commits of
+// disjoint write-sets do not false-share.
+type paddedLock struct {
+	l vlock.VLock
+	_ [56]byte
+}
+
+// Table is a striped register/version-lock table. Values are dense (one
+// atomic word per register — the registers are the memory itself);
+// locks are striped and padded.
+type Table struct {
+	vals  []atomic.Int64
+	locks []paddedLock
+	mask  uint32
+}
+
+// New returns a table for regs registers. stripes is the lock-table
+// size and must be zero or a power of two; zero selects the default:
+// the smallest power of two ≥ regs, capped at MaxDefaultStripes (so
+// small tables get an injective register↦stripe mapping and huge tables
+// get bounded lock memory).
+func New(regs, stripes int) *Table {
+	if regs < 0 {
+		panic(fmt.Sprintf("stripe: negative register count %d", regs))
+	}
+	if stripes == 0 {
+		stripes = 1
+		for stripes < regs && stripes < MaxDefaultStripes {
+			stripes <<= 1
+		}
+	}
+	if stripes <= 0 || stripes&(stripes-1) != 0 {
+		panic(fmt.Sprintf("stripe: stripe count %d is not a power of two", stripes))
+	}
+	return &Table{
+		vals:  make([]atomic.Int64, regs),
+		locks: make([]paddedLock, stripes),
+		mask:  uint32(stripes - 1),
+	}
+}
+
+// Regs returns the number of registers.
+func (t *Table) Regs() int { return len(t.vals) }
+
+// Stripes returns the lock-table size.
+func (t *Table) Stripes() int { return len(t.locks) }
+
+// StripeOf maps register x to its lock stripe.
+func (t *Table) StripeOf(x int) int { return int(uint32(x) & t.mask) }
+
+// Lock returns stripe s's versioned write-lock.
+func (t *Table) Lock(s int) *vlock.VLock { return &t.locks[s].l }
+
+// LockFor returns register x's versioned write-lock (Lock(StripeOf(x))).
+func (t *Table) LockFor(x int) *vlock.VLock { return &t.locks[uint32(x)&t.mask].l }
+
+// Load reads register x (a plain atomic load — uninstrumented
+// non-transactional reads use this directly).
+func (t *Table) Load(x int) int64 { return t.vals[x].Load() }
+
+// Store writes register x (a plain atomic store — uninstrumented
+// non-transactional writes use this directly).
+func (t *Table) Store(x int, v int64) { t.vals[x].Store(v) }

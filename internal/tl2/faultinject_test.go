@@ -2,6 +2,7 @@ package tl2
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -13,6 +14,13 @@ import (
 // runContended drives a read-modify-write workload with unique write
 // values on a recording TM and returns whether the recorded history
 // passes the strong-opacity checker.
+//
+// The schedule is yield-biased: random Gosched calls between the reads
+// and before the writes open the windows the injected bugs need (stale
+// snapshot still live when a concurrent commit lands). On a single-CPU
+// machine goroutines otherwise run their short transactions to
+// completion back-to-back and the buggy TMs produce only serial —
+// hence accidentally correct — histories.
 func runContended(t *testing.T, seed int64, opts ...Option) error {
 	t.Helper()
 	rec := record.NewRecorder()
@@ -24,13 +32,20 @@ func runContended(t *testing.T, seed int64, opts ...Option) error {
 		wg.Add(1)
 		go func(th int) {
 			defer wg.Done()
-			for i := 0; i < 40; i++ {
+			r := rand.New(rand.NewSource(seed*31 + int64(th)))
+			for i := 0; i < 20; i++ {
 				err := core.Atomically(tm, th, func(tx core.Txn) error {
 					if _, err := tx.Read(0); err != nil {
 						return err
 					}
+					for k := r.Intn(3); k > 0; k-- {
+						spinYield()
+					}
 					if _, err := tx.Read(1); err != nil {
 						return err
+					}
+					for k := r.Intn(3); k > 0; k-- {
+						spinYield()
 					}
 					if err := tx.Write(0, vals.next()); err != nil {
 						return err
@@ -40,6 +55,9 @@ func runContended(t *testing.T, seed int64, opts ...Option) error {
 				if err != nil && !errors.Is(err, core.ErrAborted) {
 					t.Error(err)
 					return
+				}
+				if r.Intn(2) == 0 {
+					spinYield()
 				}
 			}
 		}(th)
@@ -60,23 +78,27 @@ func TestFaultInjectionCheckerCatchesBugs(t *testing.T) {
 		"skip-commit-validation": BugSkipCommitValidation,
 		"no-commit-locks":        BugNoCommitLocks,
 	}
-	const runs = 20
+	runs := 20
+	if testing.Short() {
+		runs = 8 // the race-detector CI lap runs -short; keep it quick
+	}
 	for name, bug := range bugs {
 		t.Run(name, func(t *testing.T) {
 			caught := 0
-			for seed := int64(0); seed < runs; seed++ {
+			for seed := int64(0); seed < int64(runs); seed++ {
 				if err := runContended(t, seed, WithBug(bug)); err != nil {
 					caught++
 				}
 			}
-			if caught == 0 {
-				t.Fatalf("checker never rejected a history of the %s TM in %d runs", name, runs)
+			if caught < runs/2 {
+				t.Fatalf("checker rejected only %d/%d histories of the %s TM; want reliable rejection (≥%d)",
+					caught, runs, name, runs/2)
 			}
 			t.Logf("%s: checker rejected %d/%d runs", name, caught, runs)
 		})
 	}
 	// Control: the correct TM passes every run.
-	for seed := int64(0); seed < runs; seed++ {
+	for seed := int64(0); seed < int64(runs); seed++ {
 		if err := runContended(t, seed); err != nil {
 			t.Fatalf("correct TM rejected at seed %d: %v", seed, err)
 		}

@@ -32,8 +32,8 @@ import (
 	"safepriv/internal/core"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
+	"safepriv/internal/stripe"
 	"safepriv/internal/vclock"
-	"safepriv/internal/vlock"
 	"sync/atomic"
 )
 
@@ -62,6 +62,11 @@ type Config struct {
 	Regs int
 	// Threads is the number of thread ids (1-based ids 1..Threads).
 	Threads int
+	// Stripes is the version-lock table size (package stripe): 0 for
+	// the default (injective register↦stripe mapping up to
+	// stripe.MaxDefaultStripes), otherwise a power of two. Fewer
+	// stripes than registers trades false conflicts for lock memory.
+	Stripes int
 	// Fence selects the fence implementation. Default FenceWait.
 	Fence FencePolicy
 	// Epochs selects the epoch-based grace period instead of the
@@ -114,6 +119,9 @@ const (
 // Option mutates a Config.
 type Option func(*Config)
 
+// WithStripes sets the version-lock table size (0 = default).
+func WithStripes(n int) Option { return func(c *Config) { c.Stripes = n } }
+
 // WithFence sets the fence policy.
 func WithFence(p FencePolicy) Option { return func(c *Config) { c.Fence = p } }
 
@@ -148,8 +156,7 @@ type threadState struct {
 // TM is a TL2 transactional memory. It implements core.TM.
 type TM struct {
 	cfg      Config
-	regs     []atomic.Int64
-	locks    []vlock.VLock
+	table    *stripe.Table
 	clock    vclock.Clock
 	q        rcu.Quiescer
 	hasWrite []writerFlag // per thread: current txn wrote something
@@ -165,8 +172,7 @@ func New(regs, threads int, opts ...Option) *TM {
 	}
 	tm := &TM{
 		cfg:      cfg,
-		regs:     make([]atomic.Int64, regs),
-		locks:    make([]vlock.VLock, regs),
+		table:    stripe.New(regs, cfg.Stripes),
 		hasWrite: make([]writerFlag, threads+1),
 		threads:  make([]threadState, threads+1),
 	}
@@ -194,18 +200,18 @@ func (tm *TM) NumRegs() int { return tm.cfg.Regs }
 // Load implements core.TM: an uninstrumented non-transactional read.
 func (tm *TM) Load(thread, x int) int64 {
 	if s := tm.cfg.Sink; s != nil {
-		return s.NonTxnRead(thread, x, func() int64 { return tm.regs[x].Load() })
+		return s.NonTxnRead(thread, x, func() int64 { return tm.table.Load(x) })
 	}
-	return tm.regs[x].Load()
+	return tm.table.Load(x)
 }
 
 // Store implements core.TM: an uninstrumented non-transactional write.
 func (tm *TM) Store(thread, x int, v int64) {
 	if s := tm.cfg.Sink; s != nil {
-		s.NonTxnWrite(thread, x, v, func() { tm.regs[x].Store(v) })
+		s.NonTxnWrite(thread, x, v, func() { tm.table.Store(x, v) })
 		return
 	}
-	tm.regs[x].Store(v)
+	tm.table.Store(x, v)
 }
 
 // Fence implements core.TM per the configured policy.

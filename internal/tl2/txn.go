@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"safepriv/internal/core"
+	"safepriv/internal/oaset"
 	"safepriv/internal/vlock"
 )
 
@@ -15,6 +16,15 @@ func spinYield() { runtime.Gosched() }
 type wentry struct {
 	x int
 	v int64
+}
+
+// lockedStripe records one lock stripe acquired during commit together
+// with the version the stripe carried before we locked it (needed on
+// the abort path, and for validating reads of registers whose stripe we
+// hold).
+type lockedStripe struct {
+	s   int
+	old int64
 }
 
 // Txn is a TL2 transaction (the per-transaction metadata of Figure 9:
@@ -34,25 +44,35 @@ type Txn struct {
 	wset []wentry
 	// widx indexes wset by register once the write-set grows past
 	// smallSet (long transactions would otherwise pay O(n²) lookups).
-	widx map[int]int
+	// It is an open-addressing index with O(1) generation reset, so it
+	// is allocated once per thread and reused, unlike the map it
+	// replaced, which was reallocated by every long transaction.
+	widx   oaset.Index
+	useIdx bool
 	// Read-set: registers read non-locally (Figure 9's rset). It may
 	// contain duplicates — revalidating a register twice is harmless
 	// and appending beats any dedup structure on real workloads.
 	rset []int
-	// oldVers[i] is the pre-lock version of wset[i] during commit.
-	oldVers []int64
+	// locked is the list of stripes acquired during commit, in
+	// acquisition order. Distinct write-set registers may share a
+	// stripe (package stripe), so this list, not the write-set, is what
+	// commit locks and unlocks.
+	locked []lockedStripe
+	// sidx indexes locked by stripe once the write-set grows past
+	// smallSet, mirroring widx.
+	sidx oaset.Index
 }
 
 // smallSet is the size up to which read/write sets use plain linear
-// scans; beyond it a map index is built. Typical transactions stay
-// small (zero allocation); list traversals and other long transactions
-// stay O(n).
+// scans; beyond it an open-addressing index is engaged. Typical
+// transactions stay small (zero allocation and no index bookkeeping);
+// list traversals and other long transactions stay O(n).
 const smallSet = 32
 
 // wsetLookup returns the buffered value for x.
 func (tx *Txn) wsetLookup(x int) (int64, bool) {
-	if tx.widx != nil {
-		if i, ok := tx.widx[x]; ok {
+	if tx.useIdx {
+		if i, ok := tx.widx.Get(x); ok {
 			return tx.wset[i].v, true
 		}
 		return 0, false
@@ -67,13 +87,13 @@ func (tx *Txn) wsetLookup(x int) (int64, bool) {
 
 // wsetPut inserts or updates the buffered value for x.
 func (tx *Txn) wsetPut(x int, v int64) {
-	if tx.widx != nil {
-		if i, ok := tx.widx[x]; ok {
+	if tx.useIdx {
+		if i, ok := tx.widx.Get(x); ok {
 			tx.wset[i].v = v
 			return
 		}
 		tx.wset = append(tx.wset, wentry{x, v})
-		tx.widx[x] = len(tx.wset) - 1
+		tx.widx.Put(x, len(tx.wset)-1)
 		return
 	}
 	for i := range tx.wset {
@@ -84,10 +104,11 @@ func (tx *Txn) wsetPut(x int, v int64) {
 	}
 	tx.wset = append(tx.wset, wentry{x, v})
 	if len(tx.wset) > smallSet {
-		tx.widx = make(map[int]int, 2*len(tx.wset))
+		tx.widx.Reset()
 		for i := range tx.wset {
-			tx.widx[tx.wset[i].x] = i
+			tx.widx.Put(tx.wset[i].x, i)
 		}
+		tx.useIdx = true
 	}
 }
 
@@ -101,8 +122,8 @@ func (tx *Txn) reset() {
 	tx.rver, tx.wver = 0, 0
 	tx.wset = tx.wset[:0]
 	tx.rset = tx.rset[:0]
-	tx.oldVers = tx.oldVers[:0]
-	tx.widx = nil
+	tx.locked = tx.locked[:0]
+	tx.useIdx = false
 	tx.tm.hasWrite[tx.thread].clear()
 }
 
@@ -128,9 +149,10 @@ func (tx *Txn) Read(x int) (int64, error) {
 		}
 		return v, nil
 	}
-	w1 := tm.locks[x].Raw()
-	v := tm.regs[x].Load()
-	w2 := tm.locks[x].Raw()
+	l := tm.table.LockFor(x)
+	w1 := l.Raw()
+	v := tm.table.Load(x)
+	w2 := l.Raw()
 	ts, locked := vlock.RawVersion(w2)
 	if tm.cfg.Bug == BugSkipReadValidation {
 		locked, w1, ts = false, w2, 0 // injected bug: accept anything
@@ -163,6 +185,32 @@ func (tx *Txn) Write(x int, v int64) error {
 	return nil
 }
 
+// stripeOldVer returns the pre-lock version of a stripe this
+// transaction holds (s must be in tx.locked).
+func (tx *Txn) stripeOldVer(s int) int64 {
+	if tx.useIdx {
+		if j, ok := tx.sidx.Get(s); ok {
+			return tx.locked[j].old
+		}
+		return 0
+	}
+	for j := range tx.locked {
+		if tx.locked[j].s == s {
+			return tx.locked[j].old
+		}
+	}
+	return 0
+}
+
+// unlockAbort releases every stripe acquired so far, restoring pre-lock
+// versions (the commit abort path).
+func (tx *Txn) unlockAbort() {
+	tm := tx.tm
+	for j := range tx.locked {
+		tm.table.Lock(tx.locked[j].s).AbortUnlock(tx.locked[j].old)
+	}
+}
+
 // Commit implements core.Txn (Figure 9 txcommit, lines 30–55).
 func (tx *Txn) Commit() error {
 	tm := tx.tm
@@ -187,7 +235,7 @@ func (tx *Txn) Commit() error {
 		// too, so readers cannot even detect the interleaving.
 		tx.wver = tm.clock.Tick()
 		for i := range tx.wset {
-			tm.regs[tx.wset[i].x].Store(tx.wset[i].v)
+			tm.table.Store(tx.wset[i].x, tx.wset[i].v)
 		}
 		if s := tm.cfg.Sink; s != nil {
 			s.Committed(tx.thread, tx.wver)
@@ -197,21 +245,40 @@ func (tx *Txn) Commit() error {
 	}
 
 	if tm.cfg.SortedLocks {
-		sort.Slice(tx.wset, func(i, j int) bool { return tx.wset[i].x < tx.wset[j].x })
-		tx.widx = nil // insertion-order index invalidated
+		// Sort by stripe first: locks are per stripe, so only stripe
+		// order is a global acquisition order once registers alias
+		// (Stripes < Regs). Register order breaks ties for determinism.
+		sort.Slice(tx.wset, func(i, j int) bool {
+			si, sj := tm.table.StripeOf(tx.wset[i].x), tm.table.StripeOf(tx.wset[j].x)
+			if si != sj {
+				return si < sj
+			}
+			return tx.wset[i].x < tx.wset[j].x
+		})
+		tx.useIdx = false // insertion-order index invalidated
 	}
 
-	// Acquire write locks (lines 31–39). Record prior versions for the
+	// Acquire write locks (lines 31–39), deduplicated by stripe: with a
+	// striped lock table distinct registers may share a lock, and the
+	// versioned locks are not reentrant. Record prior versions for the
 	// abort path.
+	if tx.useIdx {
+		tx.sidx.Reset()
+	}
 	for i := range tx.wset {
-		old, ok := tm.locks[tx.wset[i].x].TryLockVersioned(tx.thread)
+		s := tm.table.StripeOf(tx.wset[i].x)
+		if tm.table.Lock(s).OwnedBy(tx.thread) {
+			continue // an aliased write-set register already locked it
+		}
+		old, ok := tm.table.Lock(s).TryLockVersioned(tx.thread)
 		if !ok {
-			for j := 0; j < i; j++ {
-				tm.locks[tx.wset[j].x].AbortUnlock(tx.oldVers[j])
-			}
+			tx.unlockAbort()
 			return tx.abortCommit()
 		}
-		tx.oldVers = append(tx.oldVers, old)
+		tx.locked = append(tx.locked, lockedStripe{s, old})
+		if tx.useIdx {
+			tx.sidx.Put(s, len(tx.locked)-1)
+		}
 	}
 
 	// Generate the write timestamp (line 40).
@@ -225,51 +292,40 @@ func (tx *Txn) Commit() error {
 	// Validate the read-set (lines 41–50): abort if a read register is
 	// locked by another transaction or its version exceeds rver. The
 	// paper keeps ver[x] readable while lock[x] is held; our combined
-	// lock word hides it, so for registers the transaction itself has
+	// lock word hides it, so for stripes the transaction itself has
 	// locked we validate the version captured at lock time.
 	if tm.cfg.Bug == BugSkipCommitValidation {
 		tx.rset = tx.rset[:0] // injected bug: nothing to validate
 	}
 	for _, x := range tx.rset {
-		ts, locked, owner := tm.locks[x].Sample()
+		ts, locked, owner := tm.table.LockFor(x).Sample()
 		if locked && owner == tx.thread {
 			locked = false
-			ts = 0
-			if tx.widx != nil {
-				if j, ok := tx.widx[x]; ok {
-					ts = tx.oldVers[j]
-				}
-			} else {
-				for j := range tx.wset {
-					if tx.wset[j].x == x {
-						ts = tx.oldVers[j]
-						break
-					}
-				}
-			}
+			ts = tx.stripeOldVer(tm.table.StripeOf(x))
 		}
 		if locked || tx.rver < ts {
-			for j := range tx.wset {
-				tm.locks[tx.wset[j].x].AbortUnlock(tx.oldVers[j])
-			}
+			tx.unlockAbort()
 			return tx.abortCommit()
 		}
 	}
 
-	// Write back and release (lines 51–54): reg[x] := v; ver[x] :=
-	// wver; unlock — the last two are one store of the combined word.
+	// Write back and release (lines 51–54): reg[x] := v for every
+	// write-set register, then ver := wver and unlock per stripe — the
+	// last two are one store of the combined word.
 	for i := range tx.wset {
 		x, v := tx.wset[i].x, tx.wset[i].v
 		if tm.cfg.DebugInvariants {
-			if _, locked, owner := tm.locks[x].Sample(); !locked || owner != tx.thread {
+			if _, locked, owner := tm.table.LockFor(x).Sample(); !locked || owner != tx.thread {
 				panic("tl2: write-back without holding the lock")
 			}
-			if tx.oldVers[i] >= tx.wver {
-				panic("tl2: register version not monotonic")
-			}
 		}
-		tm.regs[x].Store(v)
-		tm.locks[x].Unlock(tx.wver)
+		tm.table.Store(x, v)
+	}
+	for j := range tx.locked {
+		if tm.cfg.DebugInvariants && tx.locked[j].old >= tx.wver {
+			panic("tl2: register version not monotonic")
+		}
+		tm.table.Lock(tx.locked[j].s).Unlock(tx.wver)
 	}
 
 	if s := tm.cfg.Sink; s != nil {

@@ -34,6 +34,15 @@ func (l *VLock) Sample() (version int64, locked bool, owner int) {
 	return int64(w >> 1), false, 0
 }
 
+// OwnedBy reports whether the lock is currently held by owner
+// (1-based). With a striped lock table this is the self-ownership test
+// commit paths use to deduplicate acquisition: a transaction may meet
+// the same lock twice through aliased registers.
+func (l *VLock) OwnedBy(owner int) bool {
+	w := l.word.Load()
+	return w&1 != 0 && int(w>>1) == owner
+}
+
 // Raw returns the raw lock word for equality-based revalidation
 // (ts1 == ts2 in Figure 9's read): two equal raw samples bracket a
 // window with no writer activity on the register.

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"sort"
+
+	"safepriv/internal/core"
+)
+
+// Params sizes a named workload run. Workload-specific knobs (scan
+// width, read percentage, pipeline rounds) take the defaults the
+// experiment harnesses use; workloads that need others call the typed
+// functions directly.
+type Params struct {
+	// Threads is the number of worker threads.
+	Threads int
+	// Ops is the operation count per worker.
+	Ops int
+	// Mode selects fence placement.
+	Mode FenceMode
+	// Seed makes randomized workloads reproducible.
+	Seed int64
+	// Rounds is the privatize/publish cycle count for pipeline
+	// (0 = the default 20 the figures harness uses).
+	Rounds int
+}
+
+// Runner executes a named workload against a TM.
+type Runner func(tm core.TM, p Params) (Stats, error)
+
+// runners is the workload registry. Keep RegsFor in sync.
+// engine.RunWorkload is the one-call form that also constructs the TM
+// from a specification string (it lives in engine to keep this package
+// free of TM constructors).
+var runners = map[string]Runner{
+	"counter": func(tm core.TM, p Params) (Stats, error) {
+		return Counter(tm, p.Threads, p.Ops, p.Mode)
+	},
+	"shorttxn": func(tm core.TM, p Params) (Stats, error) {
+		return PerThread(tm, p.Threads, p.Ops, p.Mode)
+	},
+	"bank": func(tm core.TM, p Params) (Stats, error) {
+		return Bank(tm, p.Threads, p.Ops, p.Mode, p.Seed)
+	},
+	"readmostly": func(tm core.TM, p Params) (Stats, error) {
+		return ReadMostly(tm, p.Threads, p.Ops, 4, 90, p.Mode, p.Seed)
+	},
+	"pipeline": func(tm core.TM, p Params) (Stats, error) {
+		rounds := p.Rounds
+		if rounds == 0 {
+			rounds = 20
+		}
+		return Pipeline(tm, p.Threads-1, p.Ops, rounds, p.Mode, p.Seed)
+	},
+}
+
+// RegsFor is the register count each named workload wants per worker
+// count (the shapes the experiment harnesses always used).
+func RegsFor(name string, threads int) int {
+	switch name {
+	case "counter":
+		return 1
+	case "readmostly":
+		return 256
+	case "pipeline":
+		return 65
+	default: // shorttxn, bank: one cache line of registers per thread
+		if threads < 8 {
+			return 64
+		}
+		return threads * 8
+	}
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named workload runner.
+func ByName(name string) (Runner, bool) {
+	r, ok := runners[name]
+	return r, ok
+}

@@ -1,34 +1,38 @@
-package workload
+package workload_test
 
 import (
 	"testing"
 
-	"safepriv/internal/baseline"
 	"safepriv/internal/core"
-	"safepriv/internal/norec"
-	"safepriv/internal/tl2"
+	"safepriv/internal/engine"
+	"safepriv/internal/workload"
 )
 
-func tms(regs, threads int) map[string]core.TM {
-	return map[string]core.TM{
-		"tl2":      tl2.New(regs, threads),
-		"norec":    norec.New(regs, threads, nil),
-		"baseline": baseline.New(regs, threads, nil),
+func tms(t *testing.T, regs, threads int) map[string]core.TM {
+	t.Helper()
+	out := map[string]core.TM{}
+	for _, spec := range []string{"tl2", "norec", "baseline", "wtstm", "atomic"} {
+		tm, err := engine.NewSpec(spec, regs, threads, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[spec] = tm
 	}
+	return out
 }
 
 func TestBankPreservesTotal(t *testing.T) {
-	for name, tm := range tms(8, 5) {
+	for name, tm := range tms(t, 8, 5) {
 		t.Run(name, func(t *testing.T) {
 			for x := 0; x < tm.NumRegs(); x++ {
 				tm.Store(1, x, 50)
 			}
-			want := Total(tm)
-			st, err := Bank(tm, 4, 200, FenceNone, 1)
+			want := workload.Total(tm)
+			st, err := workload.Bank(tm, 4, 200, workload.FenceNone, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := Total(tm); got != want {
+			if got := workload.Total(tm); got != want {
 				t.Fatalf("total = %d, want %d", got, want)
 			}
 			if st.Commits != 4*200 {
@@ -39,9 +43,9 @@ func TestBankPreservesTotal(t *testing.T) {
 }
 
 func TestCounterExact(t *testing.T) {
-	for name, tm := range tms(1, 5) {
+	for name, tm := range tms(t, 1, 5) {
 		t.Run(name, func(t *testing.T) {
-			st, err := Counter(tm, 4, 100, FenceAfterEveryTxn)
+			st, err := workload.Counter(tm, 4, 100, workload.FenceAfterEveryTxn)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -56,8 +60,8 @@ func TestCounterExact(t *testing.T) {
 }
 
 func TestReadMostlyCompletes(t *testing.T) {
-	tm := tl2.New(32, 5)
-	st, err := ReadMostly(tm, 4, 300, 4, 90, FenceNone, 2)
+	tm := engine.MustNewSpec("tl2", 32, 5, nil)
+	st, err := workload.ReadMostly(tm, 4, 300, 4, 90, workload.FenceNone, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,9 +71,9 @@ func TestReadMostlyCompletes(t *testing.T) {
 }
 
 func TestPipelineRuns(t *testing.T) {
-	for _, mode := range []FenceMode{FenceSelective, FenceAfterEveryTxn} {
-		tm := tl2.New(9, 6)
-		st, err := Pipeline(tm, 4, 100, 5, mode, 3)
+	for _, mode := range []workload.FenceMode{workload.FenceSelective, workload.FenceAfterEveryTxn} {
+		tm := engine.MustNewSpec("tl2", 9, 6, nil)
+		st, err := workload.Pipeline(tm, 4, 100, 5, mode, 3)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -83,14 +87,32 @@ func TestPipelineRuns(t *testing.T) {
 }
 
 func TestPipelineNeedsRegisters(t *testing.T) {
-	tm := tl2.New(1, 3)
-	if _, err := Pipeline(tm, 1, 1, 1, FenceSelective, 0); err == nil {
+	tm := engine.MustNewSpec("tl2", 1, 3, nil)
+	if _, err := workload.Pipeline(tm, 1, 1, 1, workload.FenceSelective, 0); err == nil {
 		t.Fatal("pipeline with one register accepted")
 	}
 }
 
 func TestFenceModeString(t *testing.T) {
-	if FenceNone.String() != "none" || FenceAfterEveryTxn.String() != "conservative" || FenceSelective.String() != "selective" {
+	if workload.FenceNone.String() != "none" || workload.FenceAfterEveryTxn.String() != "conservative" || workload.FenceSelective.String() != "selective" {
 		t.Fatal("FenceMode names wrong")
+	}
+}
+
+func TestWorkloadRegistryNames(t *testing.T) {
+	names := workload.Names()
+	if len(names) == 0 {
+		t.Fatal("empty workload registry")
+	}
+	for _, name := range names {
+		if _, ok := workload.ByName(name); !ok {
+			t.Fatalf("workload.ByName(%q) missing", name)
+		}
+		if workload.RegsFor(name, 4) <= 0 {
+			t.Fatalf("workload.RegsFor(%q) not positive", name)
+		}
+	}
+	if _, ok := workload.ByName("nosuch"); ok {
+		t.Fatal("workload.ByName accepted an unknown workload")
 	}
 }

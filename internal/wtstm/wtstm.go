@@ -14,12 +14,17 @@
 // which waits until aborting transactions finish their rollback —
 // excludes it).
 //
-// The algorithm: writes lock the register (abort on conflict), log the
-// old value and version, and store in place; reads validate against the
-// transaction's read timestamp like TL2; commit ticks the global clock,
-// revalidates the read-set, installs the new version per written
-// register and unlocks; abort rolls the undo log back in reverse and
-// restores the old versions before clearing the active flag.
+// The algorithm: writes lock the register's stripe (abort on conflict),
+// log the old value and version, and store in place; reads validate
+// against the transaction's read timestamp like TL2; commit ticks the
+// global clock, revalidates the read-set, installs the new version per
+// locked stripe and unlocks; abort rolls the undo log back in reverse
+// and restores the old versions before clearing the active flag.
+//
+// Registers and version-locks live in the shared striped table of
+// package stripe; with fewer stripes than registers distinct registers
+// may share a lock, so lock acquisition and release are deduplicated by
+// stripe while the undo log stays per register.
 package wtstm
 
 import (
@@ -27,21 +32,50 @@ import (
 
 	"safepriv/internal/core"
 	"safepriv/internal/rcu"
+	"safepriv/internal/stripe"
 	"safepriv/internal/vclock"
 	"safepriv/internal/vlock"
-	"sync/atomic"
 )
+
+// Config collects construction options.
+type Config struct {
+	// Regs is the number of registers.
+	Regs int
+	// Threads is the number of thread ids (1-based ids 1..Threads).
+	Threads int
+	// Stripes is the version-lock table size (0 = stripe default).
+	Stripes int
+	// GV4 selects the pass-on-failure global clock.
+	GV4 bool
+	// Epochs selects the epoch-based grace period.
+	Epochs bool
+	// UnsafeFence makes Fence a no-op, to exhibit the delayed-abort
+	// anomaly in tests and experiments.
+	UnsafeFence bool
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithStripes sets the version-lock table size (0 = default).
+func WithStripes(n int) Option { return func(c *Config) { c.Stripes = n } }
+
+// WithGV4 selects the GV4 clock.
+func WithGV4() Option { return func(c *Config) { c.GV4 = true } }
+
+// WithEpochFence selects the epoch-based grace period.
+func WithEpochFence() Option { return func(c *Config) { c.Epochs = true } }
+
+// WithUnsafeFence makes Fence a no-op.
+func WithUnsafeFence() Option { return func(c *Config) { c.UnsafeFence = true } }
 
 // TM is a write-through TM implementing core.TM.
 type TM struct {
-	regs    []atomic.Int64
-	locks   []vlock.VLock
+	cfg     Config
+	table   *stripe.Table
 	clock   vclock.Clock
 	q       rcu.Quiescer
 	threads []slot
-	// UnsafeFence makes Fence a no-op, to exhibit the delayed-abort
-	// anomaly in tests.
-	UnsafeFence bool
 }
 
 type slot struct {
@@ -51,13 +85,25 @@ type slot struct {
 
 // New returns a write-through TM with regs registers and thread ids
 // 1..threads.
-func New(regs, threads int) *TM {
+func New(regs, threads int, opts ...Option) *TM {
+	cfg := Config{Regs: regs, Threads: threads}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	tm := &TM{
-		regs:    make([]atomic.Int64, regs),
-		locks:   make([]vlock.VLock, regs),
-		clock:   vclock.NewFAI(),
-		q:       rcu.NewFlags(threads),
+		cfg:     cfg,
+		table:   stripe.New(regs, cfg.Stripes),
 		threads: make([]slot, threads+1),
+	}
+	if cfg.GV4 {
+		tm.clock = vclock.NewGV4()
+	} else {
+		tm.clock = vclock.NewFAI()
+	}
+	if cfg.Epochs {
+		tm.q = rcu.NewEpochs(threads)
+	} else {
+		tm.q = rcu.NewFlags(threads)
 	}
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
@@ -67,18 +113,18 @@ func New(regs, threads int) *TM {
 }
 
 // NumRegs implements core.TM.
-func (tm *TM) NumRegs() int { return len(tm.regs) }
+func (tm *TM) NumRegs() int { return tm.cfg.Regs }
 
 // Load implements core.TM (uninstrumented).
-func (tm *TM) Load(thread, x int) int64 { return tm.regs[x].Load() }
+func (tm *TM) Load(thread, x int) int64 { return tm.table.Load(x) }
 
 // Store implements core.TM (uninstrumented).
-func (tm *TM) Store(thread, x int, v int64) { tm.regs[x].Store(v) }
+func (tm *TM) Store(thread, x int, v int64) { tm.table.Store(x, v) }
 
 // Fence implements core.TM: wait for all active transactions, including
 // aborting ones mid-rollback.
 func (tm *TM) Fence(thread int) {
-	if tm.UnsafeFence {
+	if tm.cfg.UnsafeFence {
 		return
 	}
 	tm.q.Wait()
@@ -97,11 +143,18 @@ func (tm *TM) Begin(thread int) core.Txn {
 	return tx
 }
 
-// undoEntry records a register's pre-transaction state.
+// undoEntry records a register's pre-transaction value.
 type undoEntry struct {
-	x   int
-	v   int64 // value before the transaction's first write
-	ver int64 // version before locking
+	x int
+	v int64 // value before the transaction's first write
+}
+
+// lockedStripe records an acquired lock stripe and its pre-lock
+// version, for release (commit installs the write version, abort
+// reinstates this one).
+type lockedStripe struct {
+	s   int
+	old int64
 }
 
 // Txn is a write-through transaction.
@@ -112,12 +165,14 @@ type Txn struct {
 	rver   int64
 	wver   int64
 	undo   []undoEntry
+	locked []lockedStripe
 	rset   []int
 }
 
 func (tx *Txn) reset() {
 	tx.rver, tx.wver = 0, 0
 	tx.undo = tx.undo[:0]
+	tx.locked = tx.locked[:0]
 	tx.rset = tx.rset[:0]
 }
 
@@ -126,8 +181,14 @@ func (tx *Txn) finish() {
 	tx.tm.q.Exit(tx.thread)
 }
 
-// owns reports whether the transaction already holds x's lock.
-func (tx *Txn) owns(x int) bool {
+// ownsStripe reports whether the transaction already holds stripe s.
+func (tx *Txn) ownsStripe(s int) bool {
+	return tx.tm.table.Lock(s).OwnedBy(tx.thread)
+}
+
+// logged reports whether x already has an undo entry (x was written
+// before in this transaction).
+func (tx *Txn) logged(x int) bool {
 	for i := range tx.undo {
 		if tx.undo[i].x == x {
 			return true
@@ -142,13 +203,15 @@ func (tx *Txn) Read(x int) (int64, error) {
 	if !tx.live {
 		panic("wtstm: Read on finished transaction")
 	}
-	if tx.owns(x) {
-		// We hold the lock; the in-place value is our own.
-		return tm.regs[x].Load(), nil
+	l := tm.table.LockFor(x)
+	if tx.ownsStripe(tm.table.StripeOf(x)) {
+		// We hold the stripe lock, so no other transaction can move x;
+		// the in-place value is stable (and ours, if we wrote it).
+		return tm.table.Load(x), nil
 	}
-	w1 := tm.locks[x].Raw()
-	v := tm.regs[x].Load()
-	w2 := tm.locks[x].Raw()
+	w1 := l.Raw()
+	v := tm.table.Load(x)
+	w2 := l.Raw()
 	ts, locked := vlock.RawVersion(w2)
 	if locked || w1 != w2 || tx.rver < ts {
 		tx.rollback()
@@ -164,21 +227,25 @@ func (tx *Txn) Write(x int, v int64) error {
 	if !tx.live {
 		panic("wtstm: Write on finished transaction")
 	}
-	if !tx.owns(x) {
-		old, ok := tm.locks[x].TryLockVersioned(tx.thread)
+	s := tm.table.StripeOf(x)
+	if !tx.ownsStripe(s) {
+		old, ok := tm.table.Lock(s).TryLockVersioned(tx.thread)
 		if !ok {
 			tx.rollback()
 			return core.ErrAborted
 		}
 		if tx.rver < old {
 			// The register moved past our snapshot before we locked it.
-			tm.locks[x].AbortUnlock(old)
+			tm.table.Lock(s).AbortUnlock(old)
 			tx.rollback()
 			return core.ErrAborted
 		}
-		tx.undo = append(tx.undo, undoEntry{x: x, v: tm.regs[x].Load(), ver: old})
+		tx.locked = append(tx.locked, lockedStripe{s, old})
 	}
-	tm.regs[x].Store(v)
+	if !tx.logged(x) {
+		tx.undo = append(tx.undo, undoEntry{x: x, v: tm.table.Load(x)})
+	}
+	tm.table.Store(x, v)
 	return nil
 }
 
@@ -188,13 +255,13 @@ func (tx *Txn) Commit() error {
 	if !tx.live {
 		panic("wtstm: Commit on finished transaction")
 	}
-	if len(tx.undo) == 0 && len(tx.rset) == 0 {
+	if len(tx.locked) == 0 && len(tx.rset) == 0 {
 		tx.finish()
 		return nil
 	}
 	tx.wver = tm.clock.Tick()
 	for _, x := range tx.rset {
-		ts, locked, owner := tm.locks[x].Sample()
+		ts, locked, owner := tm.table.LockFor(x).Sample()
 		if locked && owner == tx.thread {
 			continue // validated at lock time in Write
 		}
@@ -204,24 +271,28 @@ func (tx *Txn) Commit() error {
 		}
 	}
 	// Install versions and release locks; values are already in place.
-	for i := range tx.undo {
-		tm.locks[tx.undo[i].x].Unlock(tx.wver)
+	for i := range tx.locked {
+		tm.table.Lock(tx.locked[i].s).Unlock(tx.wver)
 	}
 	tx.finish()
 	return nil
 }
 
-// rollback undoes in-place writes in reverse order, restores versions,
-// releases locks, and only then clears the active flag — the ordering
-// the fence relies on.
+// rollback undoes in-place writes in reverse order, then restores
+// versions and releases locks, and only then clears the active flag —
+// the ordering the fence relies on. All values are restored before any
+// lock is released so no other thread can observe (or lock past) a
+// half-rolled-back stripe.
 func (tx *Txn) rollback() {
 	tm := tx.tm
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		e := tx.undo[i]
-		tm.regs[e.x].Store(e.v)
-		tm.locks[e.x].AbortUnlock(e.ver)
+		tm.table.Store(tx.undo[i].x, tx.undo[i].v)
+	}
+	for i := len(tx.locked) - 1; i >= 0; i-- {
+		tm.table.Lock(tx.locked[i].s).AbortUnlock(tx.locked[i].old)
 	}
 	tx.undo = tx.undo[:0]
+	tx.locked = tx.locked[:0]
 	tx.finish()
 }
 

@@ -142,8 +142,7 @@ func TestDelayedAbortAnomaly(t *testing.T) {
 	const flag, x = 0, 1
 
 	// Unsafe: fence elided.
-	tm := New(2, 3)
-	tm.UnsafeFence = true
+	tm := New(2, 3, WithUnsafeFence())
 	// T2 starts and writes x in place (value 42 visible, lock held).
 	t2 := tm.Begin(2)
 	if err := t2.Write(x, 42); err != nil {
