@@ -1,11 +1,14 @@
 package safepriv_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"safepriv/internal/core"
 	"safepriv/internal/engine"
@@ -19,6 +22,7 @@ import (
 	"safepriv/internal/record"
 	"safepriv/internal/spec"
 	"safepriv/internal/stmds"
+	"safepriv/internal/stmkv"
 	"safepriv/internal/vclock"
 	"safepriv/internal/workload"
 )
@@ -442,6 +446,145 @@ func BenchmarkLockOrder(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- KV store: shard scaling and privatization cost ---
+
+// kvBenchRegs hosts the largest geometry so every shard count in the
+// sweep shares one register budget (total slot capacity stays roughly
+// constant as shards vary).
+var kvBenchRegs = stmkv.RegsNeeded(16, 256)
+
+// kvBenchShards is the shard-scaling sweep.
+var kvBenchShards = []int{1, 4, 16}
+
+func kvBenchThreads() int {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	return threads
+}
+
+// BenchmarkKVStore sweeps TM × shard count on the mixed KV workload
+// (with periodic privatizing scans), the store's hot path.
+func BenchmarkKVStore(b *testing.B) {
+	threads := kvBenchThreads()
+	const ops = 3000
+	for _, shards := range kvBenchShards {
+		for _, spec := range engine.TMs() {
+			b.Run(fmt.Sprintf("%s/shards-%d", spec, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tm := engine.MustNewSpec(spec, kvBenchRegs, threads+1, nil)
+					cfg := workload.KVConfig{Shards: shards, ScanEvery: 500}
+					if _, err := workload.KVStore(tm, threads, ops, cfg, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKVScanMode contrasts the two bulk-read strategies on TL2 and
+// NOrec: fence-based shard privatization (the paper's idiom) vs one big
+// read-only transaction per shard.
+func BenchmarkKVScanMode(b *testing.B) {
+	for _, spec := range []string{"tl2", "norec"} {
+		for _, mode := range []struct {
+			name string
+			opts []stmkv.Option
+		}{
+			{"privatize", nil},
+			{"txnscan", []stmkv.Option{stmkv.WithTransactionalScan()}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", spec, mode.name), func(b *testing.B) {
+				tm := engine.MustNewSpec(spec, stmkv.RegsNeeded(4, 256), 3, nil)
+				s, err := stmkv.New(tm, 4, 256, mode.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := int64(1); k <= 512; k++ {
+					if err := s.Put(1, k, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Scan(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// kvBenchRow is one BENCH_kv.json record.
+type kvBenchRow struct {
+	TM             string  `json:"tm"`
+	Shards         int     `json:"shards"`
+	Threads        int     `json:"threads"`
+	Ops            int64   `json:"ops"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	Privatizations int64   `json:"privatizations"`
+}
+
+// TestEmitKVBenchJSON measures the TM × shard sweep once and writes
+// BENCH_kv.json, so the performance trajectory is machine-readable in
+// every test run (short mode shrinks the op count, not the sweep).
+func TestEmitKVBenchJSON(t *testing.T) {
+	threads := kvBenchThreads()
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	var rows []kvBenchRow
+	for _, shards := range kvBenchShards {
+		for _, spec := range engine.TMs() {
+			tm := engine.MustNewSpec(spec, kvBenchRegs, threads+1, nil)
+			cfg := workload.KVConfig{Shards: shards, ScanEvery: 500}
+			// Warm up allocators and grow the tables off the clock.
+			if _, err := workload.KVStore(tm, threads, ops/4, cfg, 7); err != nil {
+				t.Fatal(err)
+			}
+			var m1, m2 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+			start := time.Now()
+			st, err := workload.KVStore(tm, threads, ops, cfg, 1)
+			if err != nil {
+				t.Fatalf("%s/shards-%d: %v", spec, shards, err)
+			}
+			dur := time.Since(start)
+			runtime.ReadMemStats(&m2)
+			total := int64(threads) * int64(ops)
+			rows = append(rows, kvBenchRow{
+				TM:             spec,
+				Shards:         shards,
+				Threads:        threads,
+				Ops:            total,
+				NsPerOp:        float64(dur.Nanoseconds()) / float64(total),
+				OpsPerSec:      float64(total) / dur.Seconds(),
+				AllocsPerOp:    float64(m2.Mallocs-m1.Mallocs) / float64(total),
+				Privatizations: st.Fences,
+			})
+		}
+	}
+	out, err := json.MarshalIndent(struct {
+		Workload string       `json:"workload"`
+		Results  []kvBenchRow `json:"results"`
+	}{"kvstore", rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kv.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_kv.json (%d rows)", len(rows))
 }
 
 // --- Checker building blocks ---

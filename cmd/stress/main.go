@@ -8,21 +8,53 @@
 // configuration, e.g. -tm tl2, -tm tl2+gv4+epochs, -tm norec,
 // -tm atomic.
 //
+// With -workload, stress instead drives a named workload from the
+// internal/workload registry (kvstore, kv-scan, kv-zipfian, bank, …)
+// on the selected TM and reports throughput and privatization counts.
+//
 // Usage:
 //
 //	stress -iters 20 -threads 4 -regs 4 -txns 50 -tm tl2+gv4
+//	stress -tm norec -workload kvstore -threads 8 -wops 20000
+//	stress -tm tl2 -workload kv-scan -shards 16 -privevery 100
 //	stress -tm list          # print the registered configurations
+//	stress -workload list    # print the registered workloads
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"safepriv/internal/engine"
 	"safepriv/internal/mgc"
 	"safepriv/internal/record"
+	"safepriv/internal/workload"
 )
+
+// runWorkload is the -workload mode: one named workload on one TM.
+func runWorkload(name, tmSpec string, threads, ops, shards, privEvery int, seed int64) error {
+	p := workload.Params{
+		Threads:        threads,
+		Ops:            ops,
+		Mode:           workload.FenceSelective,
+		Seed:           seed,
+		Shards:         shards,
+		PrivatizeEvery: privEvery,
+	}
+	start := time.Now()
+	st, err := engine.RunWorkload(tmSpec, name, p)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	total := int64(threads) * int64(ops)
+	fmt.Printf("%s on %s: %d ops in %v (%.0f ops/sec), commits=%d aborts=%d privatize/fences=%d\n",
+		name, tmSpec, total, dur.Round(time.Millisecond),
+		float64(total)/dur.Seconds(), st.Commits, st.Aborts, st.Fences)
+	return nil
+}
 
 func main() {
 	iters := flag.Int("iters", 10, "number of independent runs")
@@ -33,11 +65,28 @@ func main() {
 	rounds := flag.Int("rounds", 6, "privatize/publish rounds")
 	seed := flag.Int64("seed", 1, "base seed")
 	tmSpec := flag.String("tm", "tl2", "TM under test: an engine spec (or 'list' to print them)")
+	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
+	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
+	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
+	privEvery := flag.Int("privevery", 0, "KV privatization cadence: scan every N ops (0 = workload default, <0 = never)")
 	flag.Parse()
 
 	if *tmSpec == "list" {
 		for _, s := range engine.Specs() {
 			fmt.Println(s)
+		}
+		return
+	}
+	if *wl == "list" {
+		for _, s := range workload.Names() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *wl != "" {
+		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 		return
 	}

@@ -114,30 +114,46 @@ func Parse(spec string) (Config, error) {
 	default:
 		return Config{}, fmt.Errorf("engine: unknown TM %q (want baseline, atomic, norec, wtstm, or tl2)", cfg.TM)
 	}
+	// Each modifier sets one configuration axis; setting an axis twice
+	// (duplicate modifier, or two modifiers of the same axis such as
+	// gv4+fai) is a conflict, not a last-one-wins.
+	setAxis := func(axis string, dst *string, val, mod string) error {
+		if *dst != "" {
+			return fmt.Errorf("engine: duplicate %s modifier %q in spec %q (already %q)", axis, mod, spec, *dst)
+		}
+		*dst = val
+		return nil
+	}
 	for _, m := range parts[1:] {
+		var err error
 		switch strings.TrimSpace(m) {
-		case "gv4":
-			cfg.Clock = "gv4"
-		case "fai":
-			cfg.Clock = "fai"
-		case "epochs":
-			cfg.Quiescer = "epochs"
-		case "flags":
-			cfg.Quiescer = "flags"
+		case "gv4", "fai":
+			err = setAxis("clock", &cfg.Clock, strings.TrimSpace(m), m)
+		case "epochs", "flags":
+			err = setAxis("quiescer", &cfg.Quiescer, strings.TrimSpace(m), m)
+		case "nofence":
+			err = setAxis("fence", &cfg.Fence, "noop", m)
+		case "wait":
+			err = setAxis("fence", &cfg.Fence, "wait", m)
+		case "skipro":
+			err = setAxis("fence", &cfg.Fence, "skipro", m)
 		case "rofast":
+			if cfg.ReadOnlyFastPath {
+				err = fmt.Errorf("engine: duplicate modifier %q in spec %q", m, spec)
+			}
 			cfg.ReadOnlyFastPath = true
 		case "sorted":
+			if cfg.SortedLocks {
+				err = fmt.Errorf("engine: duplicate modifier %q in spec %q", m, spec)
+			}
 			cfg.SortedLocks = true
-		case "nofence":
-			cfg.Fence = "noop"
-		case "wait":
-			cfg.Fence = "wait"
-		case "skipro":
-			cfg.Fence = "skipro"
 		case "":
-			return Config{}, fmt.Errorf("engine: empty modifier in spec %q", spec)
+			err = fmt.Errorf("engine: empty modifier in spec %q", spec)
 		default:
-			return Config{}, fmt.Errorf("engine: unknown modifier %q in spec %q", m, spec)
+			err = fmt.Errorf("engine: unknown modifier %q in spec %q", m, spec)
+		}
+		if err != nil {
+			return Config{}, err
 		}
 	}
 	return cfg, nil

@@ -74,20 +74,79 @@ func TestNewSpecWithSink(t *testing.T) {
 	}
 }
 
+// TestParseErrors is the table-driven error-path test for Parse and
+// New: unknown TMs, empty specs, empty and unknown modifiers, duplicate
+// and conflicting axis settings, and combinations that parse but fail
+// construction. Every error carries the package prefix and the
+// distinguishing fragment.
 func TestParseErrors(t *testing.T) {
-	for _, spec := range []string{
-		"", "tl3", "tl2+warp", "norec+gv4", "baseline+rofast", "wtstm+skipro", "atomic+sorted", "tl2++gv4",
+	cases := []struct {
+		spec string
+		want string // substring of the Parse (or New) error
+	}{
+		{"", "empty TM spec"},
+		{"tl3", "unknown TM"},
+		{"TL2", "unknown TM"}, // specs are case-sensitive
+		{"tl2+warp", "unknown modifier"},
+		{"tl2++gv4", "empty modifier"},
+		{"tl2+", "empty modifier"},
+		// Duplicate modifiers.
+		{"tl2+gv4+gv4", "duplicate clock"},
+		{"tl2+epochs+epochs", "duplicate quiescer"},
+		{"tl2+nofence+nofence", "duplicate fence"},
+		{"tl2+rofast+rofast", "duplicate modifier"},
+		{"tl2+sorted+sorted", "duplicate modifier"},
+		// Conflicting settings of one axis.
+		{"tl2+gv4+fai", "duplicate clock"},
+		{"tl2+fai+gv4", "duplicate clock"},
+		{"tl2+epochs+flags", "duplicate quiescer"},
+		{"tl2+nofence+skipro", "duplicate fence"},
+		{"tl2+wait+nofence", "duplicate fence"},
+		// Parse fine, rejected by construction.
+		{"norec+gv4", "does not support"},
+		{"baseline+rofast", "supports no modifiers"},
+		{"baseline+gv4", "does not support"},
+		{"wtstm+skipro", "does not support"},
+		{"wtstm+rofast", "does not support"},
+		{"atomic+sorted", "supports only the stripes modifier"},
+		{"atomic+epochs", "does not support"},
+		{"norec+sorted", "has no lock table"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			cfg, err := Parse(tc.spec)
+			if err == nil {
+				cfg.Regs, cfg.Threads = 2, 2
+				_, err = New(cfg)
+			}
+			if err == nil {
+				t.Fatalf("spec %q: expected an error containing %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), "engine:") {
+				t.Fatalf("spec %q: error %q lacks package prefix", tc.spec, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("spec %q: error %q does not contain %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseBenignModifiers: naming a default explicitly is legal and
+// canonicalizes away.
+func TestParseBenignModifiers(t *testing.T) {
+	for spec, canon := range map[string]string{
+		"tl2+fai":   "tl2",
+		"tl2+wait":  "tl2",
+		"tl2+flags": "tl2",
+		"wtstm+fai": "wtstm",
 	} {
 		cfg, err := Parse(spec)
-		if err == nil {
-			// Some invalid combinations parse but fail construction.
-			cfg.Regs, cfg.Threads = 2, 2
-			if _, err = New(cfg); err == nil {
-				t.Fatalf("spec %q: expected an error", spec)
-			}
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
 		}
-		if !strings.Contains(err.Error(), "engine:") {
-			t.Fatalf("spec %q: error %q lacks package prefix", spec, err)
+		if got := cfg.Spec(); got != canon {
+			t.Fatalf("Parse(%q).Spec() = %q, want %q", spec, got, canon)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package mgc
+
+import (
+	"testing"
+
+	"safepriv/internal/engine"
+	"safepriv/internal/record"
+)
+
+// safeSinkSpecs returns every registered engine spec whose TM both
+// supports a recording sink and has a correct fence — the
+// configurations for which Theorem 5.3 promises that every recorded
+// most-general-client history passes the strong-opacity pipeline.
+// (wtstm has no sink; +nofence/+skipro are deliberately unsafe.)
+func safeSinkSpecs(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, spec := range engine.Specs() {
+		cfg, err := engine.Parse(spec)
+		if err != nil {
+			t.Fatalf("registered spec %q does not parse: %v", spec, err)
+		}
+		if cfg.Fence != "" && cfg.Fence != "wait" {
+			continue
+		}
+		if _, err := engine.NewSpec(spec, 1, 1, record.NewRecorder()); err != nil {
+			continue // no sink support (wtstm)
+		}
+		out = append(out, spec)
+	}
+	if len(out) < 8 {
+		t.Fatalf("only %d sink-capable safe specs: %v", len(out), out)
+	}
+	return out
+}
+
+// TestPropertyOpacityPerSpec is the registry-wide property test: for
+// every sink-capable safe configuration, randomized most-general-client
+// runs recorded on the live TM must pass the full strong-opacity
+// pipeline (well-formedness, DRF, consistency, graph acyclicity,
+// witness membership). Short mode bounds the seeds; the full run soaks.
+func TestPropertyOpacityPerSpec(t *testing.T) {
+	seeds := int64(6)
+	shape := Config{Threads: 4, DataRegs: 4, TxnsPerThread: 20, OpsPerTxn: 3, Rounds: 4}
+	if testing.Short() {
+		seeds = 2
+		shape = Config{Threads: 3, DataRegs: 3, TxnsPerThread: 8, OpsPerTxn: 2, Rounds: 2}
+	}
+	for _, spec := range safeSinkSpecs(t) {
+		t.Run(spec, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				cfg := shape
+				cfg.Seed = seed * 997
+				cfg.TM = spec
+				res, err := RunAndCheck(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: strong opacity violated: %v", seed, err)
+				}
+				if !res.Report.DRF {
+					t.Fatalf("seed %d: protocol produced a racy history", seed)
+				}
+				if res.Txns == 0 || res.NonTxn == 0 {
+					t.Fatalf("seed %d: degenerate run %+v", seed, res)
+				}
+			}
+		})
+	}
+}

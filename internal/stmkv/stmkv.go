@@ -1,0 +1,696 @@
+// Package stmkv is a sharded transactional key-value store built on the
+// core TM API: the paper's privatization idiom (§2.1, Figure 7) promoted
+// from litmus test to hot path.
+//
+// The store divides the TM's registers into N shards. Each shard is an
+// open-addressing hash table over registers (linear probing, tombstone
+// deletion), plus a small header:
+//
+//	base+0  flag   privatization epoch: even = shared, odd = private
+//	base+1  cap    active slot count (≤ the shard's slot arena)
+//	base+2  count  live keys
+//	base+3  tombs  tombstones
+//	base+4+2i      slot i key   (0 = empty, -1 = tombstone)
+//	base+5+2i      slot i value
+//
+// Point operations (Get/Put/Delete) are single transactions that follow
+// the DRF discipline of the paper: they read the shard's flag first and
+// touch the table only when the flag is even. Bulk operations (Scan,
+// Clear, Resize, and the automatic growth triggered by Put) privatize
+// the shard exactly as Figure 7 prescribes — commit a transaction that
+// makes the flag odd, issue the transactional Fence, operate on the
+// shard with uninstrumented Load/Store, and publish it back with a
+// transaction that makes the flag even again. Under Theorem 5.3 the
+// resulting program is DRF assuming strong atomicity, so it is safe on
+// every TM in the registry, including weakly atomic TL2.
+//
+// The privatization frequency is therefore a first-class knob: it is
+// driven by how often callers Scan/Clear/Resize and by the growth
+// policy (maxLoadNum/maxLoadDen), and the Stats counters expose it.
+// WithTransactionalScan provides the contrast configuration — Scan as
+// one big read-only transaction per shard, no fence, the natural choice
+// on a TM like NOrec whose privatization is safe without fences.
+package stmkv
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"safepriv/internal/core"
+)
+
+const (
+	offFlag  = 0
+	offCap   = 1
+	offCount = 2
+	offTombs = 3
+	// hdrRegs is the per-shard header size in registers.
+	hdrRegs = 4
+
+	keyEmpty int64 = 0
+	keyTomb  int64 = -1
+
+	// maxLoadNum/maxLoadDen is the load factor (live + tombstones over
+	// capacity) beyond which Put privatizes the shard and grows it.
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// ErrFull is returned by Put when the key's shard is at its arena limit
+// and holds no reclaimable tombstones.
+var ErrFull = errors.New("stmkv: shard full")
+
+// ErrBadKey is returned for keys outside the storable domain. Keys must
+// be positive: 0 encodes an empty slot and -1 a tombstone.
+var ErrBadKey = errors.New("stmkv: key must be positive")
+
+// errShardPrivate aborts a point operation that found its shard
+// privatized; the caller yields and retries once the owner publishes.
+var errShardPrivate = errors.New("stmkv: shard is privatized")
+
+// errNeedGrow aborts a Put whose shard is over the load-factor bound;
+// the caller privatizes and grows, then retries.
+var errNeedGrow = errors.New("stmkv: shard needs growth")
+
+// Option mutates store construction.
+type Option func(*Store)
+
+// WithTransactionalScan makes Scan read each shard in one read-only
+// transaction instead of privatizing it — the fence-free contrast
+// configuration (on NOrec the privatization idiom needs no fence at
+// all; on TL2 the transactional scan pays validation instead).
+func WithTransactionalScan() Option { return func(s *Store) { s.txnScan = true } }
+
+// Stats counts the store's privatization traffic.
+type Stats struct {
+	// Privatizations is the number of privatize→fence→publish cycles
+	// (every bulk operation on every shard contributes one).
+	Privatizations int64
+	// Grows is the number of capacity-doubling rehashes.
+	Grows int64
+	// Scans, Clears count bulk reads and wipes (per shard).
+	Scans, Clears int64
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key, Val int64
+}
+
+// Store is a sharded transactional KV store over a core.TM.
+type Store struct {
+	tm      core.TM
+	shards  int
+	slots   int // slot arena per shard
+	span    int // registers per shard
+	txnScan bool
+
+	privatizations atomic.Int64
+	grows          atomic.Int64
+	scans          atomic.Int64
+	clears         atomic.Int64
+}
+
+// RegsNeeded returns the register count a store with the given geometry
+// requires; size the TM with at least this many registers.
+func RegsNeeded(shards, slots int) int { return shards * (hdrRegs + 2*slots) }
+
+// New builds a store with `shards` shards of `slots` slots each over
+// tm's registers [0, RegsNeeded(shards, slots)). The header registers
+// are initialized non-transactionally (thread 1), so construction must
+// happen before concurrent use, like stmds allocators.
+func New(tm core.TM, shards, slots int, opts ...Option) (*Store, error) {
+	if shards <= 0 || slots <= 0 {
+		return nil, fmt.Errorf("stmkv: bad geometry shards=%d slots=%d", shards, slots)
+	}
+	if need := RegsNeeded(shards, slots); tm.NumRegs() < need {
+		return nil, fmt.Errorf("stmkv: TM has %d registers, geometry needs %d", tm.NumRegs(), need)
+	}
+	s := &Store{tm: tm, shards: shards, slots: slots, span: hdrRegs + 2*slots}
+	for _, o := range opts {
+		o(s)
+	}
+	// Start with a small active table and grow on demand: every growth
+	// is a privatize→rehash→publish cycle, so the paper's idiom runs on
+	// the hot path instead of only in explicit bulk calls.
+	initial := slots
+	if initial > 8 {
+		initial = 8
+	}
+	for sh := 0; sh < shards; sh++ {
+		base := sh * s.span
+		tm.Store(1, base+offFlag, 0)
+		tm.Store(1, base+offCap, int64(initial))
+		tm.Store(1, base+offCount, 0)
+		tm.Store(1, base+offTombs, 0)
+		// Wipe the initial active range: the TM may have been used
+		// before. Slots beyond it are wiped by rehash before any growth
+		// makes them active.
+		for i := 0; i < initial; i++ {
+			tm.Store(1, s.keyReg(base, i), keyEmpty)
+			tm.Store(1, s.valReg(base, i), 0)
+		}
+	}
+	return s, nil
+}
+
+// NewForTM derives the geometry from the TM itself: `shards` shards
+// splitting all of tm's registers, each shard using every slot that
+// fits its span. This lets harnesses size the TM once (RegsFor) and
+// still sweep the shard count.
+func NewForTM(tm core.TM, shards int, opts ...Option) (*Store, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("stmkv: bad shard count %d", shards)
+	}
+	slots := (tm.NumRegs()/shards - hdrRegs) / 2
+	if slots <= 0 {
+		return nil, fmt.Errorf("stmkv: %d registers cannot host %d shards", tm.NumRegs(), shards)
+	}
+	return New(tm, shards, slots, opts...)
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.shards }
+
+// SlotsPerShard returns the per-shard slot arena size.
+func (s *Store) SlotsPerShard() int { return s.slots }
+
+// Stats returns a snapshot of the privatization counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Privatizations: s.privatizations.Load(),
+		Grows:          s.grows.Load(),
+		Scans:          s.scans.Load(),
+		Clears:         s.clears.Load(),
+	}
+}
+
+// mix64 is the splitmix64 finalizer: the key hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardOf maps a key to its shard.
+func (s *Store) shardOf(key int64) int {
+	return int(mix64(uint64(key)) % uint64(s.shards))
+}
+
+// slotStart picks the probe start for key in a table of cap slots; the
+// double mix decorrelates it from the shard choice.
+func slotStart(key int64, cap int64) int {
+	return int(mix64(mix64(uint64(key))) % uint64(cap))
+}
+
+func (s *Store) base(shard int) int     { return shard * s.span }
+func (s *Store) keyReg(base, i int) int { return base + hdrRegs + 2*i }
+func (s *Store) valReg(base, i int) int { return base + hdrRegs + 2*i + 1 }
+
+// shared is the DRF guard of every point transaction: read the shard's
+// flag and refuse to proceed while it is odd (privatized). Because the
+// read is transactional, a privatizer committing after it dooms this
+// transaction — the conflict Theorem 5.3 relies on.
+func shared(tx core.Txn, base int) error {
+	f, err := tx.Read(base + offFlag)
+	if err != nil {
+		return err
+	}
+	if f&1 == 1 {
+		return errShardPrivate
+	}
+	return nil
+}
+
+// Get reads key's value; ok reports presence. th is the caller's TM
+// thread id.
+func (s *Store) Get(th int, key int64) (v int64, ok bool, err error) {
+	if key <= 0 {
+		return 0, false, ErrBadKey
+	}
+	base := s.base(s.shardOf(key))
+	err = s.retryShared(th, func(tx core.Txn) error {
+		v, ok = 0, false
+		if err := shared(tx, base); err != nil {
+			return err
+		}
+		cap, err := tx.Read(base + offCap)
+		if err != nil {
+			return err
+		}
+		i := slotStart(key, cap)
+		for j := int64(0); j < cap; j++ {
+			k, err := tx.Read(s.keyReg(base, i))
+			if err != nil {
+				return err
+			}
+			if k == keyEmpty {
+				return nil
+			}
+			if k == key {
+				if v, err = tx.Read(s.valReg(base, i)); err != nil {
+					return err
+				}
+				ok = true
+				return nil
+			}
+			if i++; i == int(cap) {
+				i = 0
+			}
+		}
+		return nil
+	})
+	return v, ok, err
+}
+
+// Put inserts or updates key↦val. When the shard crosses the load
+// factor (or is out of free slots), Put privatizes it, grows/compacts
+// the table, and retries; ErrFull is returned only when the shard's
+// slot arena is exhausted by live keys.
+func (s *Store) Put(th int, key, val int64) error {
+	if key <= 0 {
+		return ErrBadKey
+	}
+	shard := s.shardOf(key)
+	base := s.base(shard)
+	for {
+		err := s.retryShared(th, func(tx core.Txn) error {
+			if err := shared(tx, base); err != nil {
+				return err
+			}
+			cap, err := tx.Read(base + offCap)
+			if err != nil {
+				return err
+			}
+			count, err := tx.Read(base + offCount)
+			if err != nil {
+				return err
+			}
+			tombs, err := tx.Read(base + offTombs)
+			if err != nil {
+				return err
+			}
+			i := slotStart(key, cap)
+			firstTomb := -1
+			for j := int64(0); j < cap; j++ {
+				k, err := tx.Read(s.keyReg(base, i))
+				if err != nil {
+					return err
+				}
+				if k == key {
+					return tx.Write(s.valReg(base, i), val)
+				}
+				if k == keyTomb && firstTomb < 0 {
+					firstTomb = i
+				}
+				if k == keyEmpty {
+					// Inserting into a fresh slot raises count+tombs;
+					// keep the table under the load factor so probe
+					// chains stay short — unless the shard is already at
+					// its arena limit, where filling up beats looping.
+					if firstTomb < 0 && cap < int64(s.slots) &&
+						(count+tombs+1)*maxLoadDen > cap*maxLoadNum {
+						return errNeedGrow
+					}
+					at := i
+					if firstTomb >= 0 {
+						at = firstTomb
+						if err := tx.Write(base+offTombs, tombs-1); err != nil {
+							return err
+						}
+					}
+					if err := tx.Write(s.keyReg(base, at), key); err != nil {
+						return err
+					}
+					if err := tx.Write(s.valReg(base, at), val); err != nil {
+						return err
+					}
+					return tx.Write(base+offCount, count+1)
+				}
+				if i++; i == int(cap) {
+					i = 0
+				}
+			}
+			if firstTomb >= 0 {
+				if err := tx.Write(s.keyReg(base, firstTomb), key); err != nil {
+					return err
+				}
+				if err := tx.Write(s.valReg(base, firstTomb), val); err != nil {
+					return err
+				}
+				if err := tx.Write(base+offTombs, tombs-1); err != nil {
+					return err
+				}
+				return tx.Write(base+offCount, count+1)
+			}
+			return errNeedGrow
+		})
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errNeedGrow) {
+			if err := s.grow(th, shard); err != nil {
+				return err
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(th int, key int64) (removed bool, err error) {
+	if key <= 0 {
+		return false, ErrBadKey
+	}
+	base := s.base(s.shardOf(key))
+	err = s.retryShared(th, func(tx core.Txn) error {
+		removed = false
+		if err := shared(tx, base); err != nil {
+			return err
+		}
+		cap, err := tx.Read(base + offCap)
+		if err != nil {
+			return err
+		}
+		i := slotStart(key, cap)
+		for j := int64(0); j < cap; j++ {
+			k, err := tx.Read(s.keyReg(base, i))
+			if err != nil {
+				return err
+			}
+			if k == keyEmpty {
+				return nil
+			}
+			if k == key {
+				count, err := tx.Read(base + offCount)
+				if err != nil {
+					return err
+				}
+				tombs, err := tx.Read(base + offTombs)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(s.keyReg(base, i), keyTomb); err != nil {
+					return err
+				}
+				if err := tx.Write(base+offCount, count-1); err != nil {
+					return err
+				}
+				if err := tx.Write(base+offTombs, tombs+1); err != nil {
+					return err
+				}
+				removed = true
+				return nil
+			}
+			if i++; i == int(cap) {
+				i = 0
+			}
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Len returns the live key count, summed shard by shard (each shard's
+// count is read in its own transaction, so the total is not a single
+// consistent snapshot under concurrent writers).
+func (s *Store) Len(th int) (int64, error) {
+	var total int64
+	for sh := 0; sh < s.shards; sh++ {
+		base := s.base(sh)
+		var n int64
+		err := s.retryShared(th, func(tx core.Txn) error {
+			if err := shared(tx, base); err != nil {
+				return err
+			}
+			var err error
+			n, err = tx.Read(base + offCount)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Scan returns every key-value pair, shard by shard. Each shard is
+// snapshot-consistent; the snapshot is per shard, not global. The
+// default implementation privatizes each shard (Figure 7); with
+// WithTransactionalScan the shard is read in one read-only transaction
+// instead.
+func (s *Store) Scan(th int) ([]KV, error) {
+	var out []KV
+	for sh := 0; sh < s.shards; sh++ {
+		var err error
+		if s.txnScan {
+			out, err = s.scanShardTxn(th, sh, out)
+		} else {
+			out, err = s.scanShardPrivate(th, sh, out)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.scans.Add(1)
+	}
+	return out, nil
+}
+
+// scanShardPrivate is the paper's idiom: privatize, fence, read the
+// table uninstrumented, publish.
+func (s *Store) scanShardPrivate(th, shard int, out []KV) ([]KV, error) {
+	base := s.base(shard)
+	if err := s.privatize(th, base); err != nil {
+		return nil, err
+	}
+	tm := s.tm
+	cap := int(tm.Load(th, base+offCap))
+	for i := 0; i < cap; i++ {
+		if k := tm.Load(th, s.keyReg(base, i)); k > 0 {
+			out = append(out, KV{k, tm.Load(th, s.valReg(base, i))})
+		}
+	}
+	return out, s.publish(th, base)
+}
+
+// scanShardTxn reads the whole shard in one transaction.
+func (s *Store) scanShardTxn(th, shard int, out []KV) ([]KV, error) {
+	base := s.base(shard)
+	start := len(out)
+	err := s.retryShared(th, func(tx core.Txn) error {
+		out = out[:start]
+		if err := shared(tx, base); err != nil {
+			return err
+		}
+		cap, err := tx.Read(base + offCap)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(cap); i++ {
+			k, err := tx.Read(s.keyReg(base, i))
+			if err != nil {
+				return err
+			}
+			if k <= 0 {
+				continue
+			}
+			v, err := tx.Read(s.valReg(base, i))
+			if err != nil {
+				return err
+			}
+			out = append(out, KV{k, v})
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Clear empties the store, privatizing each shard in turn.
+func (s *Store) Clear(th int) error {
+	for sh := 0; sh < s.shards; sh++ {
+		base := s.base(sh)
+		if err := s.privatize(th, base); err != nil {
+			return err
+		}
+		tm := s.tm
+		cap := int(tm.Load(th, base+offCap))
+		for i := 0; i < cap; i++ {
+			tm.Store(th, s.keyReg(base, i), keyEmpty)
+			tm.Store(th, s.valReg(base, i), 0)
+		}
+		tm.Store(th, base+offCount, 0)
+		tm.Store(th, base+offTombs, 0)
+		if err := s.publish(th, base); err != nil {
+			return err
+		}
+		s.clears.Add(1)
+	}
+	return nil
+}
+
+// Resize rehashes every shard to the given active capacity (clamped to
+// [live keys, slot arena]), privatizing one shard at a time.
+func (s *Store) Resize(th, slots int) error {
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > s.slots {
+		slots = s.slots
+	}
+	for sh := 0; sh < s.shards; sh++ {
+		base := s.base(sh)
+		if err := s.privatize(th, base); err != nil {
+			return err
+		}
+		target := int64(slots)
+		if live := s.tm.Load(th, base+offCount); target < live {
+			target = live
+		}
+		s.rehash(th, base, target)
+		if err := s.publish(th, base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grow doubles a shard's active capacity (up to the arena) after Put
+// hit the load factor; at the arena limit it compacts tombstones
+// instead. ErrFull when the arena is exhausted by live keys.
+func (s *Store) grow(th, shard int) error {
+	base := s.base(shard)
+	if err := s.privatize(th, base); err != nil {
+		return err
+	}
+	tm := s.tm
+	cap := tm.Load(th, base+offCap)
+	count := tm.Load(th, base+offCount)
+	tombs := tm.Load(th, base+offTombs)
+	// Re-check under privatization: a concurrent grower may have run
+	// between our failed Put and our privatizing transaction, in which
+	// case no further doubling is due.
+	newCap := cap
+	if cap < int64(s.slots) && (count+tombs+1)*maxLoadDen > cap*maxLoadNum {
+		newCap = cap * 2
+		if newCap > int64(s.slots) {
+			newCap = int64(s.slots)
+		}
+	}
+	switch {
+	case newCap != cap:
+		s.rehash(th, base, newCap)
+		s.grows.Add(1)
+	case tombs > 0:
+		s.rehash(th, base, cap) // compaction: reclaim tombstones
+	case count >= cap && cap == int64(s.slots):
+		err := s.publish(th, base)
+		if err == nil {
+			err = ErrFull
+		}
+		return err
+	}
+	return s.publish(th, base)
+}
+
+// rehash rebuilds the (privatized) shard's table at newCap active
+// slots, dropping tombstones. Uninstrumented accesses only — the caller
+// holds the shard private.
+func (s *Store) rehash(th, base int, newCap int64) {
+	tm := s.tm
+	oldCap := tm.Load(th, base+offCap)
+	type kv struct{ k, v int64 }
+	live := make([]kv, 0, tm.Load(th, base+offCount))
+	for i := 0; i < int(oldCap); i++ {
+		if k := tm.Load(th, s.keyReg(base, i)); k > 0 {
+			live = append(live, kv{k, tm.Load(th, s.valReg(base, i))})
+		}
+	}
+	wipe := oldCap
+	if newCap > wipe {
+		wipe = newCap
+	}
+	for i := 0; i < int(wipe); i++ {
+		tm.Store(th, s.keyReg(base, i), keyEmpty)
+		tm.Store(th, s.valReg(base, i), 0)
+	}
+	for _, e := range live {
+		i := slotStart(e.k, newCap)
+		for tm.Load(th, s.keyReg(base, i)) != keyEmpty {
+			if i++; i == int(newCap) {
+				i = 0
+			}
+		}
+		tm.Store(th, s.keyReg(base, i), e.k)
+		tm.Store(th, s.valReg(base, i), e.v)
+	}
+	tm.Store(th, base+offCap, newCap)
+	tm.Store(th, base+offCount, int64(len(live)))
+	tm.Store(th, base+offTombs, 0)
+}
+
+// privatize commits a transaction flipping the shard's flag odd, then
+// fences: after it returns, no transaction that saw the shard shared is
+// still running, so uninstrumented access is race-free (Figure 7). If
+// another thread holds the shard private, privatize waits its turn.
+func (s *Store) privatize(th, base int) error {
+	err := s.retryShared(th, func(tx core.Txn) error {
+		f, err := tx.Read(base + offFlag)
+		if err != nil {
+			return err
+		}
+		if f&1 == 1 {
+			return errShardPrivate // another bulk op holds the shard
+		}
+		return tx.Write(base+offFlag, f+1)
+	})
+	if err != nil {
+		return err
+	}
+	s.tm.Fence(th)
+	s.privatizations.Add(1)
+	return nil
+}
+
+// publish commits a transaction flipping the shard's flag back to even,
+// re-sharing it.
+func (s *Store) publish(th, base int) error {
+	return core.Atomically(s.tm, th, func(tx core.Txn) error {
+		f, err := tx.Read(base + offFlag)
+		if err != nil {
+			return err
+		}
+		return tx.Write(base+offFlag, f+1)
+	})
+}
+
+// maxPrivateWaits bounds how long a point operation waits for a
+// privatized shard before giving up: shard rehashes are bounded work,
+// so a wait this long means the privatizer died between privatize and
+// publish (the flag is stuck odd) and spinning would hang forever.
+const maxPrivateWaits = 1 << 22
+
+// retryShared runs body transactionally, retrying (with a yield) as
+// long as it reports the shard privatized. Bodies start with the
+// shared() guard, so they never touch a private shard's table.
+func (s *Store) retryShared(th int, body func(core.Txn) error) error {
+	for i := 0; ; i++ {
+		err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+			return body(tx)
+		})
+		if errors.Is(err, errShardPrivate) {
+			if i >= maxPrivateWaits {
+				return fmt.Errorf("stmkv: shard stayed privatized for %d retries (owner died?): %w", i, err)
+			}
+			runtime.Gosched()
+			continue
+		}
+		return err
+	}
+}

@@ -1,0 +1,371 @@
+package stmkv_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"safepriv/internal/engine"
+	"safepriv/internal/stmkv"
+)
+
+// allSpecs is every production TM in the registry: the store must work
+// unchanged on all of them.
+var allSpecs = []string{"baseline", "atomic", "norec", "wtstm", "tl2"}
+
+func newStore(t *testing.T, spec string, shards, slots, threads int, opts ...stmkv.Option) *stmkv.Store {
+	t.Helper()
+	tm, err := engine.NewSpec(spec, stmkv.RegsNeeded(shards, slots), threads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stmkv.New(tm, shards, slots, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCRUDAllTMs(t *testing.T) {
+	for _, spec := range allSpecs {
+		t.Run(spec, func(t *testing.T) {
+			s := newStore(t, spec, 4, 64, 3)
+			const n = 120 // crosses the initial 8-slot capacity: grows happen
+			for k := int64(1); k <= n; k++ {
+				if err := s.Put(1, k, k*10); err != nil {
+					t.Fatalf("Put(%d): %v", k, err)
+				}
+			}
+			for k := int64(1); k <= n; k++ {
+				v, ok, err := s.Get(1, k)
+				if err != nil || !ok || v != k*10 {
+					t.Fatalf("Get(%d) = %d,%v,%v; want %d,true,nil", k, v, ok, err, k*10)
+				}
+			}
+			// Overwrite.
+			if err := s.Put(1, 7, 777); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := s.Get(1, 7); !ok || v != 777 {
+				t.Fatalf("overwrite: got %d,%v", v, ok)
+			}
+			// Delete half.
+			for k := int64(1); k <= n; k += 2 {
+				removed, err := s.Delete(1, k)
+				if err != nil || !removed {
+					t.Fatalf("Delete(%d) = %v,%v", k, removed, err)
+				}
+			}
+			if removed, _ := s.Delete(1, 3); removed {
+				t.Fatal("double delete reported success")
+			}
+			if ln, err := s.Len(1); err != nil || ln != n/2 {
+				t.Fatalf("Len = %d,%v; want %d", ln, err, n/2)
+			}
+			if got := s.Stats(); got.Grows == 0 || got.Privatizations == 0 {
+				t.Fatalf("expected growth privatizations, got %+v", got)
+			}
+			// Missing and bad keys.
+			if _, ok, _ := s.Get(1, 999999); ok {
+				t.Fatal("phantom key")
+			}
+			if _, _, err := s.Get(1, 0); !errors.Is(err, stmkv.ErrBadKey) {
+				t.Fatalf("key 0 accepted: %v", err)
+			}
+			if err := s.Put(1, -5, 1); !errors.Is(err, stmkv.ErrBadKey) {
+				t.Fatalf("negative key accepted: %v", err)
+			}
+		})
+	}
+}
+
+// scanMap converts a Scan result to a map, failing on duplicate keys.
+func scanMap(t *testing.T, kvs []stmkv.KV) map[int64]int64 {
+	t.Helper()
+	m := make(map[int64]int64, len(kvs))
+	for _, kv := range kvs {
+		if _, dup := m[kv.Key]; dup {
+			t.Fatalf("Scan returned key %d twice", kv.Key)
+		}
+		m[kv.Key] = kv.Val
+	}
+	return m
+}
+
+func TestScanClearResize(t *testing.T) {
+	for _, txnScan := range []bool{false, true} {
+		t.Run(fmt.Sprintf("txnScan=%v", txnScan), func(t *testing.T) {
+			var opts []stmkv.Option
+			if txnScan {
+				opts = append(opts, stmkv.WithTransactionalScan())
+			}
+			s := newStore(t, "tl2", 3, 32, 3, opts...)
+			want := map[int64]int64{}
+			for k := int64(1); k <= 40; k++ {
+				if err := s.Put(1, k, -k); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = -k
+			}
+			kvs, err := s.Scan(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scanMap(t, kvs)
+			if len(got) != len(want) {
+				t.Fatalf("Scan has %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("Scan[%d] = %d, want %d", k, got[k], v)
+				}
+			}
+			// Resize down (clamped to live keys) and back up: contents
+			// must survive both rehashes.
+			if err := s.Resize(1, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Resize(1, 32); err != nil {
+				t.Fatal(err)
+			}
+			kvs, err = s.Scan(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := scanMap(t, kvs); len(got) != len(want) {
+				t.Fatalf("post-resize Scan has %d keys, want %d", len(got), len(want))
+			}
+			if err := s.Clear(1); err != nil {
+				t.Fatal(err)
+			}
+			if ln, _ := s.Len(1); ln != 0 {
+				t.Fatalf("Len after Clear = %d", ln)
+			}
+			kvs, err = s.Scan(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(kvs) != 0 {
+				t.Fatalf("Scan after Clear returned %d pairs", len(kvs))
+			}
+		})
+	}
+}
+
+func TestFull(t *testing.T) {
+	s := newStore(t, "tl2", 1, 4, 2)
+	var sawFull bool
+	for k := int64(1); k <= 5; k++ {
+		if err := s.Put(1, k, k); err != nil {
+			if !errors.Is(err, stmkv.ErrFull) {
+				t.Fatalf("Put(%d): %v", k, err)
+			}
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("5 keys fit a 4-slot shard")
+	}
+	// Deleting makes room again (tombstone compaction on grow).
+	if _, err := s.Delete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 99, 99); err != nil {
+		t.Fatalf("Put after delete: %v", err)
+	}
+}
+
+// TestNewWipesReusedTM: building a store over a TM that already holds
+// data (e.g. a previous store's table) must start empty — no phantom
+// keys, no corrupted counts.
+func TestNewWipesReusedTM(t *testing.T) {
+	tm := engine.MustNewSpec("baseline", stmkv.RegsNeeded(2, 32), 2, nil)
+	s1, err := stmkv.New(tm, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 40; k++ {
+		if err := s1.Put(1, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := stmkv.New(tm, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln, err := s2.Len(1); err != nil || ln != 0 {
+		t.Fatalf("fresh store over reused TM has Len %d, %v", ln, err)
+	}
+	for k := int64(1); k <= 40; k++ {
+		if _, ok, _ := s2.Get(1, k); ok {
+			t.Fatalf("phantom key %d in fresh store", k)
+		}
+		if removed, _ := s2.Delete(1, k); removed {
+			t.Fatalf("phantom delete of key %d", k)
+		}
+	}
+	for k := int64(1); k <= 40; k++ {
+		if err := s2.Put(1, k, -k); err != nil {
+			t.Fatalf("Put(%d) on fresh store: %v", k, err)
+		}
+	}
+	if ln, _ := s2.Len(1); ln != 40 {
+		t.Fatalf("Len = %d after 40 puts", ln)
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	tm := engine.MustNewSpec("baseline", 8, 2, nil)
+	if _, err := stmkv.New(tm, 4, 64); err == nil {
+		t.Fatal("oversized geometry accepted")
+	}
+	if _, err := stmkv.New(tm, 0, 1); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := stmkv.NewForTM(tm, 100); err == nil {
+		t.Fatal("stmkv.NewForTM with too many shards accepted")
+	}
+	s, err := stmkv.NewForTM(tm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SlotsPerShard() != 2 || s.Shards() != 1 {
+		t.Fatalf("derived geometry %d/%d", s.Shards(), s.SlotsPerShard())
+	}
+}
+
+// TestConcurrentDisjointRanges is the determinism test: workers operate
+// on disjoint key ranges (so each range's final contents are a pure
+// function of its own op sequence) while Scan/Resize privatize shards
+// under them. The final Scan must equal the union of the per-worker
+// model maps — on every TM.
+func TestConcurrentDisjointRanges(t *testing.T) {
+	workers := 4
+	opsPer := 300
+	if testing.Short() {
+		opsPer = 120
+	}
+	for _, spec := range allSpecs {
+		t.Run(spec, func(t *testing.T) {
+			tm, err := engine.NewSpec(spec, stmkv.RegsNeeded(4, 512), workers+2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := stmkv.New(tm, 4, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			models := make([]map[int64]int64, workers+1)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers+1)
+			for w := 1; w <= workers; w++ {
+				wg.Add(1)
+				models[w] = map[int64]int64{}
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w) * 77))
+					model := models[w]
+					lo := int64(w) * 1_000_000
+					for i := 0; i < opsPer; i++ {
+						k := lo + int64(r.Intn(200)) + 1
+						switch r.Intn(3) {
+						case 0, 1:
+							v := int64(r.Intn(1000))
+							if err := s.Put(w, k, v); err != nil {
+								errs <- err
+								return
+							}
+							model[k] = v
+						case 2:
+							removed, err := s.Delete(w, k)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if _, inModel := model[k]; inModel != removed {
+								errs <- fmt.Errorf("worker %d: Delete(%d) = %v, model says %v", w, k, removed, inModel)
+								return
+							}
+							delete(model, k)
+						}
+						if i%100 == 50 {
+							if _, err := s.Scan(w); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			// A maintenance thread resizing under the workers.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := workers + 1
+				for i := 0; i < 4; i++ {
+					if err := s.Resize(th, 64+i*32); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			want := map[int64]int64{}
+			for w := 1; w <= workers; w++ {
+				for k, v := range models[w] {
+					want[k] = v
+				}
+			}
+			kvs, err := s.Scan(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scanMap(t, kvs)
+			if len(got) != len(want) {
+				t.Fatalf("final Scan has %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %d = %d, want %d", k, got[k], v)
+				}
+			}
+			if ln, err := s.Len(1); err != nil || int(ln) != len(want) {
+				t.Fatalf("Len = %d,%v; want %d", ln, err, len(want))
+			}
+		})
+	}
+}
+
+// TestScanIsPerShardSnapshot pins the documented ordering contract:
+// keys come out grouped by shard, and sorting yields the full key set.
+func TestScanIsPerShardSnapshot(t *testing.T) {
+	s := newStore(t, "baseline", 8, 16, 2)
+	var keys []int64
+	for k := int64(1); k <= 50; k++ {
+		if err := s.Put(1, k, k); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	kvs, err := s.Scan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, len(kvs))
+	for i, kv := range kvs {
+		got[i] = kv.Key
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("sorted scan[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+}

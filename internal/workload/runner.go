@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"safepriv/internal/core"
+	"safepriv/internal/stmkv"
 )
 
 // Params sizes a named workload run. Workload-specific knobs (scan
@@ -22,6 +23,15 @@ type Params struct {
 	// Rounds is the privatize/publish cycle count for pipeline
 	// (0 = the default 20 the figures harness uses).
 	Rounds int
+	// Shards is the shard count for the KV workloads
+	// (0 = KVDefaultShards).
+	Shards int
+	// PrivatizeEvery is the KV workloads' privatization cadence: each
+	// worker scans (privatizing every shard) once per this many
+	// operations. 0 selects the workload default: never for kvstore and
+	// kv-zipfian, every 200 ops for kv-scan. Negative disables scans
+	// even for kv-scan.
+	PrivatizeEvery int
 }
 
 // Runner executes a named workload against a TM.
@@ -51,6 +61,28 @@ var runners = map[string]Runner{
 		}
 		return Pipeline(tm, p.Threads-1, p.Ops, rounds, p.Mode, p.Seed)
 	},
+	"kvstore": func(tm core.TM, p Params) (Stats, error) {
+		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, 0)}, p.Seed)
+	},
+	"kv-scan": func(tm core.TM, p Params) (Stats, error) {
+		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, kvDefaultScanEvery)}, p.Seed)
+	},
+	"kv-zipfian": func(tm core.TM, p Params) (Stats, error) {
+		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ReadPct: 90, DeletePct: 5, Zipfian: true, ScanEvery: kvScanEvery(p, 0)}, p.Seed)
+	},
+}
+
+// kvScanEvery resolves Params.PrivatizeEvery against a workload
+// default: 0 = the default, negative = no scans.
+func kvScanEvery(p Params, dflt int) int {
+	switch {
+	case p.PrivatizeEvery > 0:
+		return p.PrivatizeEvery
+	case p.PrivatizeEvery < 0:
+		return 0
+	default:
+		return dflt
+	}
 }
 
 // RegsFor is the register count each named workload wants per worker
@@ -63,6 +95,8 @@ func RegsFor(name string, threads int) int {
 		return 256
 	case "pipeline":
 		return 65
+	case "kvstore", "kv-scan", "kv-zipfian":
+		return stmkv.RegsNeeded(KVDefaultShards, KVDefaultSlots)
 	default: // shorttxn, bank: one cache line of registers per thread
 		if threads < 8 {
 			return 64

@@ -99,6 +99,65 @@ func TestFenceModeString(t *testing.T) {
 	}
 }
 
+func TestKVStoreWorkloadAllTMs(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 150
+	}
+	for name, tm := range tms(t, workload.RegsFor("kvstore", 4), 6) {
+		t.Run(name, func(t *testing.T) {
+			st, err := workload.KVStore(tm, 4, ops, workload.KVConfig{ScanEvery: 100}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Commits != int64(4*ops) {
+				t.Fatalf("completed ops = %d, want %d", st.Commits, 4*ops)
+			}
+			if st.Fences == 0 {
+				t.Fatal("no privatizations despite scans and growth")
+			}
+		})
+	}
+}
+
+func TestKVWorkloadsViaRegistry(t *testing.T) {
+	for _, name := range []string{"kvstore", "kv-scan", "kv-zipfian"} {
+		t.Run(name, func(t *testing.T) {
+			run, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("workload %q not registered", name)
+			}
+			tm := engine.MustNewSpec("tl2", workload.RegsFor(name, 3), 5, nil)
+			st, err := run(tm, workload.Params{Threads: 3, Ops: 120, Seed: 2, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Commits != 3*120 {
+				t.Fatalf("completed ops = %d", st.Commits)
+			}
+		})
+	}
+}
+
+// TestKVPrivatizeKnob: PrivatizeEvery is the privatization-frequency
+// knob — a tighter cadence must produce more privatize cycles than a
+// disabled one on the identical workload.
+func TestKVPrivatizeKnob(t *testing.T) {
+	fences := func(privEvery int) int64 {
+		run, _ := workload.ByName("kvstore")
+		tm := engine.MustNewSpec("tl2", workload.RegsFor("kvstore", 3), 5, nil)
+		st, err := run(tm, workload.Params{Threads: 3, Ops: 200, Seed: 3, PrivatizeEvery: privEvery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Fences
+	}
+	often, never := fences(50), fences(-1)
+	if often <= never {
+		t.Fatalf("PrivatizeEvery=50 produced %d privatizations, disabled produced %d", often, never)
+	}
+}
+
 func TestWorkloadRegistryNames(t *testing.T) {
 	names := workload.Names()
 	if len(names) == 0 {
