@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -574,6 +575,14 @@ func TestEmitKVBenchJSON(t *testing.T) {
 			})
 		}
 	}
+	// Deterministic row order (sorted TM×shard keys): successive bench
+	// commits diff only in the measured values, not in row positions.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TM != rows[j].TM {
+			return rows[i].TM < rows[j].TM
+		}
+		return rows[i].Shards < rows[j].Shards
+	})
 	out, err := json.MarshalIndent(struct {
 		Workload string       `json:"workload"`
 		Results  []kvBenchRow `json:"results"`
@@ -585,6 +594,239 @@ func TestEmitKVBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_kv.json (%d rows)", len(rows))
+}
+
+// --- Fence modes: latency and privatization throughput ---
+
+// fenceBenchSpecs sweeps TL2 across the three quiescence modes of
+// internal/quiesce.
+var fenceBenchSpecs = []string{"tl2", "tl2+combine", "tl2+defer"}
+
+// BenchmarkFenceConcurrent measures synchronous fence latency with 8
+// goroutines fencing concurrently against a background of short
+// transactions: the combining case (one leader's grace period serves
+// every waiter that arrived before it started).
+func BenchmarkFenceConcurrent(b *testing.B) {
+	for _, spec := range fenceBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			const fencers = 8
+			tm := engine.MustNewSpec(spec, 8, fencers+4, nil)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for th := fencers + 1; th <= fencers+3; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					x := th % 8
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						core.Atomically(tm, th, func(tx core.Txn) error {
+							v, err := tx.Read(x)
+							if err != nil {
+								return err
+							}
+							return tx.Write(x, v+1)
+						})
+						runtime.Gosched()
+					}
+				}(th)
+			}
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism(fencers)
+			b.RunParallel(func(pb *testing.PB) {
+				th := int(tid.Add(1))%fencers + 1
+				for pb.Next() {
+					tm.Fence(th)
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// fenceMaintain is the privatization-throughput shape: `goroutines`
+// maintainers concurrently Resize a 16-shard store (each Resize is one
+// privatize→fence→rehash→publish cycle per shard), cycles rounds each,
+// then drain. Returns the per-Resize-call latency histogram.
+func fenceMaintain(spec string, goroutines, cycles int) (*workload.Hist, int64, error) {
+	tm := engine.MustNewSpec(spec, stmkv.RegsNeeded(16, 64), goroutines+2, nil)
+	s, err := stmkv.New(tm, 16, 64)
+	if err != nil {
+		return nil, 0, err
+	}
+	for k := int64(1); k <= 200; k++ {
+		if err := s.Put(1, k, k); err != nil {
+			return nil, 0, err
+		}
+	}
+	lat := new(workload.Hist)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 1; g <= goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < cycles; i++ {
+				start := time.Now()
+				if err := s.Resize(g, 32+(i%2)*32); err != nil {
+					errs <- err
+					return
+				}
+				lat.Add(time.Since(start))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, 0, err
+	}
+	if err := s.Drain(goroutines + 1); err != nil {
+		return nil, 0, err
+	}
+	return lat, s.Stats().Privatizations, nil
+}
+
+// BenchmarkFencePrivatizationThroughput runs the maintenance shape per
+// mode: deferred privatization batches all 16 shards' grace periods
+// onto one reclaimer round instead of fencing per shard.
+func BenchmarkFencePrivatizationThroughput(b *testing.B) {
+	for _, spec := range fenceBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fenceMaintain(spec, 8, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fenceBenchRow is one BENCH_fence.json record.
+type fenceBenchRow struct {
+	Spec           string  `json:"spec"`
+	TM             string  `json:"tm"`
+	Fence          string  `json:"fence"`
+	Workload       string  `json:"workload"`
+	Goroutines     int     `json:"goroutines"`
+	Ops            int64   `json:"ops"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	Privatizations int64   `json:"privatizations"`
+	PrivPerSec     float64 `json:"priv_per_sec"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+}
+
+// fenceOf splits an engine spec's fence mode for the JSON row.
+func fenceOf(spec string) (tm, fence string) {
+	cfg, err := engine.Parse(spec)
+	if err != nil {
+		return spec, "wait"
+	}
+	fence = cfg.Fence
+	if fence == "" {
+		fence = "wait"
+	}
+	return cfg.TM, fence
+}
+
+// TestEmitFenceBenchJSON measures the fence-mode sweep once and writes
+// BENCH_fence.json: the privatization-heavy kv workloads (kv-maintain:
+// 8 goroutines resizing a 16-shard store; kv-scan: 8 workers with
+// frequent privatizing scans) across wait, combine and defer, with
+// privatization-latency quantiles. Row order is deterministic (sorted
+// workload, TM, fence keys).
+func TestEmitFenceBenchJSON(t *testing.T) {
+	const goroutines = 8
+	cycles, scanOps := 40, 2000
+	if testing.Short() {
+		cycles, scanOps = 10, 500
+	}
+	var rows []fenceBenchRow
+	for _, spec := range fenceBenchSpecs {
+		base, fence := fenceOf(spec)
+
+		// kv-maintain: privatization is the workload.
+		start := time.Now()
+		lat, privs, err := fenceMaintain(spec, goroutines, cycles)
+		if err != nil {
+			t.Fatalf("%s kv-maintain: %v", spec, err)
+		}
+		dur := time.Since(start)
+		ops := int64(goroutines) * int64(cycles)
+		rows = append(rows, fenceBenchRow{
+			Spec: spec, TM: base, Fence: fence, Workload: "kv-maintain",
+			Goroutines: goroutines, Ops: ops,
+			OpsPerSec:      float64(ops) / dur.Seconds(),
+			Privatizations: privs,
+			PrivPerSec:     float64(privs) / dur.Seconds(),
+			P50Ns:          lat.Quantile(0.50).Nanoseconds(),
+			P99Ns:          lat.Quantile(0.99).Nanoseconds(),
+		})
+
+		// kv-scan with a low privatization interval.
+		tm := engine.MustNewSpec(spec, workload.RegsFor("kv-scan", goroutines), goroutines+2, nil)
+		start = time.Now()
+		st, err := workload.KVStore(tm, goroutines, scanOps, workload.KVConfig{ScanEvery: 25}, 1)
+		if err != nil {
+			t.Fatalf("%s kv-scan: %v", spec, err)
+		}
+		dur = time.Since(start)
+		ops = int64(goroutines) * int64(scanOps)
+		row := fenceBenchRow{
+			Spec: spec, TM: base, Fence: fence, Workload: "kv-scan",
+			Goroutines: goroutines, Ops: ops,
+			OpsPerSec:      float64(ops) / dur.Seconds(),
+			Privatizations: st.Fences,
+			PrivPerSec:     float64(st.Fences) / dur.Seconds(),
+		}
+		if st.PrivLatency != nil {
+			row.P50Ns = st.PrivLatency.Quantile(0.50).Nanoseconds()
+			row.P99Ns = st.PrivLatency.Quantile(0.99).Nanoseconds()
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.TM != b.TM {
+			return a.TM < b.TM
+		}
+		return a.Fence < b.Fence
+	})
+	// Log the headline comparison: does a batched mode beat wait on the
+	// privatization-heavy shape?
+	perFence := map[string]float64{}
+	for _, r := range rows {
+		if r.Workload == "kv-maintain" && r.TM == "tl2" {
+			perFence[r.Fence] = r.PrivPerSec
+		}
+	}
+	t.Logf("kv-maintain priv/sec: wait=%.0f combine=%.0f defer=%.0f",
+		perFence["wait"], perFence["combine"], perFence["defer"])
+	if perFence["combine"] <= perFence["wait"] && perFence["defer"] <= perFence["wait"] {
+		t.Logf("warning: neither combine nor defer beat wait on this host")
+	}
+	out, err := json.MarshalIndent(struct {
+		Workloads []string        `json:"workloads"`
+		Results   []fenceBenchRow `json:"results"`
+	}{[]string{"kv-maintain", "kv-scan"}, rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fence.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_fence.json (%d rows)", len(rows))
 }
 
 // --- Checker building blocks ---

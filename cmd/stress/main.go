@@ -17,8 +17,13 @@
 //	stress -iters 20 -threads 4 -regs 4 -txns 50 -tm tl2+gv4
 //	stress -tm norec -workload kvstore -threads 8 -wops 20000
 //	stress -tm tl2 -workload kv-scan -shards 16 -privevery 100
+//	stress -tm tl2 -fence combine -workload kv-scan -privevery 50
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
+//
+// -fence appends the fence-mode modifier (wait, combine, defer) to the
+// -tm spec; KV workload reports include a p50/p99 privatization-latency
+// line.
 package main
 
 import (
@@ -53,6 +58,10 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery int, seed 
 	fmt.Printf("%s on %s: %d ops in %v (%.0f ops/sec), commits=%d aborts=%d privatize/fences=%d\n",
 		name, tmSpec, total, dur.Round(time.Millisecond),
 		float64(total)/dur.Seconds(), st.Commits, st.Aborts, st.Fences)
+	if h := st.PrivLatency; h != nil && h.Count() > 0 {
+		fmt.Printf("privatization latency: p50=%v p99=%v (%d privatizing ops)\n",
+			h.Quantile(0.50), h.Quantile(0.99), h.Count())
+	}
 	return nil
 }
 
@@ -65,6 +74,7 @@ func main() {
 	rounds := flag.Int("rounds", 6, "privatize/publish rounds")
 	seed := flag.Int64("seed", 1, "base seed")
 	tmSpec := flag.String("tm", "tl2", "TM under test: an engine spec (or 'list' to print them)")
+	fence := flag.String("fence", "", "fence mode modifier appended to -tm: wait, combine, or defer")
 	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
@@ -76,6 +86,11 @@ func main() {
 			fmt.Println(s)
 		}
 		return
+	}
+	if *fence != "" {
+		// Appending keeps the engine's conflict rejection: -fence combine
+		// with a spec that already names a fence mode is a usage error.
+		*tmSpec += "+" + *fence
 	}
 	if *wl == "list" {
 		for _, s := range workload.Names() {

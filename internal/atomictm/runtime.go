@@ -27,6 +27,7 @@ import (
 	"runtime"
 
 	"safepriv/internal/core"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 	"safepriv/internal/stripe"
@@ -37,11 +38,15 @@ type Option func(*config)
 
 type config struct {
 	stripes int
+	mode    quiesce.Mode
 	sink    record.Sink
 }
 
 // WithStripes sets the lock-table size (0 = stripe default).
 func WithStripes(n int) Option { return func(c *config) { c.stripes = n } }
+
+// WithFenceMode selects the quiescence mode (wait, combine, defer).
+func WithFenceMode(m quiesce.Mode) Option { return func(c *config) { c.mode = m } }
 
 // WithSink attaches a recording sink.
 func WithSink(s record.Sink) Option { return func(c *config) { c.sink = s } }
@@ -49,7 +54,7 @@ func WithSink(s record.Sink) Option { return func(c *config) { c.sink = s } }
 // TM is the executable strongly-atomic TM. It implements core.TM.
 type TM struct {
 	table   *stripe.Table
-	q       rcu.Quiescer
+	qs      *quiesce.Service
 	sink    record.Sink
 	threads []slot
 }
@@ -60,17 +65,19 @@ type slot struct {
 }
 
 // New returns a strongly-atomic TM with regs registers and thread ids
-// 1..threads.
+// 1..threads. Thread id threads+1 is reserved for the quiescence
+// service's reclaimer (deferred-fence callbacks).
 func New(regs, threads int, opts ...Option) *TM {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
+	reclaim := threads + 1
 	tm := &TM{
 		table:   stripe.New(regs, cfg.stripes),
-		q:       rcu.NewFlags(threads),
+		qs:      quiesce.New(rcu.NewFlags(reclaim), cfg.mode, reclaim),
 		sink:    cfg.sink,
-		threads: make([]slot, threads+1),
+		threads: make([]slot, reclaim+1),
 	}
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
@@ -129,11 +136,18 @@ func (tm *TM) Fence(thread int) {
 	if sk := tm.sink; sk != nil {
 		sk.FBegin(thread)
 	}
-	tm.q.Wait()
+	tm.qs.Fence()
 	if sk := tm.sink; sk != nil {
 		sk.FEnd(thread)
 	}
 }
+
+// FenceAsync implements core.TM: the quiescence service's Defer.
+// Deferred grace periods are not recorded in the sink.
+func (tm *TM) FenceAsync(thread int, fn func(thread int)) { tm.qs.Defer(thread, fn) }
+
+// FenceBarrier implements core.TM.
+func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {
@@ -142,7 +156,7 @@ func (tm *TM) Begin(thread int) core.Txn {
 		panic(fmt.Sprintf("atomictm: thread %d began a transaction inside a transaction", thread))
 	}
 	tx.reset()
-	tm.q.Enter(thread)
+	tm.qs.Enter(thread)
 	if sk := tm.sink; sk != nil {
 		sk.TxBegin(thread)
 	}
@@ -177,7 +191,7 @@ func (tx *Txn) reset() {
 
 func (tx *Txn) finish() {
 	tx.live = false
-	tx.tm.q.Exit(tx.thread)
+	tx.tm.qs.Exit(tx.thread)
 }
 
 // lockStripe acquires x's stripe unless already held; false means

@@ -16,21 +16,44 @@ import (
 	"sync"
 
 	"safepriv/internal/core"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/record"
 )
+
+// Option mutates TM construction.
+type Option func(*config)
+
+type config struct{ mode quiesce.Mode }
+
+// WithFenceMode selects the quiescence mode (wait, combine, defer).
+// The baseline's grace period is structural — acquire and release the
+// global lock — so the quiescence service wraps that wait.
+func WithFenceMode(m quiesce.Mode) Option { return func(c *config) { c.mode = m } }
 
 // TM is a global-lock transactional memory implementing core.TM.
 type TM struct {
 	mu   sync.Mutex
 	regs []int64
+	qs   *quiesce.Service
 	sink record.Sink
 	txns []txn
 }
 
 // New returns a global-lock TM with regs registers and thread ids
-// 1..threads.
-func New(regs, threads int, sink record.Sink) *TM {
-	tm := &TM{regs: make([]int64, regs), sink: sink, txns: make([]txn, threads+1)}
+// 1..threads. Thread id threads+1 is reserved for the quiescence
+// service's reclaimer (deferred-fence callbacks).
+func New(regs, threads int, sink record.Sink, opts ...Option) *TM {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reclaim := threads + 1
+	tm := &TM{regs: make([]int64, regs), sink: sink, txns: make([]txn, reclaim+1)}
+	tm.qs = quiesce.NewFunc(func() {
+		tm.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the grace period
+		tm.mu.Unlock()
+	}, cfg.mode, reclaim)
 	for t := range tm.txns {
 		tm.txns[t].tm = tm
 		tm.txns[t].thread = t
@@ -60,13 +83,18 @@ func (tm *TM) Fence(thread int) {
 	if tm.sink != nil {
 		tm.sink.FBegin(thread)
 	}
-	tm.mu.Lock()
-	//lint:ignore SA2001 empty critical section is the fence's wait
-	tm.mu.Unlock()
+	tm.qs.Fence()
 	if tm.sink != nil {
 		tm.sink.FEnd(thread)
 	}
 }
+
+// FenceAsync implements core.TM: the quiescence service's Defer.
+// Deferred grace periods are not recorded in the sink.
+func (tm *TM) FenceAsync(thread int, fn func(thread int)) { tm.qs.Defer(thread, fn) }
+
+// FenceBarrier implements core.TM.
+func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 
 // Load implements core.TM.
 func (tm *TM) Load(thread, x int) int64 {

@@ -51,6 +51,23 @@ type TM interface {
 	// transaction active at the time of the call has committed or
 	// aborted. It must not be called inside a transaction.
 	Fence(thread int)
+	// FenceAsync is the asynchronous fence (the call_rcu analogue of
+	// Fence): it registers fn to run once every transaction active at
+	// the time of the call has committed or aborted. fn receives a
+	// thread id valid for transactional and non-transactional access
+	// for the duration of the callback. A TM whose fence mode is
+	// deferred returns immediately and later runs fn on a background
+	// reclaimer under a reserved thread id (distinct from every
+	// application thread id, and shared by all callbacks, which run
+	// serially in registration order); any other TM fences
+	// synchronously and runs fn(thread) inline before returning. fn
+	// must not call Fence, FenceAsync or FenceBarrier on the same TM.
+	FenceAsync(thread int, fn func(thread int))
+	// FenceBarrier blocks until every callback registered by FenceAsync
+	// before the call has run. On TMs whose fence mode is not deferred
+	// it returns immediately (callbacks ran inline). It must not be
+	// called inside a transaction.
+	FenceBarrier(thread int)
 	// Load reads register x non-transactionally (uninstrumented).
 	Load(thread, x int) int64
 	// Store writes register x non-transactionally (uninstrumented).

@@ -22,10 +22,18 @@
 //	flags      flag-based grace period — the default
 //	rofast     read-only commit fast path        (tl2)
 //	sorted     commit locks in register order    (tl2)
+//	combine    concurrent fences coalesce onto shared grace periods
+//	defer      fences batch through a background reclaimer; FenceAsync
+//	           callbacks never block the caller  (all TMs)
 //	nofence    Fence is a no-op — unsafe, for anomaly reproduction
 //	skipro     fence skips read-only txns (GCC libitm bug) (tl2)
 //
-// Examples: "tl2+gv4+epochs+rofast", "wtstm+nofence", "norec".
+// combine, defer, nofence, skipro and wait all set the one fence axis,
+// so any two of them in a spec conflict (in particular nofence+combine
+// and combine+defer are rejected).
+//
+// Examples: "tl2+gv4+epochs+rofast", "wtstm+nofence", "norec+defer",
+// "tl2+gv4+combine".
 package engine
 
 import (
@@ -37,6 +45,7 @@ import (
 	"safepriv/internal/baseline"
 	"safepriv/internal/core"
 	"safepriv/internal/norec"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/record"
 	"safepriv/internal/tl2"
 	"safepriv/internal/wtstm"
@@ -57,7 +66,7 @@ type Config struct {
 	// or "gv4". Only tl2 and wtstm have a clock.
 	Clock string
 	// Fence selects the fence behaviour: "" or "wait" (default),
-	// "noop", or "skipro" (tl2 only).
+	// "combine", "defer", "noop", or "skipro" (tl2 only).
 	Fence string
 	// Quiescer selects the grace-period implementation backing the
 	// fence: "" or "flags" (default), or "epochs".
@@ -91,6 +100,10 @@ func (c Config) Spec() string {
 		mods = append(mods, "sorted")
 	}
 	switch c.Fence {
+	case "combine":
+		mods = append(mods, "combine")
+	case "defer":
+		mods = append(mods, "defer")
 	case "noop":
 		mods = append(mods, "nofence")
 	case "skipro":
@@ -135,6 +148,10 @@ func Parse(spec string) (Config, error) {
 			err = setAxis("fence", &cfg.Fence, "noop", m)
 		case "wait":
 			err = setAxis("fence", &cfg.Fence, "wait", m)
+		case "combine":
+			err = setAxis("fence", &cfg.Fence, "combine", m)
+		case "defer":
+			err = setAxis("fence", &cfg.Fence, "defer", m)
 		case "skipro":
 			err = setAxis("fence", &cfg.Fence, "skipro", m)
 		case "rofast":
@@ -182,28 +199,48 @@ func (c *Config) normalize() error {
 		}
 		return nil
 	}
+	// Every TM serves the three safe fence modes through the shared
+	// quiescence service; the unsafe policies (noop, skipro) stay
+	// TM-specific.
+	fenceIn := func(allowed ...string) error {
+		for _, a := range allowed {
+			if c.Fence == a {
+				return nil
+			}
+		}
+		return fmt.Errorf("engine: TM %q does not support fence=%q", c.TM, c.Fence)
+	}
 	switch c.TM {
 	case "baseline":
 		if c.ReadOnlyFastPath || c.SortedLocks || c.Stripes != 0 {
 			return fmt.Errorf("engine: TM %q supports no modifiers", c.TM)
 		}
-		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"}, axis{"quiescer", c.Quiescer, "flags"})
+		if err := fenceIn("wait", "combine", "defer"); err != nil {
+			return err
+		}
+		return reject(axis{"clock", c.Clock, "fai"}, axis{"quiescer", c.Quiescer, "flags"})
 	case "atomic":
 		if c.ReadOnlyFastPath || c.SortedLocks {
 			return fmt.Errorf("engine: TM %q supports only the stripes modifier", c.TM)
 		}
-		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"}, axis{"quiescer", c.Quiescer, "flags"})
+		if err := fenceIn("wait", "combine", "defer"); err != nil {
+			return err
+		}
+		return reject(axis{"clock", c.Clock, "fai"}, axis{"quiescer", c.Quiescer, "flags"})
 	case "norec":
 		if c.ReadOnlyFastPath || c.SortedLocks || c.Stripes != 0 {
 			return fmt.Errorf("engine: TM %q has no lock table", c.TM)
 		}
-		return reject(axis{"clock", c.Clock, "fai"}, axis{"fence", c.Fence, "wait"})
+		if err := fenceIn("wait", "combine", "defer"); err != nil {
+			return err
+		}
+		return reject(axis{"clock", c.Clock, "fai"})
 	case "wtstm":
 		if c.ReadOnlyFastPath || c.SortedLocks {
 			return fmt.Errorf("engine: TM %q does not support rofast/sorted", c.TM)
 		}
-		if c.Fence == "skipro" {
-			return fmt.Errorf("engine: TM %q does not support fence=skipro", c.TM)
+		if err := fenceIn("wait", "combine", "defer", "noop"); err != nil {
+			return err
 		}
 		if c.Sink != nil {
 			return fmt.Errorf("engine: TM %q does not support a recording sink", c.TM)
@@ -215,16 +252,29 @@ func (c *Config) normalize() error {
 	return fmt.Errorf("engine: unknown TM %q", c.TM)
 }
 
+// fenceMode maps the fence axis to a quiescence mode ("wait" for the
+// unsafe policies, whose handling is TM-specific).
+func fenceMode(fence string) quiesce.Mode {
+	switch fence {
+	case "combine":
+		return quiesce.Combine
+	case "defer":
+		return quiesce.Defer
+	}
+	return quiesce.Wait
+}
+
 // New constructs the TM described by cfg.
 func New(cfg Config) (core.TM, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	mode := fenceMode(cfg.Fence)
 	switch cfg.TM {
 	case "baseline":
-		return baseline.New(cfg.Regs, cfg.Threads, cfg.Sink), nil
+		return baseline.New(cfg.Regs, cfg.Threads, cfg.Sink, baseline.WithFenceMode(mode)), nil
 	case "atomic":
-		var opts []atomictm.Option
+		opts := []atomictm.Option{atomictm.WithFenceMode(mode)}
 		if cfg.Stripes != 0 {
 			opts = append(opts, atomictm.WithStripes(cfg.Stripes))
 		}
@@ -233,13 +283,13 @@ func New(cfg Config) (core.TM, error) {
 		}
 		return atomictm.New(cfg.Regs, cfg.Threads, opts...), nil
 	case "norec":
-		var opts []norec.Option
+		opts := []norec.Option{norec.WithFenceMode(mode)}
 		if cfg.Quiescer == "epochs" {
 			opts = append(opts, norec.WithEpochFence())
 		}
 		return norec.New(cfg.Regs, cfg.Threads, cfg.Sink, opts...), nil
 	case "wtstm":
-		var opts []wtstm.Option
+		opts := []wtstm.Option{wtstm.WithFenceMode(mode)}
 		if cfg.Clock == "gv4" {
 			opts = append(opts, wtstm.WithGV4())
 		}
@@ -254,7 +304,7 @@ func New(cfg Config) (core.TM, error) {
 		}
 		return wtstm.New(cfg.Regs, cfg.Threads, opts...), nil
 	case "tl2":
-		var opts []tl2.Option
+		opts := []tl2.Option{tl2.WithFenceMode(mode)}
 		if cfg.Clock == "gv4" {
 			opts = append(opts, tl2.WithGV4())
 		}
@@ -319,13 +369,18 @@ func MustNewSpec(spec string, regs, threads int, sink record.Sink) core.TM {
 func Specs() []string {
 	s := []string{
 		"baseline",
+		"baseline+combine",
 		"atomic",
+		"atomic+defer",
 		"norec",
 		"norec+epochs",
+		"norec+combine",
+		"norec+defer",
 		"wtstm",
 		"wtstm+gv4",
 		"wtstm+epochs",
 		"wtstm+nofence",
+		"wtstm+combine",
 		"tl2",
 		"tl2+gv4",
 		"tl2+epochs",
@@ -334,6 +389,9 @@ func Specs() []string {
 		"tl2+gv4+epochs+rofast",
 		"tl2+nofence",
 		"tl2+skipro",
+		"tl2+combine",
+		"tl2+defer",
+		"tl2+gv4+combine",
 	}
 	sort.Strings(s)
 	return s

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"safepriv/internal/core"
@@ -33,6 +34,14 @@ func smoke(t *testing.T, spec string, tm core.TM) {
 	if got := tm.Load(1, 1); got != 7 {
 		t.Fatalf("%s: non-transactional store/load got %d, want 7", spec, got)
 	}
+	// The async fence surface: the callback runs (inline or on the
+	// reclaimer) and is settled by FenceBarrier.
+	var ran atomic.Bool
+	tm.FenceAsync(1, func(th int) { ran.Store(true) })
+	tm.FenceBarrier(1)
+	if !ran.Load() {
+		t.Fatalf("%s: FenceAsync callback did not run by FenceBarrier", spec)
+	}
 }
 
 // TestSpecsRoundTrip: every registered configuration parses, reprints
@@ -61,7 +70,7 @@ func TestSpecsRoundTrip(t *testing.T) {
 // TestNewSpecWithSink: sink-capable TMs accept a recorder; the recorded
 // history is non-empty after the smoke run.
 func TestNewSpecWithSink(t *testing.T) {
-	for _, spec := range []string{"baseline", "atomic", "norec", "tl2", "tl2+gv4+epochs+rofast"} {
+	for _, spec := range []string{"baseline", "atomic", "norec", "tl2", "tl2+gv4+epochs+rofast", "tl2+combine", "norec+defer"} {
 		rec := record.NewRecorder()
 		tm, err := NewSpec(spec, 4, 3, rec)
 		if err != nil {
@@ -102,11 +111,28 @@ func TestParseErrors(t *testing.T) {
 		{"tl2+epochs+flags", "duplicate quiescer"},
 		{"tl2+nofence+skipro", "duplicate fence"},
 		{"tl2+wait+nofence", "duplicate fence"},
+		// Fence modes are one axis: any two fence modifiers conflict.
+		{"tl2+combine+defer", "duplicate fence"},
+		{"tl2+defer+combine", "duplicate fence"},
+		{"norec+nofence+combine", "duplicate fence"},
+		{"tl2+nofence+combine", "duplicate fence"},
+		{"tl2+combine+nofence", "duplicate fence"},
+		{"tl2+skipro+defer", "duplicate fence"},
+		{"tl2+wait+combine", "duplicate fence"},
+		{"tl2+combine+combine", "duplicate fence"},
+		{"tl2+defer+defer", "duplicate fence"},
+		{"wtstm+combine+defer", "duplicate fence"},
 		// Parse fine, rejected by construction.
 		{"norec+gv4", "does not support"},
 		{"baseline+rofast", "supports no modifiers"},
 		{"baseline+gv4", "does not support"},
-		{"wtstm+skipro", "does not support"},
+		{"baseline+nofence", "does not support fence"},
+		{"baseline+skipro", "does not support fence"},
+		{"atomic+nofence", "does not support fence"},
+		{"atomic+skipro", "does not support fence"},
+		{"norec+nofence", "does not support fence"},
+		{"norec+skipro", "does not support fence"},
+		{"wtstm+skipro", "does not support fence"},
 		{"wtstm+rofast", "does not support"},
 		{"atomic+sorted", "supports only the stripes modifier"},
 		{"atomic+epochs", "does not support"},

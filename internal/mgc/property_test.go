@@ -1,8 +1,10 @@
 package mgc
 
 import (
+	"runtime"
 	"testing"
 
+	"safepriv/internal/core"
 	"safepriv/internal/engine"
 	"safepriv/internal/record"
 )
@@ -11,7 +13,9 @@ import (
 // supports a recording sink and has a correct fence — the
 // configurations for which Theorem 5.3 promises that every recorded
 // most-general-client history passes the strong-opacity pipeline.
-// (wtstm has no sink; +nofence/+skipro are deliberately unsafe.)
+// (wtstm has no sink; +nofence/+skipro are deliberately unsafe. The
+// combine and defer fence modes are safe — they change how the grace
+// period is waited out, not what it waits for — so they are included.)
 func safeSinkSpecs(t *testing.T) []string {
 	t.Helper()
 	var out []string
@@ -20,7 +24,7 @@ func safeSinkSpecs(t *testing.T) []string {
 		if err != nil {
 			t.Fatalf("registered spec %q does not parse: %v", spec, err)
 		}
-		if cfg.Fence != "" && cfg.Fence != "wait" {
+		if cfg.Fence == "noop" || cfg.Fence == "skipro" {
 			continue
 		}
 		if _, err := engine.NewSpec(spec, 1, 1, record.NewRecorder()); err != nil {
@@ -65,4 +69,57 @@ func TestPropertyOpacityPerSpec(t *testing.T) {
 			}
 		})
 	}
+}
+
+// yieldTM wraps a TM so every transactional and non-transactional
+// operation yields the scheduler first: on single-CPU hosts the
+// goroutines otherwise run to completion one at a time and the recorded
+// histories are serial, hiding the races a missing fence admits (the
+// same bias the tl2 fault-injection tests use).
+type yieldTM struct{ core.TM }
+
+func (y yieldTM) Begin(thread int) core.Txn { runtime.Gosched(); return yieldTxn{y.TM.Begin(thread)} }
+func (y yieldTM) Load(thread, x int) int64  { runtime.Gosched(); return y.TM.Load(thread, x) }
+func (y yieldTM) Store(thread, x int, v int64) {
+	runtime.Gosched()
+	y.TM.Store(thread, x, v)
+}
+
+type yieldTxn struct{ core.Txn }
+
+func (t yieldTxn) Read(x int) (int64, error)  { runtime.Gosched(); return t.Txn.Read(x) }
+func (t yieldTxn) Write(x int, v int64) error { runtime.Gosched(); return t.Txn.Write(x, v) }
+func (t yieldTxn) Commit() error              { runtime.Gosched(); return t.Txn.Commit() }
+
+// TestNoFenceRejectedByChecker is the negative control for the new
+// quiescence plumbing: with the fence compiled out (tl2+nofence) the
+// most-general-client protocol loses the happens-before edges its DRF
+// discipline relies on, and the pipeline must reject at least one run —
+// either as a racy history or as an outright opacity violation. If the
+// unsafe spec sailed through every seed, the checker (or the recording
+// of fences through internal/quiesce) would have gone blind.
+func TestNoFenceRejectedByChecker(t *testing.T) {
+	shape := Config{
+		Threads: 4, DataRegs: 4, TxnsPerThread: 20, OpsPerTxn: 3, Rounds: 6,
+		MakeTM: func(sink record.Sink, regs, threads int) core.TM {
+			return yieldTM{engine.MustNewSpec("tl2+nofence", regs, threads, sink)}
+		},
+	}
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 15
+	}
+	caught := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := shape
+		cfg.Seed = seed * 131
+		res, err := RunAndCheck(cfg)
+		if err != nil || !res.Report.DRF {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("tl2+nofence passed the full pipeline on all %d seeds", seeds)
+	}
+	t.Logf("tl2+nofence rejected on %d/%d seeds", caught, seeds)
 }

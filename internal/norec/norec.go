@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"safepriv/internal/core"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 )
@@ -38,11 +39,17 @@ import (
 // Option mutates NOrec construction.
 type Option func(*options)
 
-type options struct{ epochs bool }
+type options struct {
+	epochs bool
+	mode   quiesce.Mode
+}
 
 // WithEpochFence selects the epoch-based grace period for the fence
 // instead of the flag-based one.
 func WithEpochFence() Option { return func(o *options) { o.epochs = true } }
+
+// WithFenceMode selects the quiescence mode (wait, combine, defer).
+func WithFenceMode(m quiesce.Mode) Option { return func(o *options) { o.mode = m } }
 
 // TM is a NOrec transactional memory implementing core.TM.
 type TM struct {
@@ -51,7 +58,7 @@ type TM struct {
 	seq     atomic.Int64
 	_       [56]byte
 	regs    []atomic.Int64
-	q       rcu.Quiescer
+	qs      *quiesce.Service
 	sink    record.Sink
 	threads []slot
 }
@@ -62,20 +69,26 @@ type slot struct {
 }
 
 // New returns a NOrec TM with regs registers and thread ids 1..threads.
+// Thread id threads+1 is reserved for the quiescence service's
+// reclaimer (deferred-fence callbacks).
 func New(regs, threads int, sink record.Sink, opts ...Option) *TM {
 	var o options
 	for _, f := range opts {
 		f(&o)
 	}
+	reclaim := threads + 1
 	tm := &TM{
 		regs:    make([]atomic.Int64, regs),
-		q:       rcu.NewFlags(threads),
 		sink:    sink,
-		threads: make([]slot, threads+1),
+		threads: make([]slot, reclaim+1),
 	}
+	var q rcu.Quiescer
 	if o.epochs {
-		tm.q = rcu.NewEpochs(threads)
+		q = rcu.NewEpochs(reclaim)
+	} else {
+		q = rcu.NewFlags(reclaim)
 	}
+	tm.qs = quiesce.New(q, o.mode, reclaim)
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
 		tm.threads[t].tx.thread = t
@@ -110,11 +123,18 @@ func (tm *TM) Fence(thread int) {
 	if tm.sink != nil {
 		tm.sink.FBegin(thread)
 	}
-	tm.q.Wait()
+	tm.qs.Fence()
 	if tm.sink != nil {
 		tm.sink.FEnd(thread)
 	}
 }
+
+// FenceAsync implements core.TM: the quiescence service's Defer.
+// Deferred grace periods are not recorded in the sink.
+func (tm *TM) FenceAsync(thread int, fn func(thread int)) { tm.qs.Defer(thread, fn) }
+
+// FenceBarrier implements core.TM.
+func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {
@@ -123,7 +143,7 @@ func (tm *TM) Begin(thread int) core.Txn {
 		panic(fmt.Sprintf("norec: thread %d began a transaction inside a transaction", thread))
 	}
 	tx.reset()
-	tm.q.Enter(thread)
+	tm.qs.Enter(thread)
 	if tm.sink != nil {
 		tm.sink.TxBegin(thread)
 	}
@@ -164,7 +184,7 @@ func (tx *Txn) reset() {
 
 func (tx *Txn) finish() {
 	tx.live = false
-	tx.tm.q.Exit(tx.thread)
+	tx.tm.qs.Exit(tx.thread)
 }
 
 // validate re-reads the entire read log under a stable even sequence

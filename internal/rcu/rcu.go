@@ -18,6 +18,14 @@
 // the fence's two passes — harmless (it only waits longer). The Epochs
 // fence waits for exactly the observed transaction. Benchmarks compare
 // the two (experiment E14).
+//
+// Both quiescers also expose the grace period in split form
+// (Snapshotter): SnapshotInto captures the set of in-flight
+// transactions without blocking, and Quiesced polls whether they have
+// all finished. The split form is what internal/quiesce builds its
+// batched (combining) and asynchronous (deferred) fences on — the
+// snapshot buffer is caller-owned, so repeated grace periods allocate
+// nothing.
 package rcu
 
 import (
@@ -40,6 +48,46 @@ type Quiescer interface {
 	// Wait blocks until every transaction active at the time of the
 	// call has completed (the fence body).
 	Wait()
+}
+
+// Gen is a grace-period snapshot: one word per thread id, recording the
+// activity state observed at snapshot time. Entry 0 of a thread is the
+// universal "nothing to wait for" value — callers may zero an entry
+// (see Drop) to exclude that thread from the grace period.
+type Gen []uint64
+
+// Drop excludes thread t from the snapshot's grace period.
+func (g Gen) Drop(t int) {
+	if t < len(g) {
+		g[t] = 0
+	}
+}
+
+// Snapshotter is a Quiescer whose grace period is available in split
+// form: capture a snapshot, then poll it. The contract mirrors Wait:
+// once Quiesced(g) returns true, every transaction that was active at
+// SnapshotInto time has completed.
+type Snapshotter interface {
+	Quiescer
+	// SnapshotInto overwrites g (growing it if needed) with the current
+	// activity snapshot and returns it. A nil g allocates.
+	SnapshotInto(g Gen) Gen
+	// Quiesced polls the snapshot: true once every thread observed
+	// active in g has since completed its observed transaction.
+	// Quiesced clears the entries of threads it has seen complete, so a
+	// thread that finishes and immediately starts a new transaction
+	// between polls is not re-awaited; callers must pass the same g to
+	// every poll of one grace period.
+	Quiesced(g Gen) bool
+}
+
+// waitSnapshot is the shared Wait body: one grace period via the split
+// API.
+func waitSnapshot(s Snapshotter) {
+	g := s.SnapshotInto(nil)
+	for !s.Quiesced(g) {
+		runtime.Gosched()
+	}
 }
 
 // cacheLinePad separates per-thread words to avoid false sharing.
@@ -67,22 +115,37 @@ func (f *Flags) Exit(t int) { f.slots[t].active.Store(0) }
 // Active implements Quiescer.
 func (f *Flags) Active(t int) bool { return f.slots[t].active.Load() == 1 }
 
-// Wait implements the two-pass fence of Figure 7 lines 33–39.
-func (f *Flags) Wait() {
-	n := len(f.slots)
-	r := make([]bool, n)
-	for t := 1; t < n; t++ {
-		r[t] = f.slots[t].active.Load() == 1
+// SnapshotInto implements Snapshotter: the first pass of Figure 7
+// (r[t] := active[t]).
+func (f *Flags) SnapshotInto(g Gen) Gen {
+	g = sizeGen(g, len(f.slots))
+	for t := 1; t < len(f.slots); t++ {
+		g[t] = uint64(f.slots[t].active.Load())
 	}
-	for t := 1; t < n; t++ {
-		if !r[t] {
+	return g
+}
+
+// Quiesced implements Snapshotter: the second pass of Figure 7, one
+// non-blocking step at a time. A thread observed with its flag clear is
+// dropped from the snapshot (it completed the observed transaction; a
+// newer transaction of the same thread is not waited for).
+func (f *Flags) Quiesced(g Gen) bool {
+	done := true
+	for t := 1; t < len(g) && t < len(f.slots); t++ {
+		if g[t] == 0 {
 			continue
 		}
-		for f.slots[t].active.Load() == 1 {
-			runtime.Gosched()
+		if f.slots[t].active.Load() == 1 {
+			done = false
+		} else {
+			g[t] = 0
 		}
 	}
+	return done
 }
+
+// Wait implements the two-pass fence of Figure 7 lines 33–39.
+func (f *Flags) Wait() { waitSnapshot(f) }
 
 type epochSlot struct {
 	seq atomic.Uint64 // odd while a transaction is active
@@ -106,21 +169,48 @@ func (e *Epochs) Exit(t int) { e.slots[t].seq.Add(1) }
 // Active implements Quiescer.
 func (e *Epochs) Active(t int) bool { return e.slots[t].seq.Load()%2 == 1 }
 
-// Wait blocks until every counter observed odd has changed.
-func (e *Epochs) Wait() {
-	n := len(e.slots)
-	snap := make([]uint64, n)
-	for t := 1; t < n; t++ {
-		snap[t] = e.slots[t].seq.Load()
+// SnapshotInto implements Snapshotter: record each odd (in-transaction)
+// sequence number; even counters need no wait and record as 0.
+func (e *Epochs) SnapshotInto(g Gen) Gen {
+	g = sizeGen(g, len(e.slots))
+	for t := 1; t < len(e.slots); t++ {
+		if s := e.slots[t].seq.Load(); s%2 == 1 {
+			g[t] = s
+		} else {
+			g[t] = 0
+		}
 	}
-	for t := 1; t < n; t++ {
-		if snap[t]%2 == 0 {
+	return g
+}
+
+// Quiesced implements Snapshotter: a thread is done once its counter
+// moved off the snapshotted odd value (the observed transaction exited,
+// whatever the thread did afterwards).
+func (e *Epochs) Quiesced(g Gen) bool {
+	done := true
+	for t := 1; t < len(g) && t < len(e.slots); t++ {
+		if g[t] == 0 {
 			continue
 		}
-		for e.slots[t].seq.Load() == snap[t] {
-			runtime.Gosched()
+		if e.slots[t].seq.Load() == g[t] {
+			done = false
+		} else {
+			g[t] = 0
 		}
 	}
+	return done
+}
+
+// Wait blocks until every counter observed odd has changed.
+func (e *Epochs) Wait() { waitSnapshot(e) }
+
+// sizeGen returns g resized to n entries (reusing its backing array
+// when large enough).
+func sizeGen(g Gen, n int) Gen {
+	if cap(g) < n {
+		return make(Gen, n)
+	}
+	return g[:n]
 }
 
 // NoOp is a quiescer whose Wait returns immediately: the "unsafe
@@ -145,3 +235,9 @@ func (q *NoOp) Active(t int) bool { return q.inner.Active(t) }
 
 // Wait implements Quiescer by not waiting.
 func (q *NoOp) Wait() {}
+
+// SnapshotInto implements Snapshotter with an empty snapshot.
+func (q *NoOp) SnapshotInto(g Gen) Gen { return sizeGen(g, 0) }
+
+// Quiesced implements Snapshotter: an empty snapshot is always done.
+func (q *NoOp) Quiesced(g Gen) bool { return true }

@@ -130,6 +130,88 @@ func TestNoOpNeverWaits(t *testing.T) {
 	q.Exit(1)
 }
 
+// TestSnapshotQuiesced exercises the split grace-period API directly:
+// a snapshot taken with a transaction in flight stays un-quiesced until
+// that transaction exits, and entries are sticky-cleared so a thread
+// that finishes and restarts between polls is not re-awaited.
+func TestSnapshotQuiesced(t *testing.T) {
+	for name, q := range quiescers(4) {
+		s, ok := q.(Snapshotter)
+		if !ok {
+			t.Fatalf("%s does not implement Snapshotter", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			if g := s.SnapshotInto(nil); !s.Quiesced(g) {
+				t.Fatal("idle snapshot not immediately quiesced")
+			}
+			q.Enter(2)
+			g := s.SnapshotInto(nil)
+			if s.Quiesced(g) {
+				t.Fatal("quiesced with thread 2 active")
+			}
+			q.Exit(2)
+			if !s.Quiesced(g) { // poll observes the idle window: entry cleared
+				t.Fatal("not quiesced after thread 2 exited")
+			}
+			q.Enter(2) // new transaction, after the observed one exited
+			if !s.Quiesced(g) {
+				t.Fatal("re-awaited a transaction that began after the poll observed thread 2 idle")
+			}
+			q.Exit(2)
+		})
+	}
+}
+
+// TestSnapshotDrop: a dropped thread is excluded from the grace period
+// (the mechanism behind the skip-read-only fence bug reproduction).
+func TestSnapshotDrop(t *testing.T) {
+	for name, q := range quiescers(4) {
+		s := q.(Snapshotter)
+		t.Run(name, func(t *testing.T) {
+			q.Enter(1)
+			q.Enter(3)
+			g := s.SnapshotInto(nil)
+			g.Drop(3)
+			if s.Quiesced(g) {
+				t.Fatal("quiesced with thread 1 still active")
+			}
+			q.Exit(1)
+			if !s.Quiesced(g) {
+				t.Fatal("dropped thread 3 was still waited for")
+			}
+			q.Exit(3)
+		})
+	}
+}
+
+// TestSnapshotIntoReuses: a large-enough buffer is reused, so repeated
+// grace periods over one buffer do not allocate.
+func TestSnapshotIntoReuses(t *testing.T) {
+	for name, q := range quiescers(4) {
+		s := q.(Snapshotter)
+		t.Run(name, func(t *testing.T) {
+			g := s.SnapshotInto(nil)
+			allocs := testing.AllocsPerRun(100, func() {
+				g = s.SnapshotInto(g)
+				s.Quiesced(g)
+			})
+			if allocs != 0 {
+				t.Fatalf("snapshot reuse allocated %.1f/op", allocs)
+			}
+		})
+	}
+}
+
+func TestNoOpSnapshotter(t *testing.T) {
+	q := NewNoOp(4)
+	q.Enter(1)
+	g := q.SnapshotInto(nil)
+	if !q.Quiesced(g) {
+		t.Fatal("NoOp snapshot must always be quiesced")
+	}
+	q.Exit(1)
+}
+
 func TestConcurrentFenceStress(t *testing.T) {
 	// Many threads running short transactions while fences run
 	// concurrently; the invariant checked: after Wait returns, every

@@ -30,6 +30,18 @@
 // WithTransactionalScan provides the contrast configuration — Scan as
 // one big read-only transaction per shard, no fence, the natural choice
 // on a TM like NOrec whose privatization is safe without fences.
+//
+// Clear and Resize use *deferred* privatization: the privatizing
+// transaction commits inline, but the fence→operate→publish tail runs
+// through the TM's asynchronous fence (core.TM.FenceAsync). On a TM
+// built with the defer fence mode the caller returns without ever
+// blocking on a grace period and the wipe/rehash happens on the TM's
+// reclaimer; on any other TM FenceAsync degrades to the synchronous
+// cycle and nothing changes. Either way no reader can observe a
+// half-maintained shard — point operations block-retry while the
+// shard's flag is odd, and the flag goes even only after the deferred
+// work published. Drain waits for all outstanding deferred maintenance
+// and surfaces its errors.
 package stmkv
 
 import (
@@ -37,6 +49,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"safepriv/internal/core"
 )
@@ -111,6 +124,10 @@ type Store struct {
 	grows          atomic.Int64
 	scans          atomic.Int64
 	clears         atomic.Int64
+
+	// asyncErr holds the first error a deferred maintenance callback
+	// hit (publish contention); Drain surfaces it.
+	asyncErr atomic.Pointer[error]
 }
 
 // RegsNeeded returns the register count a store with the given geometry
@@ -512,31 +529,39 @@ func (s *Store) scanShardTxn(th, shard int, out []KV) ([]KV, error) {
 	return out, err
 }
 
-// Clear empties the store, privatizing each shard in turn.
+// Clear empties the store via deferred privatization: each shard's
+// flag flips odd inline, and the wipe→publish tail runs after the
+// grace period through the TM's asynchronous fence. On a defer-mode TM
+// Clear returns before the wipes have happened; every subsequent
+// operation on a still-private shard blocks until its wipe publishes,
+// so callers observe the cleared state, just possibly later. Use Drain
+// to wait for completion.
 func (s *Store) Clear(th int) error {
 	for sh := 0; sh < s.shards; sh++ {
 		base := s.base(sh)
-		if err := s.privatize(th, base); err != nil {
+		err := s.privatizeDeferred(th, base, func(th int) {
+			tm := s.tm
+			cap := int(tm.Load(th, base+offCap))
+			for i := 0; i < cap; i++ {
+				tm.Store(th, s.keyReg(base, i), keyEmpty)
+				tm.Store(th, s.valReg(base, i), 0)
+			}
+			tm.Store(th, base+offCount, 0)
+			tm.Store(th, base+offTombs, 0)
+			s.clears.Add(1)
+		})
+		if err != nil {
 			return err
 		}
-		tm := s.tm
-		cap := int(tm.Load(th, base+offCap))
-		for i := 0; i < cap; i++ {
-			tm.Store(th, s.keyReg(base, i), keyEmpty)
-			tm.Store(th, s.valReg(base, i), 0)
-		}
-		tm.Store(th, base+offCount, 0)
-		tm.Store(th, base+offTombs, 0)
-		if err := s.publish(th, base); err != nil {
-			return err
-		}
-		s.clears.Add(1)
 	}
 	return nil
 }
 
 // Resize rehashes every shard to the given active capacity (clamped to
-// [live keys, slot arena]), privatizing one shard at a time.
+// [live keys, slot arena]), privatizing one shard at a time. Like
+// Clear, the rehash→publish tail is deferred: on a defer-mode TM all
+// shards' grace periods batch onto the TM's reclaimer and the caller
+// never blocks on one.
 func (s *Store) Resize(th, slots int) error {
 	if slots < 1 {
 		slots = 1
@@ -546,17 +571,28 @@ func (s *Store) Resize(th, slots int) error {
 	}
 	for sh := 0; sh < s.shards; sh++ {
 		base := s.base(sh)
-		if err := s.privatize(th, base); err != nil {
+		err := s.privatizeDeferred(th, base, func(th int) {
+			target := int64(slots)
+			if live := s.tm.Load(th, base+offCount); target < live {
+				target = live
+			}
+			s.rehash(th, base, target)
+		})
+		if err != nil {
 			return err
 		}
-		target := int64(slots)
-		if live := s.tm.Load(th, base+offCount); target < live {
-			target = live
-		}
-		s.rehash(th, base, target)
-		if err := s.publish(th, base); err != nil {
-			return err
-		}
+	}
+	return nil
+}
+
+// Drain blocks until every deferred Clear/Resize registered before the
+// call has completed and returns the first error any of them hit. On
+// TMs whose fence mode is not deferred the maintenance ran inline and
+// Drain only collects errors.
+func (s *Store) Drain(th int) error {
+	s.tm.FenceBarrier(th)
+	if e := s.asyncErr.Load(); e != nil {
+		return *e
 	}
 	return nil
 }
@@ -635,11 +671,10 @@ func (s *Store) rehash(th, base int, newCap int64) {
 	tm.Store(th, base+offTombs, 0)
 }
 
-// privatize commits a transaction flipping the shard's flag odd, then
-// fences: after it returns, no transaction that saw the shard shared is
-// still running, so uninstrumented access is race-free (Figure 7). If
-// another thread holds the shard private, privatize waits its turn.
-func (s *Store) privatize(th, base int) error {
+// acquirePrivate commits the transaction flipping the shard's flag odd
+// — the privatizing transaction of Figure 7, without the fence. If
+// another thread holds the shard private, it waits its turn.
+func (s *Store) acquirePrivate(th, base int) error {
 	err := s.retryShared(th, func(tx core.Txn) error {
 		f, err := tx.Read(base + offFlag)
 		if err != nil {
@@ -653,8 +688,37 @@ func (s *Store) privatize(th, base int) error {
 	if err != nil {
 		return err
 	}
-	s.tm.Fence(th)
 	s.privatizations.Add(1)
+	return nil
+}
+
+// privatize commits a transaction flipping the shard's flag odd, then
+// fences: after it returns, no transaction that saw the shard shared is
+// still running, so uninstrumented access is race-free (Figure 7).
+func (s *Store) privatize(th, base int) error {
+	if err := s.acquirePrivate(th, base); err != nil {
+		return err
+	}
+	s.tm.Fence(th)
+	return nil
+}
+
+// privatizeDeferred is privatize with the fence and the private phase
+// pushed through the TM's asynchronous fence: the flag-odd transaction
+// commits inline (so the shard is private from the caller's point of
+// view the moment this returns), then work runs after the grace period
+// on whatever thread the TM provides, followed by the publish that
+// re-shares the shard. work must use only uninstrumented accesses.
+func (s *Store) privatizeDeferred(th, base int, work func(th int)) error {
+	if err := s.acquirePrivate(th, base); err != nil {
+		return err
+	}
+	s.tm.FenceAsync(th, func(cb int) {
+		work(cb)
+		if err := s.publish(cb, base); err != nil {
+			s.asyncErr.CompareAndSwap(nil, &err)
+		}
+	})
 	return nil
 }
 
@@ -676,9 +740,13 @@ func (s *Store) publish(th, base int) error {
 // publish (the flag is stuck odd) and spinning would hang forever.
 const maxPrivateWaits = 1 << 22
 
-// retryShared runs body transactionally, retrying (with a yield) as
-// long as it reports the shard privatized. Bodies start with the
-// shared() guard, so they never touch a private shard's table.
+// retryShared runs body transactionally, retrying as long as it
+// reports the shard privatized. Bodies start with the shared() guard,
+// so they never touch a private shard's table. The wait yields at
+// first, then escalates to short sleeps: with deferred privatization
+// the shard stays private until a background reclaimer runs, and a
+// pure spin-yield here can starve it behind CPU-bound threads for
+// whole scheduler preemption quanta.
 func (s *Store) retryShared(th int, body func(core.Txn) error) error {
 	for i := 0; ; i++ {
 		err := core.Atomically(s.tm, th, func(tx core.Txn) error {
@@ -688,7 +756,11 @@ func (s *Store) retryShared(th int, body func(core.Txn) error) error {
 			if i >= maxPrivateWaits {
 				return fmt.Errorf("stmkv: shard stayed privatized for %d retries (owner died?): %w", i, err)
 			}
-			runtime.Gosched()
+			if i < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
 			continue
 		}
 		return err

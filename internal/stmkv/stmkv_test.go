@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"safepriv/internal/engine"
 	"safepriv/internal/stmkv"
@@ -237,18 +238,130 @@ func TestBadGeometry(t *testing.T) {
 	}
 }
 
+// fenceModeSpecs crosses every registry TM with the three fence modes
+// ("" is the default wait).
+func fenceModeSpecs() []string {
+	var out []string
+	for _, tm := range allSpecs {
+		for _, mode := range []string{"", "+combine", "+defer"} {
+			out = append(out, tm+mode)
+		}
+	}
+	return out
+}
+
+// TestKVFenceModes runs the store's full lifecycle — puts crossing the
+// growth path, scans, resize, clear, drain, reuse — on every TM in
+// every fence mode: the privatization suite the combine/defer plumbing
+// must pass unchanged.
+func TestKVFenceModes(t *testing.T) {
+	for _, spec := range fenceModeSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			s := newStore(t, spec, 2, 64, 3)
+			want := map[int64]int64{}
+			for k := int64(1); k <= 40; k++ {
+				if err := s.Put(1, k, k*3); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = k * 3
+			}
+			kvs, err := s.Scan(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := scanMap(t, kvs); len(got) != len(want) {
+				t.Fatalf("Scan has %d keys, want %d", len(got), len(want))
+			}
+			if err := s.Resize(1, 48); err != nil {
+				t.Fatal(err)
+			}
+			// Point ops interleave with possibly still-deferred resizes:
+			// they must block-retry, never observe a private shard.
+			for k := int64(1); k <= 40; k++ {
+				v, ok, err := s.Get(2, k)
+				if err != nil || !ok || v != k*3 {
+					t.Fatalf("Get(%d) after Resize = %d,%v,%v", k, v, ok, err)
+				}
+			}
+			if err := s.Clear(1); err != nil {
+				t.Fatal(err)
+			}
+			// Len is a point transaction: it waits out any deferred wipe.
+			if ln, err := s.Len(2); err != nil || ln != 0 {
+				t.Fatalf("Len after Clear = %d, %v", ln, err)
+			}
+			if err := s.Drain(1); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+			if got := s.Stats(); got.Clears != 2 {
+				t.Fatalf("Clears = %d after drained Clear of 2 shards", got.Clears)
+			}
+			// The store stays usable after deferred maintenance.
+			if err := s.Put(1, 7, 77); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := s.Get(1, 7); !ok || v != 77 {
+				t.Fatalf("post-clear Get = %d,%v", v, ok)
+			}
+		})
+	}
+}
+
+// TestDeferredClearDoesNotBlock pins the defer mode's point: Clear on a
+// defer-mode TM returns without waiting for the grace period, while a
+// transaction is still active on another thread. (On a wait-mode TM the
+// same Clear would block until the transaction exits.)
+func TestDeferredClearDoesNotBlock(t *testing.T) {
+	tm := engine.MustNewSpec("tl2+defer", stmkv.RegsNeeded(2, 32), 4, nil)
+	s, err := stmkv.New(tm, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 5, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Hold a transaction open on thread 3: any synchronous fence would
+	// block on it.
+	tx := tm.Begin(3)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Clear(2) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deferred Clear blocked on an active transaction")
+	}
+	// The held transaction read shard 0's flag, so Clear's privatizing
+	// write dooms it: commit may legitimately abort. Either way it
+	// exits, letting the deferred grace period elapse.
+	_ = tx.Commit()
+	if err := s.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+	if ln, err := s.Len(1); err != nil || ln != 0 {
+		t.Fatalf("Len after drained Clear = %d, %v", ln, err)
+	}
+}
+
 // TestConcurrentDisjointRanges is the determinism test: workers operate
 // on disjoint key ranges (so each range's final contents are a pure
 // function of its own op sequence) while Scan/Resize privatize shards
 // under them. The final Scan must equal the union of the per-worker
-// model maps — on every TM.
+// model maps — on every TM, in every fence mode.
 func TestConcurrentDisjointRanges(t *testing.T) {
 	workers := 4
 	opsPer := 300
+	specs := fenceModeSpecs()
 	if testing.Short() {
 		opsPer = 120
+		specs = allSpecs
 	}
-	for _, spec := range allSpecs {
+	for _, spec := range specs {
 		t.Run(spec, func(t *testing.T) {
 			tm, err := engine.NewSpec(spec, stmkv.RegsNeeded(4, 512), workers+2, nil)
 			if err != nil {
@@ -316,6 +429,9 @@ func TestConcurrentDisjointRanges(t *testing.T) {
 			close(errs)
 			for err := range errs {
 				t.Fatal(err)
+			}
+			if err := s.Drain(1); err != nil {
+				t.Fatalf("Drain: %v", err)
 			}
 			want := map[int64]int64{}
 			for w := 1; w <= workers; w++ {

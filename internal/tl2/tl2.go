@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"safepriv/internal/core"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 	"safepriv/internal/stripe"
@@ -72,6 +73,10 @@ type Config struct {
 	// Epochs selects the epoch-based grace period instead of the
 	// paper's flag-based one (ablation E14).
 	Epochs bool
+	// Mode selects how Fence waits the grace period out (package
+	// quiesce): Wait (default), Combine, or Defer. It is orthogonal to
+	// the Fence policy, which picks *what* is waited for.
+	Mode quiesce.Mode
 	// GV4 selects the pass-on-failure global clock (ablation).
 	GV4 bool
 	// ReadOnlyFastPath commits read-only transactions without ticking
@@ -128,6 +133,9 @@ func WithFence(p FencePolicy) Option { return func(c *Config) { c.Fence = p } }
 // WithEpochFence selects the epoch-based grace period.
 func WithEpochFence() Option { return func(c *Config) { c.Epochs = true } }
 
+// WithFenceMode selects the quiescence mode (wait, combine, defer).
+func WithFenceMode(m quiesce.Mode) Option { return func(c *Config) { c.Mode = m } }
+
 // WithGV4 selects the GV4 clock.
 func WithGV4() Option { return func(c *Config) { c.GV4 = true } }
 
@@ -158,34 +166,38 @@ type TM struct {
 	cfg      Config
 	table    *stripe.Table
 	clock    vclock.Clock
-	q        rcu.Quiescer
+	qs       *quiesce.Service
 	hasWrite []writerFlag // per thread: current txn wrote something
 	threads  []threadState
 }
 
 // New constructs a TL2 TM with regs registers and thread ids
-// 1..threads.
+// 1..threads. Thread id threads+1 is reserved for the quiescence
+// service's reclaimer (deferred-fence callbacks).
 func New(regs, threads int, opts ...Option) *TM {
 	cfg := Config{Regs: regs, Threads: threads}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	reclaim := threads + 1
 	tm := &TM{
 		cfg:      cfg,
 		table:    stripe.New(regs, cfg.Stripes),
-		hasWrite: make([]writerFlag, threads+1),
-		threads:  make([]threadState, threads+1),
+		hasWrite: make([]writerFlag, reclaim+1),
+		threads:  make([]threadState, reclaim+1),
 	}
 	if cfg.GV4 {
 		tm.clock = vclock.NewGV4()
 	} else {
 		tm.clock = vclock.NewFAI()
 	}
+	var q rcu.Quiescer
 	if cfg.Epochs {
-		tm.q = rcu.NewEpochs(threads)
+		q = rcu.NewEpochs(reclaim)
 	} else {
-		tm.q = rcu.NewFlags(threads)
+		q = rcu.NewFlags(reclaim)
 	}
+	tm.qs = quiesce.New(q, cfg.Mode, reclaim)
 	for t := range tm.threads {
 		tx := &tm.threads[t].tx
 		tx.tm = tm
@@ -225,7 +237,10 @@ func (tm *TM) Fence(thread int) {
 		if s := tm.cfg.Sink; s != nil {
 			s.FBegin(thread)
 		}
-		tm.waitWritersOnly()
+		// The buggy fence: wait only for threads whose current
+		// transaction has performed a write. Doomed read-only
+		// transactions are not waited for.
+		tm.qs.FenceFiltered(func(t int) bool { return tm.hasWrite[t].v.Load() == 1 })
 		if s := tm.cfg.Sink; s != nil {
 			s.FEnd(thread)
 		}
@@ -233,32 +248,32 @@ func (tm *TM) Fence(thread int) {
 		if s := tm.cfg.Sink; s != nil {
 			s.FBegin(thread)
 		}
-		tm.q.Wait()
+		tm.qs.Fence()
 		if s := tm.cfg.Sink; s != nil {
 			s.FEnd(thread)
 		}
 	}
 }
 
-// waitWritersOnly is the buggy fence: it snapshots only threads whose
-// current transaction has performed a write, and waits for those.
-// Doomed read-only transactions are not waited for.
-func (tm *TM) waitWritersOnly() {
-	n := tm.cfg.Threads
-	r := make([]bool, n+1)
-	for t := 1; t <= n; t++ {
-		r[t] = tm.q.Active(t) && tm.hasWrite[t].v.Load() == 1
+// FenceAsync implements core.TM. Under the unsafe no-op fence policy
+// the callback runs immediately (there is no grace period to wait for,
+// matching Fence); otherwise it is the quiescence service's Defer.
+// Deferred grace periods are not recorded in the sink: a sink-attached
+// TM records only its synchronous fences.
+func (tm *TM) FenceAsync(thread int, fn func(thread int)) {
+	if tm.cfg.Fence == FenceNoOp {
+		fn(thread)
+		return
 	}
-	for t := 1; t <= n; t++ {
-		if !r[t] {
-			continue
-		}
-		for tm.q.Active(t) {
-			// spin; rcu's Wait yields, do the same
-			spinYield()
-		}
-	}
+	tm.qs.Defer(thread, fn)
 }
+
+// FenceBarrier implements core.TM.
+func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
+
+// QuiesceStats exposes the quiescence service's counters (fences,
+// grace periods, deferred callbacks) for harness reports.
+func (tm *TM) QuiesceStats() quiesce.Stats { return tm.qs.Stats() }
 
 // Begin implements core.TM (Figure 9 txbegin): set the active flag,
 // then sample the read timestamp.
@@ -268,7 +283,7 @@ func (tm *TM) Begin(thread int) core.Txn {
 		panic(fmt.Sprintf("tl2: thread %d began a transaction inside a transaction", thread))
 	}
 	tx.reset()
-	tm.q.Enter(thread)
+	tm.qs.Enter(thread)
 	if s := tm.cfg.Sink; s != nil {
 		s.TxBegin(thread)
 	}

@@ -1,6 +1,7 @@
 package txexec
 
 import (
+	"strings"
 	"testing"
 
 	"safepriv/internal/baseline"
@@ -77,39 +78,64 @@ func progenProgram(seed int64) model.Program {
 // under; correct TMs must match the oracle on every one.
 const schedSeeds = 6
 
+// diffAgainstOracle runs the differential loop for one spec: identical
+// progen programs under identical schedule seeds must produce identical
+// final registers and committed locals as the serial baseline oracle.
+func diffAgainstOracle(t *testing.T, spec string, progSeeds int64) {
+	t.Helper()
+	windows := !strings.HasPrefix(spec, "baseline")
+	for seed := int64(1); seed <= progSeeds; seed++ {
+		p := progenProgram(seed)
+		for ss := int64(0); ss < schedSeeds; ss++ {
+			oracle, err := Oracle(p, ss)
+			if err != nil {
+				t.Fatalf("seed %d sched %d: oracle: %v", seed, ss, err)
+			}
+			tm, err := engine.NewSpec(spec, p.Regs, len(p.Threads), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(p, tm, Options{Seed: ss, Windows: windows})
+			if err != nil {
+				t.Fatalf("seed %d sched %d: %s: %v", seed, ss, spec, err)
+			}
+			if !Equal(got, oracle) {
+				t.Fatalf("seed %d sched %d: %s diverged from baseline: %s",
+					seed, ss, spec, Diff(got, oracle))
+			}
+		}
+	}
+}
+
 // TestDifferentialAllTMsMatchBaseline is the cross-TM differential
-// test: identical progen programs under identical schedule seeds must
-// produce identical final registers and committed locals on all five
-// registry TMs, with the serial baseline execution as the oracle.
+// test: all five registry TMs against the serial baseline oracle.
 func TestDifferentialAllTMsMatchBaseline(t *testing.T) {
 	progSeeds := int64(20)
 	if testing.Short() {
 		progSeeds = 8
 	}
 	for _, spec := range engine.TMs() {
-		t.Run(spec, func(t *testing.T) {
-			for seed := int64(1); seed <= progSeeds; seed++ {
-				p := progenProgram(seed)
-				for ss := int64(0); ss < schedSeeds; ss++ {
-					oracle, err := Oracle(p, ss)
-					if err != nil {
-						t.Fatalf("seed %d sched %d: oracle: %v", seed, ss, err)
-					}
-					tm, err := engine.NewSpec(spec, p.Regs, len(p.Threads), nil)
-					if err != nil {
-						t.Fatal(err)
-					}
-					got, err := Run(p, tm, Options{Seed: ss, Windows: spec != "baseline"})
-					if err != nil {
-						t.Fatalf("seed %d sched %d: %s: %v", seed, ss, spec, err)
-					}
-					if !Equal(got, oracle) {
-						t.Fatalf("seed %d sched %d: %s diverged from baseline: %s",
-							seed, ss, spec, Diff(got, oracle))
-					}
-				}
-			}
-		})
+		t.Run(spec, func(t *testing.T) { diffAgainstOracle(t, spec, progSeeds) })
+	}
+}
+
+// TestDifferentialFenceModes runs the same differential oracle with the
+// combine and defer fence modes on every registry TM: coalesced and
+// reclaimer-batched grace periods must not change any program's
+// observable outcome. (Programs include explicit fences — the
+// privatization idiom progen generates — so the fence path is on the
+// tested surface, including the deferred mode's ride through the
+// background reclaimer.)
+func TestDifferentialFenceModes(t *testing.T) {
+	progSeeds := int64(8)
+	if testing.Short() {
+		progSeeds = 3
+	}
+	for _, tmName := range engine.TMs() {
+		for _, mode := range []string{"combine", "defer"} {
+			spec := tmName + "+" + mode
+			t.Run(spec, func(t *testing.T) { diffAgainstOracle(t, spec, progSeeds) })
+		}
 	}
 }
 

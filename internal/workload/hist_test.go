@@ -1,0 +1,65 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"safepriv/internal/engine"
+	"safepriv/internal/workload"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h workload.Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// 90 fast samples (~1µs) and 10 slow ones (~1ms): p50 stays in the
+	// fast bucket's range, p99 reaches the slow one.
+	for i := 0; i < 90; i++ {
+		h.Add(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < time.Microsecond || p50 > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1–2µs", p50)
+	}
+	if p99 < time.Millisecond || p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1–2ms", p99)
+	}
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	var m workload.Hist
+	m.Merge(&h)
+	m.Merge(nil)
+	if m.Count() != 100 || m.Quantile(0.99) != p99 {
+		t.Fatal("merge lost samples")
+	}
+	h.Add(0) // non-positive durations must not panic
+	h.Add(-time.Second)
+}
+
+// TestKVStoreRecordsLatency: the KV workload populates the
+// privatization-latency histogram, in every fence mode.
+func TestKVStoreRecordsLatency(t *testing.T) {
+	for _, spec := range []string{"tl2", "tl2+combine", "tl2+defer"} {
+		t.Run(spec, func(t *testing.T) {
+			tm := engine.MustNewSpec(spec, workload.RegsFor("kv-scan", 2), 5, nil)
+			st, err := workload.KVStore(tm, 2, 300, workload.KVConfig{ScanEvery: 100}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.PrivLatency == nil || st.PrivLatency.Count() == 0 {
+				t.Fatalf("no privatization latencies recorded (stats %+v)", st)
+			}
+			if st.Fences == 0 {
+				t.Fatal("no privatizations counted")
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"safepriv/internal/core"
 	"safepriv/internal/stmkv"
@@ -70,6 +71,7 @@ func KVStore(tm core.TM, threads, ops int, cfg KVConfig, seed int64) (Stats, err
 		}
 	}
 	c := newCounter(threads)
+	lat := new(Hist) // privatization (scan) latency across all workers
 	var wg sync.WaitGroup
 	errs := make(chan error, threads)
 	for th := 1; th <= threads; th++ {
@@ -104,10 +106,12 @@ func KVStore(tm core.TM, threads, ops int, cfg KVConfig, seed int64) (Stats, err
 				}
 				c.slots[th].commits++
 				if cfg.ScanEvery > 0 && (i+1)%cfg.ScanEvery == 0 {
+					start := time.Now()
 					if _, err := store.Scan(th); err != nil {
 						errs <- err
 						return
 					}
+					lat.Add(time.Since(start))
 				}
 			}
 		}(th)
@@ -115,6 +119,12 @@ func KVStore(tm core.TM, threads, ops int, cfg KVConfig, seed int64) (Stats, err
 	wg.Wait()
 	close(errs)
 	st := c.stats()
+	st.PrivLatency = lat
+	// Settle any deferred maintenance before reading the privatization
+	// counters (and surface its errors like any worker error).
+	if err := store.Drain(1); err != nil {
+		return st, err
+	}
 	st.Fences += store.Stats().Privatizations
 	for err := range errs {
 		return st, err

@@ -48,6 +48,10 @@ type Stats struct {
 	Commits int64
 	Aborts  int64
 	Fences  int64
+	// PrivLatency is the privatization-latency histogram (time each
+	// privatizing bulk operation took, as the caller saw it). Only the
+	// KV workloads record it; nil elsewhere.
+	PrivLatency *Hist
 }
 
 // counter keeps per-thread tallies on separate cache lines so the

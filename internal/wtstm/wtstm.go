@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"safepriv/internal/core"
+	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/stripe"
 	"safepriv/internal/vclock"
@@ -49,6 +50,9 @@ type Config struct {
 	GV4 bool
 	// Epochs selects the epoch-based grace period.
 	Epochs bool
+	// Mode selects how Fence waits the grace period out (package
+	// quiesce): Wait (default), Combine, or Defer.
+	Mode quiesce.Mode
 	// UnsafeFence makes Fence a no-op, to exhibit the delayed-abort
 	// anomaly in tests and experiments.
 	UnsafeFence bool
@@ -66,6 +70,9 @@ func WithGV4() Option { return func(c *Config) { c.GV4 = true } }
 // WithEpochFence selects the epoch-based grace period.
 func WithEpochFence() Option { return func(c *Config) { c.Epochs = true } }
 
+// WithFenceMode selects the quiescence mode (wait, combine, defer).
+func WithFenceMode(m quiesce.Mode) Option { return func(c *Config) { c.Mode = m } }
+
 // WithUnsafeFence makes Fence a no-op.
 func WithUnsafeFence() Option { return func(c *Config) { c.UnsafeFence = true } }
 
@@ -74,7 +81,7 @@ type TM struct {
 	cfg     Config
 	table   *stripe.Table
 	clock   vclock.Clock
-	q       rcu.Quiescer
+	qs      *quiesce.Service
 	threads []slot
 }
 
@@ -84,27 +91,31 @@ type slot struct {
 }
 
 // New returns a write-through TM with regs registers and thread ids
-// 1..threads.
+// 1..threads. Thread id threads+1 is reserved for the quiescence
+// service's reclaimer (deferred-fence callbacks).
 func New(regs, threads int, opts ...Option) *TM {
 	cfg := Config{Regs: regs, Threads: threads}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	reclaim := threads + 1
 	tm := &TM{
 		cfg:     cfg,
 		table:   stripe.New(regs, cfg.Stripes),
-		threads: make([]slot, threads+1),
+		threads: make([]slot, reclaim+1),
 	}
 	if cfg.GV4 {
 		tm.clock = vclock.NewGV4()
 	} else {
 		tm.clock = vclock.NewFAI()
 	}
+	var q rcu.Quiescer
 	if cfg.Epochs {
-		tm.q = rcu.NewEpochs(threads)
+		q = rcu.NewEpochs(reclaim)
 	} else {
-		tm.q = rcu.NewFlags(threads)
+		q = rcu.NewFlags(reclaim)
 	}
+	tm.qs = quiesce.New(q, cfg.Mode, reclaim)
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
 		tm.threads[t].tx.thread = t
@@ -127,8 +138,22 @@ func (tm *TM) Fence(thread int) {
 	if tm.cfg.UnsafeFence {
 		return
 	}
-	tm.q.Wait()
+	tm.qs.Fence()
 }
+
+// FenceAsync implements core.TM. Under the unsafe no-op fence the
+// callback runs immediately, matching Fence; otherwise it is the
+// quiescence service's Defer.
+func (tm *TM) FenceAsync(thread int, fn func(thread int)) {
+	if tm.cfg.UnsafeFence {
+		fn(thread)
+		return
+	}
+	tm.qs.Defer(thread, fn)
+}
+
+// FenceBarrier implements core.TM.
+func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {
@@ -137,7 +162,7 @@ func (tm *TM) Begin(thread int) core.Txn {
 		panic(fmt.Sprintf("wtstm: thread %d began a transaction inside a transaction", thread))
 	}
 	tx.reset()
-	tm.q.Enter(thread)
+	tm.qs.Enter(thread)
 	tx.rver = tm.clock.Load()
 	tx.live = true
 	return tx
@@ -178,7 +203,7 @@ func (tx *Txn) reset() {
 
 func (tx *Txn) finish() {
 	tx.live = false
-	tx.tm.q.Exit(tx.thread)
+	tx.tm.qs.Exit(tx.thread)
 }
 
 // ownsStripe reports whether the transaction already holds stripe s.
