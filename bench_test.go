@@ -829,6 +829,148 @@ func TestEmitFenceBenchJSON(t *testing.T) {
 	t.Logf("wrote BENCH_fence.json (%d rows)", len(rows))
 }
 
+// --- Transactional heap: churn throughput and footprint per TM ×
+// allocator (the stmalloc reclamation experiment) ---
+
+// BenchmarkSetChurn sweeps the allocator axis on TL2: bump (leaking)
+// vs quiesce with each fence mode. The quiesce rows pay a reclamation
+// fence per remove; defer batches them on the background reclaimer.
+func BenchmarkSetChurn(b *testing.B) {
+	threads := kvBenchThreads()
+	const ops = 1500
+	for _, spec := range []string{"tl2+bump", "tl2+quiesce", "tl2+combine+quiesce", "tl2+defer+quiesce"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunWorkload(spec, "set-churn",
+					workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: 128}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueuePipe is the streaming shape: values flow through a
+// bounded-depth queue, every dequeue reclaiming its node.
+func BenchmarkQueuePipe(b *testing.B) {
+	threads := kvBenchThreads()
+	if threads < 2 {
+		threads = 2 // the pipe needs a producer and a consumer
+	}
+	const ops = 1500
+	for _, spec := range []string{"tl2+quiesce", "tl2+defer+quiesce"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunWorkload(spec, "queue-pipe",
+					workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// dsBenchRow is one BENCH_ds.json record.
+type dsBenchRow struct {
+	Spec       string  `json:"spec"`
+	TM         string  `json:"tm"`
+	Alloc      string  `json:"alloc"`
+	Fence      string  `json:"fence"`
+	Workload   string  `json:"workload"`
+	Threads    int     `json:"threads"`
+	Ops        int64   `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	HeapRegs   int64   `json:"heap_regs"`
+	Allocs     int64   `json:"allocs"`
+	Frees      int64   `json:"frees"`
+	ReclaimP50 int64   `json:"reclaim_p50_ns"`
+	ReclaimP99 int64   `json:"reclaim_p99_ns"`
+}
+
+// TestEmitDSBenchJSON measures the set-churn sweep — every TM × the
+// bump/quiesce allocator axis, plus the batched-fence quiesce variants
+// on TL2 — and writes BENCH_ds.json: ops/sec and the steady-state
+// register footprint per row. The quiesce rows prove the reclamation
+// story (frees keep up with allocs, footprint bounded); the bump rows
+// are the leaking contrast whose footprint scales with the op count.
+// Row order is deterministic (sorted tm, alloc, fence keys).
+func TestEmitDSBenchJSON(t *testing.T) {
+	threads := kvBenchThreads()
+	ops := 2500
+	if testing.Short() {
+		ops = 500
+	}
+	specs := make([]string, 0, 2*len(engine.TMs())+2)
+	for _, tmName := range engine.TMs() {
+		specs = append(specs, tmName+"+bump", tmName+"+quiesce")
+	}
+	specs = append(specs, "tl2+combine+quiesce", "tl2+defer+quiesce")
+	var rows []dsBenchRow
+	for _, spec := range specs {
+		cfg, err := engine.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fence := cfg.Fence
+		if fence == "" {
+			fence = "wait"
+		}
+		start := time.Now()
+		st, err := engine.RunWorkload(spec, "set-churn",
+			workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: 128})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		dur := time.Since(start)
+		total := int64(threads) * int64(ops)
+		row := dsBenchRow{
+			Spec: spec, TM: cfg.TM, Alloc: cfg.Alloc, Fence: fence,
+			Workload: "set-churn", Threads: threads, Ops: total,
+			NsPerOp:   float64(dur.Nanoseconds()) / float64(total),
+			OpsPerSec: float64(total) / dur.Seconds(),
+			HeapRegs:  st.HeapRegs,
+			Allocs:    st.Allocs, Frees: st.Frees,
+		}
+		if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
+			row.ReclaimP50 = h.Quantile(0.50).Nanoseconds()
+			row.ReclaimP99 = h.Quantile(0.99).Nanoseconds()
+		}
+		if cfg.Alloc == "quiesce" {
+			if st.Frees == 0 {
+				t.Fatalf("%s: quiesce run reclaimed nothing", spec)
+			}
+			// Boundedness: the reclaiming footprint must stay far below
+			// the bump footprint of the same traffic (~ops×threads regs).
+			if st.HeapRegs > total {
+				t.Fatalf("%s: quiesce footprint %d regs not bounded (total ops %d)", spec, st.HeapRegs, total)
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.TM != b.TM {
+			return a.TM < b.TM
+		}
+		if a.Alloc != b.Alloc {
+			return a.Alloc < b.Alloc
+		}
+		return a.Fence < b.Fence
+	})
+	out, err := json.MarshalIndent(struct {
+		Workload string       `json:"workload"`
+		Results  []dsBenchRow `json:"results"`
+	}{"set-churn", rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ds.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_ds.json (%d rows)", len(rows))
+}
+
 // --- Checker building blocks ---
 
 func BenchmarkHBCompute(b *testing.B) {

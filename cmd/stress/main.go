@@ -18,12 +18,18 @@
 //	stress -tm norec -workload kvstore -threads 8 -wops 20000
 //	stress -tm tl2 -workload kv-scan -shards 16 -privevery 100
 //	stress -tm tl2 -fence combine -workload kv-scan -privevery 50
+//	stress -tm tl2+quiesce -ds set -churn 256 -wops 50000
+//	stress -tm tl2 -fence defer -alloc quiesce -ds queue
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
 //
-// -fence appends the fence-mode modifier (wait, combine, defer) to the
-// -tm spec; KV workload reports include a p50/p99 privatization-latency
-// line.
+// -fence and -alloc append the fence-mode (wait, combine, defer) and
+// allocator (bump, quiesce) modifiers to the -tm spec. -ds set|queue is
+// shorthand for the set-churn/queue-pipe data-structure workloads and
+// -churn sets their live-set-size knob; on a quiesce spec the report
+// includes the reclaim-latency quantiles and the steady-state register
+// footprint (on a bump spec the footprint line shows the leak). KV
+// workload reports include a p50/p99 privatization-latency line.
 package main
 
 import (
@@ -39,7 +45,7 @@ import (
 )
 
 // runWorkload is the -workload mode: one named workload on one TM.
-func runWorkload(name, tmSpec string, threads, ops, shards, privEvery int, seed int64) error {
+func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet int, seed int64) error {
 	p := workload.Params{
 		Threads:        threads,
 		Ops:            ops,
@@ -47,6 +53,7 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery int, seed 
 		Seed:           seed,
 		Shards:         shards,
 		PrivatizeEvery: privEvery,
+		LiveSet:        liveSet,
 	}
 	start := time.Now()
 	st, err := engine.RunWorkload(tmSpec, name, p)
@@ -62,6 +69,12 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery int, seed 
 		fmt.Printf("privatization latency: p50=%v p99=%v (%d privatizing ops)\n",
 			h.Quantile(0.50), h.Quantile(0.99), h.Count())
 	}
+	if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
+		fmt.Printf("reclaim latency: p50=%v p99=%v (%d reclaimed blocks, %d allocs, footprint %d regs)\n",
+			h.Quantile(0.50), h.Quantile(0.99), st.Frees, st.Allocs, st.HeapRegs)
+	} else if st.HeapRegs > 0 {
+		fmt.Printf("allocator footprint: %d regs (bump: removed nodes leak)\n", st.HeapRegs)
+	}
 	return nil
 }
 
@@ -75,7 +88,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	tmSpec := flag.String("tm", "tl2", "TM under test: an engine spec (or 'list' to print them)")
 	fence := flag.String("fence", "", "fence mode modifier appended to -tm: wait, combine, or defer")
+	alloc := flag.String("alloc", "", "allocator modifier appended to -tm: bump or quiesce")
 	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
+	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn) or queue (queue-pipe)")
+	churn := flag.Int("churn", 0, "live-set-size knob for the -ds workloads (0 = default)")
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
 	privEvery := flag.Int("privevery", 0, "KV privatization cadence: scan every N ops (0 = workload default, <0 = never)")
@@ -92,14 +108,27 @@ func main() {
 		// with a spec that already names a fence mode is a usage error.
 		*tmSpec += "+" + *fence
 	}
+	if *alloc != "" {
+		*tmSpec += "+" + *alloc
+	}
 	if *wl == "list" {
 		for _, s := range workload.Names() {
 			fmt.Println(s)
 		}
 		return
 	}
+	switch *ds {
+	case "":
+	case "set":
+		*wl = "set-churn"
+	case "queue":
+		*wl = "queue-pipe"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -ds %q (want set or queue)\n", *ds)
+		os.Exit(2)
+	}
 	if *wl != "" {
-		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *seed); err != nil {
+		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *churn, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -1,14 +1,33 @@
 // Package safepriv is a reproduction of "Safe Privatization in
 // Transactional Memory" (Khyzha, Attiya, Gotsman, Rinetzky; PPoPP
-// 2018): a TL2 software transactional memory with privatization-safe
-// transactional fences, the paper's trace/history model,
-// happens-before/DRF machinery, the strong-opacity checker with its
-// graph characterization and witness construction, an exhaustive
-// interleaving model checker for the paper's litmus programs, and the
-// benchmark harnesses regenerating every experiment.
+// 2018), grown into a layered STM system:
+//
+//   - Model layer: the paper's trace/history model (internal/spec),
+//     happens-before/DRF machinery (internal/hb), the strong-opacity
+//     checker with its graph characterization and witness construction
+//     (internal/opacity), and an exhaustive interleaving model checker
+//     (internal/model) for the litmus programs (internal/litmus).
+//   - Runtime layer: five executable TMs (tl2, norec, wtstm, baseline,
+//     atomictm) over shared primitives (stripe, vlock, vclock, oaset),
+//     all constructed through the internal/engine registry's
+//     specification strings (TM × clock × fence × quiescer × alloc).
+//   - Quiescence layer: internal/rcu grace periods under the
+//     internal/quiesce service — wait/combine/defer fence modes, the
+//     asynchronous fence (FenceAsync) and its background reclaimer.
+//   - Heap layer: internal/stmalloc, the quiescence-based safe memory
+//     reclamation allocator (unlink transactionally, ride the fence,
+//     reuse), with the typed ErrOutOfSpace exhaustion contract.
+//   - Application layer: internal/stmds dynamic structures (sorted set,
+//     sorted map, FIFO queue) that free removed nodes through the
+//     allocator; internal/stmkv, the sharded privatization-safe KV
+//     store whose shard tables are heap blocks; the named workloads of
+//     internal/workload (incl. the set-churn/queue-pipe reclamation
+//     shapes); and the cross-TM differential executor internal/txexec.
 //
 // See README.md for the package layout, the engine registry's
 // configuration names, and how to run the examples, litmus tests, and
 // benchmarks. The benchmarks in bench_test.go regenerate the
-// quantitative experiments (E9, E13, E14 and the checker/model costs).
+// quantitative experiments (E9, E13, E14 and the checker/model costs)
+// and emit the machine-readable sweeps BENCH_kv.json, BENCH_fence.json
+// and BENCH_ds.json.
 package safepriv

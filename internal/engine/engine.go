@@ -27,13 +27,25 @@
 //	           callbacks never block the caller  (all TMs)
 //	nofence    Fence is a no-op — unsafe, for anomaly reproduction
 //	skipro     fence skips read-only txns (GCC libitm bug) (tl2)
+//	quiesce    data structures reclaim memory through the stmalloc
+//	           quiescence-based allocator          (all TMs)
+//	bump       append-only bump allocation — the default, for
+//	           explicitness
 //
 // combine, defer, nofence, skipro and wait all set the one fence axis,
 // so any two of them in a spec conflict (in particular nofence+combine
-// and combine+defer are rejected).
+// and combine+defer are rejected); bump and quiesce likewise share the
+// allocator axis. The allocator axis does not change the TM itself —
+// it is carried in the Config for the layers that build transactional
+// data structures over the TM (internal/workload, cmd/stress,
+// bench_test.go): on a quiesce spec they allocate from an
+// internal/stmalloc heap whose Free rides the TM's fence, on a bump
+// spec from the append-only stmds bump allocator. On the unsafe fence
+// specs (nofence, skipro) those layers fall back to stmalloc's
+// fully-transactional reclamation, which needs no grace period.
 //
 // Examples: "tl2+gv4+epochs+rofast", "wtstm+nofence", "norec+defer",
-// "tl2+gv4+combine".
+// "tl2+gv4+combine", "tl2+defer+quiesce".
 package engine
 
 import (
@@ -71,6 +83,10 @@ type Config struct {
 	// Quiescer selects the grace-period implementation backing the
 	// fence: "" or "flags" (default), or "epochs".
 	Quiescer string
+	// Alloc selects the allocator the data-structure layers build over
+	// the TM: "" or "bump" (default), or "quiesce" (the stmalloc
+	// reclaiming heap). It does not affect TM construction.
+	Alloc string
 	// ReadOnlyFastPath enables TL2's read-only commit fast path.
 	ReadOnlyFastPath bool
 	// SortedLocks acquires TL2 commit locks in register order.
@@ -108,6 +124,9 @@ func (c Config) Spec() string {
 		mods = append(mods, "nofence")
 	case "skipro":
 		mods = append(mods, "skipro")
+	}
+	if c.Alloc == "quiesce" {
+		mods = append(mods, "quiesce")
 	}
 	if len(mods) == 0 {
 		return c.TM
@@ -154,6 +173,8 @@ func Parse(spec string) (Config, error) {
 			err = setAxis("fence", &cfg.Fence, "defer", m)
 		case "skipro":
 			err = setAxis("fence", &cfg.Fence, "skipro", m)
+		case "bump", "quiesce":
+			err = setAxis("alloc", &cfg.Alloc, strings.TrimSpace(m), m)
 		case "rofast":
 			if cfg.ReadOnlyFastPath {
 				err = fmt.Errorf("engine: duplicate modifier %q in spec %q", m, spec)
@@ -189,6 +210,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Quiescer == "" {
 		c.Quiescer = "flags"
+	}
+	if c.Alloc == "" {
+		c.Alloc = "bump"
 	}
 	type axis struct{ name, val, dflt string }
 	reject := func(ax ...axis) error {
@@ -251,6 +275,12 @@ func (c *Config) normalize() error {
 	}
 	return fmt.Errorf("engine: unknown TM %q", c.TM)
 }
+
+// UnsafeFence reports whether the configuration's fence gives no grace
+// period guarantee (the nofence/skipro anomaly policies): layers that
+// reclaim memory through the fence must fall back to fully
+// transactional reclamation on such a TM.
+func (c Config) UnsafeFence() bool { return c.Fence == "noop" || c.Fence == "skipro" }
 
 // fenceMode maps the fence axis to a quiescence mode ("wait" for the
 // unsafe policies, whose handling is TM-specific).
@@ -376,6 +406,7 @@ func Specs() []string {
 		"norec+epochs",
 		"norec+combine",
 		"norec+defer",
+		"norec+quiesce",
 		"wtstm",
 		"wtstm+gv4",
 		"wtstm+epochs",
@@ -392,6 +423,8 @@ func Specs() []string {
 		"tl2+combine",
 		"tl2+defer",
 		"tl2+gv4+combine",
+		"tl2+quiesce",
+		"tl2+defer+quiesce",
 	}
 	sort.Strings(s)
 	return s

@@ -122,6 +122,12 @@ func TestParseErrors(t *testing.T) {
 		{"tl2+combine+combine", "duplicate fence"},
 		{"tl2+defer+defer", "duplicate fence"},
 		{"wtstm+combine+defer", "duplicate fence"},
+		// The allocator axis: bump and quiesce set one axis, so any two
+		// of them conflict.
+		{"tl2+quiesce+quiesce", "duplicate alloc"},
+		{"tl2+bump+bump", "duplicate alloc"},
+		{"tl2+bump+quiesce", "duplicate alloc"},
+		{"norec+quiesce+bump", "duplicate alloc"},
 		// Parse fine, rejected by construction.
 		{"norec+gv4", "does not support"},
 		{"baseline+rofast", "supports no modifiers"},
@@ -162,10 +168,12 @@ func TestParseErrors(t *testing.T) {
 // canonicalizes away.
 func TestParseBenignModifiers(t *testing.T) {
 	for spec, canon := range map[string]string{
-		"tl2+fai":   "tl2",
-		"tl2+wait":  "tl2",
-		"tl2+flags": "tl2",
-		"wtstm+fai": "wtstm",
+		"tl2+fai":       "tl2",
+		"tl2+wait":      "tl2",
+		"tl2+flags":     "tl2",
+		"wtstm+fai":     "wtstm",
+		"tl2+bump":      "tl2",
+		"baseline+bump": "baseline",
 	} {
 		cfg, err := Parse(spec)
 		if err != nil {
@@ -229,5 +237,43 @@ func TestStripesFlowThrough(t *testing.T) {
 				t.Fatalf("%s: reg %d = %d, want %d", tmName, x, got, x)
 			}
 		}
+	}
+}
+
+// TestAllocAxisFlow: the allocator axis parses on every TM, round-trips
+// through Spec(), reports fence safety, and flows into RunWorkload's
+// churn workloads.
+func TestAllocAxisFlow(t *testing.T) {
+	for _, tmName := range TMs() {
+		cfg, err := Parse(tmName + "+quiesce")
+		if err != nil {
+			t.Fatalf("Parse(%s+quiesce): %v", tmName, err)
+		}
+		if cfg.Alloc != "quiesce" {
+			t.Fatalf("%s+quiesce parsed Alloc=%q", tmName, cfg.Alloc)
+		}
+		if got := cfg.Spec(); got != tmName+"+quiesce" {
+			t.Fatalf("Spec() = %q, want %q", got, tmName+"+quiesce")
+		}
+		if cfg.UnsafeFence() {
+			t.Fatalf("%s+quiesce reported an unsafe fence", tmName)
+		}
+	}
+	for _, spec := range []string{"tl2+nofence", "tl2+skipro", "wtstm+nofence"} {
+		cfg, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.UnsafeFence() {
+			t.Fatalf("%s not reported unsafe", spec)
+		}
+	}
+	st, err := RunWorkload("tl2+defer+quiesce", "set-churn",
+		workload.Params{Threads: 2, Ops: 120, Seed: 1, LiveSet: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frees == 0 || st.ReclaimLatency == nil {
+		t.Fatalf("quiesce spec did not reach the reclaiming allocator: %+v", st)
 	}
 }

@@ -13,15 +13,30 @@ import (
 // run themselves (cmd/figures, bench_test.go) construct via NewSpec
 // and call workload.ByName directly; keep this function's sizing
 // (workload.RegsFor, the +2 spare thread ids) in step with them.
+//
+// The specification's allocator axis (bump/quiesce) and fence safety
+// flow into the workload parameters: a churn workload on a
+// "tl2+quiesce" spec builds its data structures over the stmalloc
+// reclaiming heap, and on an unsafe-fence spec (nofence/skipro) the
+// heap falls back to fully transactional reclamation.
 func RunWorkload(tmSpec, name string, p workload.Params) (workload.Stats, error) {
 	run, ok := workload.ByName(name)
 	if !ok {
 		return workload.Stats{}, fmt.Errorf("engine: unknown workload %q (have %v)", name, workload.Names())
 	}
+	cfg, err := Parse(tmSpec)
+	if err != nil {
+		return workload.Stats{}, err
+	}
+	if cfg.Alloc != "" {
+		p.Alloc = cfg.Alloc
+	}
+	p.UnsafeFence = cfg.UnsafeFence()
 	// +2: thread 1 is the maintenance/privatizer slot in pipeline, and
 	// every workload numbers workers from low ids; a spare id keeps the
 	// harnesses' historical sizing.
-	tm, err := NewSpec(tmSpec, workload.RegsFor(name, p.Threads), p.Threads+2, nil)
+	cfg.Regs, cfg.Threads = workload.RegsFor(name, p.Threads), p.Threads+2
+	tm, err := New(cfg)
 	if err != nil {
 		return workload.Stats{}, err
 	}

@@ -1,0 +1,453 @@
+// Package stmalloc is a sharded free-list allocator over a TM's
+// register space whose Free is the paper's privatization idiom made
+// reusable (PAPER.md Figure 7, §2.1): safe memory reclamation for
+// transactional data structures.
+//
+// The life of a block:
+//
+//  1. New(tx, th, n) allocates inside the caller's transaction, so an
+//     aborted transaction leaks nothing — the pop (or bump) rolls back
+//     with everything else.
+//  2. The data structure unlinks the block transactionally (a Remove
+//     or Dequeue that commits).
+//  3. Free(th, ptr, n) rides the TM's asynchronous fence
+//     (core.TM.FenceAsync): after a grace period in which every
+//     transaction active at the Free has finished — so no stale
+//     reference survives — the block is wiped with *uninstrumented*
+//     stores (the idiom's private phase) and pushed back onto its home
+//     shard's free list by a small transaction (the publish). On a
+//     defer-mode TM the caller never blocks; on wait/combine TMs the
+//     fence is synchronous.
+//
+// The free lists themselves live in TM registers (each free block's
+// first register is the next-free link, shard list heads live in the
+// heap header), so allocation is a pure transaction and doomed readers
+// of allocator state are caught by the TM's opacity machinery like any
+// other conflict.
+//
+// Two escape hatches adjust the reclamation path:
+//
+//   - WithTransactionalFree is the fallback for TMs whose fence is
+//     unsafe or absent (the engine's nofence/skipro anomaly specs):
+//     Free pushes the block back immediately with a transaction and
+//     never touches it uninstrumented. This is safe on any opaque TM —
+//     a doomed reader still holding the block sees only transactional
+//     writes, which its validation catches — it just gives up the
+//     uninstrumented wipe the idiom buys.
+//   - FreeQuiesced skips the grace period because the caller already
+//     ran one: a privatize→fence→operate cycle (stmkv's growth path)
+//     that unlinked the block while the shard was quiescent may return
+//     it straight to the free list.
+//
+// Per-shard statistics (allocations, frees, bump high-water) are kept
+// in registers and updated transactionally, so they are exact: aborted
+// attempts do not count, and Allocs-Frees equals the number of live
+// blocks (the leak-accounting invariant the tests pin). Reclaim
+// latency — Free call to slot re-entering the free list — is recorded
+// through an optional LatencyRecorder (workload.Hist satisfies it).
+package stmalloc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"safepriv/internal/core"
+)
+
+// ErrOutOfSpace is returned by New when no shard can serve the request
+// from its free list or bump region. Typed so data structures can
+// surface exhaustion distinctly from TM-level errors.
+var ErrOutOfSpace = errors.New("stmalloc: arena exhausted")
+
+// numClasses bounds the size-class ladder: class c serves blocks of
+// 1<<c registers, c in [0, numClasses).
+const numClasses = 12
+
+// MaxBlockRegs is the largest allocatable block (registers).
+const MaxBlockRegs = 1 << (numClasses - 1)
+
+// Per-shard header layout (registers, relative to the shard's header
+// base): bump pointer, transactional alloc/free counters, then one
+// free-list head per size class.
+const (
+	offBump   = 0
+	offAllocs = 1
+	offFrees  = 2
+	offLists  = 3
+	shardHdr  = offLists + numClasses
+)
+
+// HeaderRegs returns the header size of a heap with the given shard
+// count; the usable arena is everything after it.
+func HeaderRegs(shards int) int { return shards * shardHdr }
+
+// BlockRegs returns the register footprint a request for n registers
+// actually occupies (the size-class roundup), or 0 if n is not
+// allocatable.
+func BlockRegs(n int) int {
+	c, ok := classOf(n)
+	if !ok {
+		return 0
+	}
+	return 1 << c
+}
+
+// classOf maps a request size to its size class.
+func classOf(n int) (int, bool) {
+	if n <= 0 || n > MaxBlockRegs {
+		return 0, false
+	}
+	c := 0
+	for 1<<c < n {
+		c++
+	}
+	return c, true
+}
+
+// LatencyRecorder receives one sample per reclaimed block: the time
+// from the Free call to the block re-entering the free list.
+// *workload.Hist satisfies it.
+type LatencyRecorder interface {
+	Add(d time.Duration)
+}
+
+// Option mutates heap construction.
+type Option func(*Heap)
+
+// WithShards sets the shard count (default 8, clamped so every shard
+// chunk holds at least one minimal block).
+func WithShards(n int) Option { return func(h *Heap) { h.shards = n } }
+
+// WithTransactionalFree makes Free push blocks back immediately inside
+// a transaction, with no grace period and no uninstrumented wipe — the
+// reclamation mode that stays safe when the TM's fence is a no-op
+// (nofence/skipro anomaly specs).
+func WithTransactionalFree() Option { return func(h *Heap) { h.txnFree = true } }
+
+// WithLatencyRecorder routes reclaim-latency samples to r.
+func WithLatencyRecorder(r LatencyRecorder) Option { return func(h *Heap) { h.rec = r } }
+
+// ShardStats is one shard's traffic snapshot.
+type ShardStats struct {
+	// Allocs and Frees count blocks (transactionally exact).
+	Allocs, Frees int64
+	// BumpRegs is the shard's bump high-water: registers ever taken
+	// from its chunk (free-list reuse does not advance it).
+	BumpRegs int64
+}
+
+// Stats is a heap-wide snapshot.
+type Stats struct {
+	// Allocs, Frees count blocks across all shards; Live = Allocs-Frees
+	// is the number of blocks currently held by callers.
+	Allocs, Frees, Live int64
+	// BumpRegs sums the shards' bump high-waters: the heap's
+	// steady-state register footprint.
+	BumpRegs int64
+	// PendingFrees counts Free calls whose grace period has not yet
+	// completed (their blocks are neither live nor on a free list).
+	PendingFrees int64
+	// Shards holds the per-shard breakdown.
+	Shards []ShardStats
+}
+
+// Heap is a sharded free-list allocator over the register range
+// [first, limit) of one TM. The header (HeaderRegs registers) sits at
+// the front of the range; the rest is split into per-shard bump
+// chunks. Construction reinitializes the header non-transactionally,
+// so it must happen before concurrent use.
+type Heap struct {
+	tm      core.TM
+	first   int // header base
+	arena   int // first register after the header
+	limit   int
+	chunk   int // registers per shard chunk
+	shards  int
+	txnFree bool
+	rec     LatencyRecorder
+
+	// pending counts Frees registered but not yet pushed back.
+	pending atomic.Int64
+	// asyncErr holds the first error a deferred reclamation hit;
+	// Drain surfaces it.
+	asyncErr atomic.Pointer[error]
+}
+
+// New builds a heap over tm's registers [first, limit). Register 0
+// must not be part of the arena (0 encodes nil free-list links), so
+// first must be positive.
+func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
+	h := &Heap{tm: tm, first: first, limit: limit, shards: 8}
+	for _, o := range opts {
+		o(h)
+	}
+	if first <= 0 || limit > tm.NumRegs() || first >= limit {
+		return nil, fmt.Errorf("stmalloc: bad arena [%d, %d) over %d registers", first, limit, tm.NumRegs())
+	}
+	if h.shards < 1 {
+		return nil, fmt.Errorf("stmalloc: bad shard count %d", h.shards)
+	}
+	// Clamp shards so every chunk holds at least one minimal block.
+	for h.shards > 1 && (limit-first-HeaderRegs(h.shards))/h.shards < 1 {
+		h.shards--
+	}
+	h.arena = first + HeaderRegs(h.shards)
+	if h.arena >= limit {
+		return nil, fmt.Errorf("stmalloc: arena [%d, %d) cannot hold a %d-shard header", first, limit, h.shards)
+	}
+	h.chunk = (limit - h.arena) / h.shards
+	// Reinitialize the header: fresh bump pointers, empty lists, zero
+	// counters. Non-transactional — construction precedes concurrency.
+	for s := 0; s < h.shards; s++ {
+		tm.Store(1, h.hdr(s)+offBump, int64(h.chunkStart(s)))
+		tm.Store(1, h.hdr(s)+offAllocs, 0)
+		tm.Store(1, h.hdr(s)+offFrees, 0)
+		for c := 0; c < numClasses; c++ {
+			tm.Store(1, h.hdr(s)+offLists+c, 0)
+		}
+	}
+	return h, nil
+}
+
+func (h *Heap) hdr(s int) int        { return h.first + s*shardHdr }
+func (h *Heap) chunkStart(s int) int { return h.arena + s*h.chunk }
+func (h *Heap) chunkEnd(s int) int   { return h.arena + (s+1)*h.chunk }
+
+// MaxBlock returns the largest block (registers) this heap can serve:
+// the size-class bound clamped to the chunk size.
+func (h *Heap) MaxBlock() int {
+	m := MaxBlockRegs
+	for m > h.chunk {
+		m >>= 1
+	}
+	return m
+}
+
+// Shards returns the shard count.
+func (h *Heap) Shards() int { return h.shards }
+
+// validPtr reports whether v is a plausible block pointer. Free-list
+// link registers are only ever written transactionally, so committed
+// state always holds valid pointers — but a doomed transaction racing
+// an uninstrumented private phase can transiently read garbage, and
+// must abort rather than dereference it.
+func (h *Heap) validPtr(v int64) bool {
+	return v >= int64(h.arena) && v < int64(h.limit)
+}
+
+// New allocates n consecutive registers inside tx and returns the
+// index of the first. th picks the preferred shard; allocation falls
+// over to other shards (free list first, then bump) before reporting
+// ErrOutOfSpace. Aborted transactions roll the allocation back.
+func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
+	c, ok := classOf(n)
+	if !ok || 1<<c > h.chunk {
+		return 0, fmt.Errorf("stmalloc: cannot serve %d-register block (max %d): %w", n, h.MaxBlock(), ErrOutOfSpace)
+	}
+	size := int64(1) << c
+	start := th % h.shards
+	if start < 0 {
+		start = 0
+	}
+	for i := 0; i < h.shards; i++ {
+		s := (start + i) % h.shards
+		// Free list for the class.
+		head, err := tx.Read(h.hdr(s) + offLists + c)
+		if err != nil {
+			return 0, err
+		}
+		if head != 0 {
+			if !h.validPtr(head) {
+				return 0, core.ErrAborted // doomed read of in-flight state
+			}
+			next, err := tx.Read(int(head))
+			if err != nil {
+				return 0, err
+			}
+			if next != 0 && !h.validPtr(next) {
+				return 0, core.ErrAborted
+			}
+			if err := tx.Write(h.hdr(s)+offLists+c, next); err != nil {
+				return 0, err
+			}
+			if err := h.countAlloc(tx, s); err != nil {
+				return 0, err
+			}
+			return head, nil
+		}
+		// Bump region.
+		b, err := tx.Read(h.hdr(s) + offBump)
+		if err != nil {
+			return 0, err
+		}
+		if !h.validBump(s, b) {
+			return 0, core.ErrAborted
+		}
+		if b+size <= int64(h.chunkEnd(s)) {
+			if err := tx.Write(h.hdr(s)+offBump, b+size); err != nil {
+				return 0, err
+			}
+			if err := h.countAlloc(tx, s); err != nil {
+				return 0, err
+			}
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("stmalloc: no shard can serve %d registers: %w", n, ErrOutOfSpace)
+}
+
+// validBump guards the bump pointer the same way validPtr guards list
+// links (a bump register can transiently hold garbage for a doomed
+// reader racing nothing in this package, but stay paranoid: it is
+// cheap and makes the allocator robust under any TM).
+func (h *Heap) validBump(s int, b int64) bool {
+	return b >= int64(h.chunkStart(s)) && b <= int64(h.chunkEnd(s))
+}
+
+func (h *Heap) countAlloc(tx core.Txn, s int) error {
+	v, err := tx.Read(h.hdr(s) + offAllocs)
+	if err != nil {
+		return err
+	}
+	return tx.Write(h.hdr(s)+offAllocs, v+1)
+}
+
+// shardOf maps a block pointer to its home shard.
+func (h *Heap) shardOf(ptr int64) int {
+	s := (int(ptr) - h.arena) / h.chunk
+	if s < 0 {
+		s = 0
+	}
+	if s >= h.shards {
+		s = h.shards - 1
+	}
+	return s
+}
+
+// Free returns the n-register block at ptr to the heap once no
+// transaction can still hold a stale reference: it registers the
+// reclamation with the TM's asynchronous fence, and after the grace
+// period wipes the block uninstrumented and pushes it (in a small
+// transaction) onto its home shard's free list. The caller must have
+// unlinked the block transactionally before calling Free, and must not
+// touch it afterwards. On a defer-mode TM Free never blocks; use Drain
+// to settle. Under WithTransactionalFree the grace period and the wipe
+// are skipped and the push happens inline.
+func (h *Heap) Free(th int, ptr int64, n int) {
+	c, ok := classOf(n)
+	if !ok {
+		h.fail(fmt.Errorf("stmalloc: Free of unallocatable size %d at %d", n, ptr))
+		return
+	}
+	start := time.Now()
+	h.pending.Add(1)
+	if h.txnFree {
+		h.release(th, ptr, c, start, false)
+		return
+	}
+	h.tm.FenceAsync(th, func(cb int) {
+		h.release(cb, ptr, c, start, true)
+	})
+}
+
+// FreeQuiesced is Free for a block the caller already knows to be
+// quiescent — its own privatize→fence cycle guarantees no transaction
+// holds a stale reference (stmkv's growth path). The grace period is
+// skipped; the wipe and push happen inline.
+func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
+	c, ok := classOf(n)
+	if !ok {
+		h.fail(fmt.Errorf("stmalloc: FreeQuiesced of unallocatable size %d at %d", n, ptr))
+		return
+	}
+	h.pending.Add(1)
+	h.release(th, ptr, c, time.Now(), !h.txnFree)
+}
+
+// release is the tail of every reclamation: optionally wipe the block
+// uninstrumented (legal only when it is quiescent), then push it onto
+// its home shard's class list with a transaction whose commit makes
+// the block reachable again — the publish of the idiom.
+func (h *Heap) release(th int, ptr int64, c int, start time.Time, wipe bool) {
+	defer h.pending.Add(-1)
+	if wipe {
+		// The idiom's private phase: the block is unreachable and
+		// quiescent, so uninstrumented stores are race-free. Register
+		// ptr+0 is skipped — the push below turns it into the free-list
+		// link. Callers must initialize blocks they allocate.
+		for i := 1; i < 1<<c; i++ {
+			h.tm.Store(th, int(ptr)+i, 0)
+		}
+	}
+	s := h.shardOf(ptr)
+	err := core.Atomically(h.tm, th, func(tx core.Txn) error {
+		head, err := tx.Read(h.hdr(s) + offLists + c)
+		if err != nil {
+			return err
+		}
+		if head != 0 && !h.validPtr(head) {
+			return core.ErrAborted
+		}
+		if err := tx.Write(int(ptr), head); err != nil {
+			return err
+		}
+		if err := tx.Write(h.hdr(s)+offLists+c, ptr); err != nil {
+			return err
+		}
+		v, err := tx.Read(h.hdr(s) + offFrees)
+		if err != nil {
+			return err
+		}
+		return tx.Write(h.hdr(s)+offFrees, v+1)
+	})
+	if err != nil {
+		h.fail(fmt.Errorf("stmalloc: free of %d (shard %d) failed: %w", ptr, s, err))
+		return
+	}
+	if h.rec != nil {
+		h.rec.Add(time.Since(start))
+	}
+}
+
+func (h *Heap) fail(err error) {
+	h.asyncErr.CompareAndSwap(nil, &err)
+}
+
+// Drain blocks until every reclamation registered by Free before the
+// call has completed, and returns the first error any reclamation hit.
+// th must be a valid thread id not currently inside a transaction.
+func (h *Heap) Drain(th int) error {
+	h.tm.FenceBarrier(th)
+	if e := h.asyncErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Stats reads the per-shard counters non-transactionally. Call it
+// quiesced (after Drain, or with no concurrent mutators) for exact
+// numbers; under concurrency it is a monotone approximation.
+func (h *Heap) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, h.shards), PendingFrees: h.pending.Load()}
+	for s := 0; s < h.shards; s++ {
+		sh := ShardStats{
+			Allocs:   h.tm.Load(1, h.hdr(s)+offAllocs),
+			Frees:    h.tm.Load(1, h.hdr(s)+offFrees),
+			BumpRegs: h.tm.Load(1, h.hdr(s)+offBump) - int64(h.chunkStart(s)),
+		}
+		st.Shards[s] = sh
+		st.Allocs += sh.Allocs
+		st.Frees += sh.Frees
+		st.BumpRegs += sh.BumpRegs
+	}
+	st.Live = st.Allocs - st.Frees
+	return st
+}
+
+// Footprint returns the heap's steady-state register footprint: the
+// sum of the shards' bump high-waters. A churn workload whose frees
+// keep up with its allocations has a bounded footprint no matter how
+// many operations run; a bump-only allocator's grows without bound.
+func (h *Heap) Footprint() int64 { return h.Stats().BumpRegs }

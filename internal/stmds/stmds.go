@@ -1,18 +1,29 @@
 // Package stmds builds transactional data structures on top of the
 // core TM API, the way STAMP-style applications use an STM: registers
-// serve as words of a transactional heap, a bump allocator hands out
+// serve as words of a transactional heap, an allocator hands out
 // nodes, and every operation is one atomic block.
 //
 // Provided structures: a sorted linked-list set (the classic STM
-// microbenchmark) and a FIFO queue. Both work on any core.TM (TL2,
-// NOrec, global-lock) and are exercised by cross-implementation tests
-// and benchmarks.
+// microbenchmark), a sorted-list map, and a FIFO queue. All work on
+// any core.TM (TL2, NOrec, wtstm, the 2PL runtime, global-lock) and
+// are exercised by cross-implementation tests and benchmarks.
+//
+// Allocation goes through the Allocator interface. Two implementations
+// exist: the append-only bump Alloc in this package (removals leak —
+// the arena is sized for the run, the seed's STAMP posture) and the
+// reclaiming internal/stmalloc heap, whose Free is the paper's
+// privatization idiom (unlink transactionally, ride the fence, reuse).
+// Structures free unlinked nodes after the unlinking transaction
+// commits, so churn workloads run indefinitely in bounded register
+// space on a reclaiming allocator where the bump allocator dies with
+// ErrOutOfSpace.
 package stmds
 
 import (
 	"fmt"
 
 	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
 )
 
 // nilPtr is the null node pointer. Register index 0 is never allocated
@@ -20,13 +31,35 @@ import (
 // next-pointers the right meaning).
 const nilPtr int64 = 0
 
+// ErrOutOfSpace is returned by allocators when no space can serve a
+// request; it aliases stmalloc.ErrOutOfSpace so errors.Is matches
+// across both allocator implementations.
+var ErrOutOfSpace = stmalloc.ErrOutOfSpace
+
+// Allocator hands out and reclaims blocks of TM registers for the data
+// structures in this package.
+//
+// New allocates n consecutive registers inside tx: aborted
+// transactions must leak nothing. Free returns the n-register block at
+// ptr; it is called only after the transaction that unlinked the block
+// committed, and the allocator decides when the block may actually be
+// reused (stmalloc rides the transactional fence; the bump Alloc
+// ignores Free and leaks).
+type Allocator interface {
+	New(tx core.Txn, th, n int) (int64, error)
+	Free(th int, ptr int64, n int)
+}
+
 // Alloc is a transactional bump allocator over a TM's registers:
 // register `counter` holds the next free register index. Allocation is
 // transactional, so aborted transactions leak no memory — their
-// allocations are rolled back with everything else.
+// allocations are rolled back with everything else. Free is a no-op:
+// removed nodes leak until the arena is exhausted (New then returns
+// ErrOutOfSpace). Use internal/stmalloc for reclaiming workloads.
 type Alloc struct {
 	tm      core.TM
 	counter int
+	first   int
 	limit   int
 }
 
@@ -35,18 +68,20 @@ type Alloc struct {
 // the counter register to `first` (non-transactionally, before use).
 func NewAlloc(tm core.TM, counter, first, limit int) *Alloc {
 	tm.Store(1, counter, int64(first))
-	return &Alloc{tm: tm, counter: counter, limit: limit}
+	return &Alloc{tm: tm, counter: counter, first: first, limit: limit}
 }
 
 // New allocates n consecutive registers inside tx and returns the index
-// of the first.
-func (a *Alloc) New(tx core.Txn, n int) (int64, error) {
+// of the first. Exhaustion is a typed error: errors.Is(err,
+// ErrOutOfSpace) — the caller's transaction is aborted by Atomically
+// and the error surfaces instead of retrying forever.
+func (a *Alloc) New(tx core.Txn, th, n int) (int64, error) {
 	next, err := tx.Read(a.counter)
 	if err != nil {
 		return 0, err
 	}
 	if int(next)+n > a.limit {
-		return 0, fmt.Errorf("stmds: arena exhausted (%d+%d > %d)", next, n, a.limit)
+		return 0, fmt.Errorf("stmds: bump arena exhausted (%d+%d > %d): %w", next, n, a.limit, ErrOutOfSpace)
 	}
 	if err := tx.Write(a.counter, next+int64(n)); err != nil {
 		return 0, err
@@ -54,17 +89,36 @@ func (a *Alloc) New(tx core.Txn, n int) (int64, error) {
 	return next, nil
 }
 
+// Free implements Allocator; the bump allocator cannot reclaim, so
+// removed nodes leak (the contrast configuration of the churn
+// benchmarks).
+func (a *Alloc) Free(th int, ptr int64, n int) {}
+
+// Footprint returns the registers ever allocated from the arena — for
+// a bump allocator also its steady-state footprint, since nothing is
+// reused.
+func (a *Alloc) Footprint() int64 {
+	return a.tm.Load(1, a.counter) - int64(a.first)
+}
+
+// setNodeRegs is the register footprint of a set/queue node
+// (key/value, next); mapNodeRegs of a map node (key, value, next).
+const (
+	setNodeRegs = 2
+	mapNodeRegs = 3
+)
+
 // Set is a sorted singly-linked-list set of int64 keys. The list head
 // pointer lives in register `head`; each node occupies two registers:
 // node+0 = key, node+1 = next.
 type Set struct {
 	tm    core.TM
 	head  int
-	alloc *Alloc
+	alloc Allocator
 }
 
 // NewSet returns a set with its head pointer in register head.
-func NewSet(tm core.TM, head int, alloc *Alloc) *Set {
+func NewSet(tm core.TM, head int, alloc Allocator) *Set {
 	return &Set{tm: tm, head: head, alloc: alloc}
 }
 
@@ -134,7 +188,7 @@ func (s *Set) Insert(th int, k int64) (bool, error) {
 				return nil // already present
 			}
 		}
-		node, err := s.alloc.New(tx, 2)
+		node, err := s.alloc.New(tx, th, setNodeRegs)
 		if err != nil {
 			return err
 		}
@@ -153,11 +207,14 @@ func (s *Set) Insert(th int, k int64) (bool, error) {
 	return added, err
 }
 
-// Remove deletes k, reporting whether it was present. Removed nodes are
-// unlinked but not recycled (the arena is append-only; STAMP-style
-// benchmarks size the arena for the run).
+// Remove deletes k, reporting whether it was present. The unlinked
+// node is returned to the allocator after the removing transaction
+// commits — on a reclaiming allocator this is the paper's idiom:
+// unlink transactionally, then the allocator rides the fence before
+// the registers are reused.
 func (s *Set) Remove(th int, k int64) (bool, error) {
 	var removed bool
+	var victim int64
 	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
 		removed = false
 		prevReg, cur, err := s.find(tx, k)
@@ -182,8 +239,12 @@ func (s *Set) Remove(th int, k int64) (bool, error) {
 			return err
 		}
 		removed = true
+		victim = cur
 		return nil
 	})
+	if err == nil && removed {
+		s.alloc.Free(th, victim, setNodeRegs)
+	}
 	return removed, err
 }
 
@@ -211,24 +272,221 @@ func (s *Set) Snapshot(th int) ([]int64, error) {
 	return out, err
 }
 
+// KV is one key-value pair returned by Map.Snapshot.
+type KV struct {
+	Key, Val int64
+}
+
+// Map is a sorted singly-linked-list map from int64 keys to int64
+// values. The list head pointer lives in register `head`; each node
+// occupies three registers: node+0 = key, node+1 = value, node+2 =
+// next.
+type Map struct {
+	tm    core.TM
+	head  int
+	alloc Allocator
+}
+
+// NewMap returns a map with its head pointer in register head.
+func NewMap(tm core.TM, head int, alloc Allocator) *Map {
+	return &Map{tm: tm, head: head, alloc: alloc}
+}
+
+// find positions the traversal at the first node with key >= k (see
+// Set.find; next fields sit at node+2 here).
+func (m *Map) find(tx core.Txn, k int64) (int, int64, error) {
+	prevReg := m.head
+	cur, err := tx.Read(prevReg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for cur != nilPtr {
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return 0, 0, err
+		}
+		if key >= k {
+			break
+		}
+		prevReg = int(cur) + 2
+		if cur, err = tx.Read(prevReg); err != nil {
+			return 0, 0, err
+		}
+	}
+	return prevReg, cur, nil
+}
+
+// Get returns the value stored under k; ok reports presence.
+func (m *Map) Get(th int, k int64) (v int64, ok bool, err error) {
+	err = core.Atomically(m.tm, th, func(tx core.Txn) error {
+		v, ok = 0, false
+		_, cur, err := m.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur == nilPtr {
+			return nil
+		}
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return err
+		}
+		if key != k {
+			return nil
+		}
+		if v, err = tx.Read(int(cur) + 1); err != nil {
+			return err
+		}
+		ok = true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Put inserts or updates k↦v, reporting whether k was absent.
+func (m *Map) Put(th int, k, v int64) (bool, error) {
+	var added bool
+	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
+		added = false
+		prevReg, cur, err := m.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur != nilPtr {
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			if key == k {
+				return tx.Write(int(cur)+1, v) // update in place
+			}
+		}
+		node, err := m.alloc.New(tx, th, mapNodeRegs)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(int(node), k); err != nil {
+			return err
+		}
+		if err := tx.Write(int(node)+1, v); err != nil {
+			return err
+		}
+		if err := tx.Write(int(node)+2, cur); err != nil {
+			return err
+		}
+		if err := tx.Write(prevReg, node); err != nil {
+			return err
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Delete removes k, reporting whether it was present, and frees the
+// unlinked node after the removing transaction commits.
+func (m *Map) Delete(th int, k int64) (bool, error) {
+	var removed bool
+	var victim int64
+	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
+		removed = false
+		prevReg, cur, err := m.find(tx, k)
+		if err != nil {
+			return err
+		}
+		if cur == nilPtr {
+			return nil
+		}
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return err
+		}
+		if key != k {
+			return nil
+		}
+		next, err := tx.Read(int(cur) + 2)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(prevReg, next); err != nil {
+			return err
+		}
+		removed = true
+		victim = cur
+		return nil
+	})
+	if err == nil && removed {
+		m.alloc.Free(th, victim, mapNodeRegs)
+	}
+	return removed, err
+}
+
+// Snapshot returns the pairs in key order, read in one transaction.
+func (m *Map) Snapshot(th int) ([]KV, error) {
+	var out []KV
+	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
+		out = out[:0]
+		cur, err := tx.Read(m.head)
+		if err != nil {
+			return err
+		}
+		for cur != nilPtr {
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			val, err := tx.Read(int(cur) + 1)
+			if err != nil {
+				return err
+			}
+			out = append(out, KV{key, val})
+			if cur, err = tx.Read(int(cur) + 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Len returns the pair count, read in one transaction.
+func (m *Map) Len(th int) (int, error) {
+	n := 0
+	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
+		n = 0
+		cur, err := tx.Read(m.head)
+		if err != nil {
+			return err
+		}
+		for cur != nilPtr {
+			n++
+			if cur, err = tx.Read(int(cur) + 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return n, err
+}
+
 // Queue is a FIFO queue of int64 values: register head points at the
 // oldest node, tail at the newest; each node is (value, next).
 type Queue struct {
 	tm         core.TM
 	head, tail int
-	alloc      *Alloc
+	alloc      Allocator
 }
 
 // NewQueue returns a queue with head/tail pointers in the given
 // registers.
-func NewQueue(tm core.TM, head, tail int, alloc *Alloc) *Queue {
+func NewQueue(tm core.TM, head, tail int, alloc Allocator) *Queue {
 	return &Queue{tm: tm, head: head, tail: tail, alloc: alloc}
 }
 
 // Enqueue appends v.
 func (q *Queue) Enqueue(th int, v int64) error {
 	return core.Atomically(q.tm, th, func(tx core.Txn) error {
-		node, err := q.alloc.New(tx, 2)
+		node, err := q.alloc.New(tx, th, setNodeRegs)
 		if err != nil {
 			return err
 		}
@@ -253,10 +511,12 @@ func (q *Queue) Enqueue(th int, v int64) error {
 	})
 }
 
-// Dequeue removes and returns the oldest value; ok=false on empty.
+// Dequeue removes and returns the oldest value; ok=false on empty. The
+// dequeued node is freed after the transaction commits.
 func (q *Queue) Dequeue(th int) (int64, bool, error) {
 	var v int64
 	var ok bool
+	var victim int64
 	err := core.Atomically(q.tm, th, func(tx core.Txn) error {
 		ok = false
 		headPtr, err := tx.Read(q.head)
@@ -282,7 +542,11 @@ func (q *Queue) Dequeue(th int) (int64, bool, error) {
 			}
 		}
 		ok = true
+		victim = headPtr
 		return nil
 	})
+	if err == nil && ok {
+		q.alloc.Free(th, victim, setNodeRegs)
+	}
 	return v, ok, err
 }

@@ -1,6 +1,7 @@
 package stmds
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"safepriv/internal/baseline"
 	"safepriv/internal/core"
 	"safepriv/internal/norec"
+	"safepriv/internal/stmalloc"
 	"safepriv/internal/tl2"
 )
 
@@ -279,8 +281,22 @@ func TestAllocExhaustion(t *testing.T) {
 	if _, err := s.Insert(1, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Insert(1, 3); err == nil {
+	// Exhaustion must surface as the typed ErrOutOfSpace, not as a
+	// retry loop or an anonymous error.
+	_, err := s.Insert(1, 3)
+	if err == nil {
 		t.Fatal("arena exhaustion not reported")
+	}
+	if !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("exhaustion error %v is not ErrOutOfSpace", err)
+	}
+	// The set survives the failed insert: existing keys stay readable
+	// and the failed key was not half-linked.
+	if ok, err := s.Contains(1, 2); err != nil || !ok {
+		t.Fatalf("key 2 lost after exhaustion: %v %v", ok, err)
+	}
+	if ok, _ := s.Contains(1, 3); ok {
+		t.Fatal("failed insert left key 3 visible")
 	}
 }
 
@@ -291,11 +307,213 @@ func TestAbortedAllocationRollsBack(t *testing.T) {
 	alloc := NewAlloc(tm, regCounter, arenaFirst, 64)
 	before := tm.Load(1, regCounter)
 	tx := tm.Begin(1)
-	if _, err := alloc.New(tx, 2); err != nil {
+	if _, err := alloc.New(tx, 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	tx.Abort()
 	if got := tm.Load(1, regCounter); got != before {
 		t.Fatalf("aborted allocation leaked: counter %d → %d", before, got)
+	}
+}
+
+// reclaimer builds a stmalloc heap over the test arena, so the same
+// structure tests can run with real reclamation.
+func reclaimer(t *testing.T, tm core.TM) *stmalloc.Heap {
+	t.Helper()
+	h, err := stmalloc.New(tm, arenaFirst, tm.NumRegs(), stmalloc.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMapSequential(t *testing.T) {
+	for name, tm := range tms(512, 2) {
+		t.Run(name, func(t *testing.T) {
+			alloc := NewAlloc(tm, regCounter, arenaFirst, tm.NumRegs())
+			m := NewMap(tm, regHead, alloc)
+			ref := map[int64]int64{}
+			r := rand.New(rand.NewSource(11))
+			for i := 0; i < 200; i++ {
+				k := int64(r.Intn(30) + 1)
+				switch r.Intn(4) {
+				case 0, 1:
+					v := int64(r.Intn(1000))
+					added, err := m.Put(1, k, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, had := ref[k]; had == added {
+						t.Fatalf("Put(%d) added=%v but ref has=%v", k, added, had)
+					}
+					ref[k] = v
+				case 2:
+					removed, err := m.Delete(1, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, had := ref[k]; removed != had {
+						t.Fatalf("Delete(%d) removed=%v but ref has=%v", k, removed, had)
+					}
+					delete(ref, k)
+				case 3:
+					v, ok, err := m.Get(1, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w, had := ref[k]
+					if ok != had || (ok && v != w) {
+						t.Fatalf("Get(%d) = %d,%v; ref %d,%v", k, v, ok, w, had)
+					}
+				}
+			}
+			snap, err := m.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap) != len(ref) {
+				t.Fatalf("snapshot %d pairs, ref %d", len(snap), len(ref))
+			}
+			for i, kv := range snap {
+				if i > 0 && snap[i-1].Key >= kv.Key {
+					t.Fatalf("snapshot unsorted at %d: %v", i, snap)
+				}
+				if ref[kv.Key] != kv.Val {
+					t.Fatalf("pair %d=%d, ref %d", kv.Key, kv.Val, ref[kv.Key])
+				}
+			}
+			if n, err := m.Len(1); err != nil || n != len(ref) {
+				t.Fatalf("Len = %d,%v; want %d", n, err, len(ref))
+			}
+		})
+	}
+}
+
+// TestSetReclaimingConcurrent runs the concurrent set test over the
+// reclaiming allocator: churn (inserts and removes) across threads,
+// then the sorted/duplicate-free invariants plus exact leak accounting.
+func TestSetReclaimingConcurrent(t *testing.T) {
+	for name, tm := range tms(1<<13, 9) {
+		t.Run(name, func(t *testing.T) {
+			h := reclaimer(t, tm)
+			s := NewSet(tm, regHead, h)
+			const threads = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, threads)
+			for th := 1; th <= threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(th) * 31))
+					for i := 0; i < 150; i++ {
+						k := int64(r.Intn(100) + 1)
+						var err error
+						if r.Intn(2) == 0 {
+							_, err = s.Insert(th, k)
+						} else {
+							_, err = s.Remove(th, k)
+						}
+						if err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(th)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := h.Drain(1); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := s.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(snap); i++ {
+				if snap[i] <= snap[i-1] {
+					t.Fatalf("snapshot unsorted/duplicated: %v", snap)
+				}
+			}
+			if st := h.Stats(); st.Live != int64(len(snap)) {
+				t.Fatalf("allocs-frees = %d, live set %d", st.Live, len(snap))
+			}
+		})
+	}
+}
+
+// TestQueueReclaimingMPMC is the MPMC queue test over the reclaiming
+// allocator: every dequeued node is freed, so after a full drain the
+// heap's live count equals the queue's residual length (zero).
+func TestQueueReclaimingMPMC(t *testing.T) {
+	for name, tm := range tms(1<<13, 9) {
+		t.Run(name, func(t *testing.T) {
+			h := reclaimer(t, tm)
+			q := NewQueue(tm, regQHead, regQTail, h)
+			const producers, consumers, per = 4, 4, 150
+			var wg sync.WaitGroup
+			var consumed sync.Map
+			var count int64
+			var mu sync.Mutex
+			errCh := make(chan error, producers+consumers)
+			for p := 1; p <= producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := q.Enqueue(p, int64(p*1_000_000+i)); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(p)
+			}
+			for c := 1; c <= consumers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					th := producers + c
+					for {
+						mu.Lock()
+						if count >= producers*per {
+							mu.Unlock()
+							return
+						}
+						mu.Unlock()
+						v, ok, err := q.Dequeue(th)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if !ok {
+							continue
+						}
+						if _, dup := consumed.LoadOrStore(v, true); dup {
+							errCh <- errors.New("value consumed twice")
+							return
+						}
+						mu.Lock()
+						count++
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if err := h.Drain(1); err != nil {
+				t.Fatal(err)
+			}
+			if st := h.Stats(); st.Live != 0 {
+				t.Fatalf("drained queue holds %d live blocks (stats %+v)", st.Live, st)
+			}
+			if _, ok, _ := q.Dequeue(1); ok {
+				t.Fatal("drained queue non-empty")
+			}
+		})
 	}
 }

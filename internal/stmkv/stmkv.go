@@ -2,27 +2,40 @@
 // core TM API: the paper's privatization idiom (§2.1, Figure 7) promoted
 // from litmus test to hot path.
 //
-// The store divides the TM's registers into N shards. Each shard is an
-// open-addressing hash table over registers (linear probing, tombstone
-// deletion), plus a small header:
+// The store divides its register span into a small per-shard header
+// region and a shared transactional heap (internal/stmalloc) that backs
+// every shard's hash table. Each shard is an open-addressing table
+// (linear probing, tombstone deletion) stored in a heap block; the
+// header carries:
 //
 //	base+0  flag   privatization epoch: even = shared, odd = private
-//	base+1  cap    active slot count (≤ the shard's slot arena)
+//	base+1  cap    active slot count of the current table block
 //	base+2  count  live keys
 //	base+3  tombs  tombstones
-//	base+4+2i      slot i key   (0 = empty, -1 = tombstone)
-//	base+5+2i      slot i value
+//	base+4  table  register index of the table block (slot i key at
+//	               table+2i, value at table+2i+1)
 //
 // Point operations (Get/Put/Delete) are single transactions that follow
 // the DRF discipline of the paper: they read the shard's flag first and
-// touch the table only when the flag is even. Bulk operations (Scan,
-// Clear, Resize, and the automatic growth triggered by Put) privatize
-// the shard exactly as Figure 7 prescribes — commit a transaction that
-// makes the flag odd, issue the transactional Fence, operate on the
-// shard with uninstrumented Load/Store, and publish it back with a
-// transaction that makes the flag even again. Under Theorem 5.3 the
-// resulting program is DRF assuming strong atomicity, so it is safe on
-// every TM in the registry, including weakly atomic TL2.
+// touch the header and table only when the flag is even. Bulk
+// operations (Scan, Clear, Resize, and the automatic growth triggered
+// by Put) privatize the shard exactly as Figure 7 prescribes — commit a
+// transaction that makes the flag odd, issue the transactional Fence,
+// operate on the shard with uninstrumented Load/Store, and publish it
+// back with a transaction that makes the flag even again. Under
+// Theorem 5.3 the resulting program is DRF assuming strong atomicity,
+// so it is safe on every TM in the registry, including weakly atomic
+// TL2.
+//
+// Growth is where the store meets the allocator: a rehash allocates a
+// fresh table block from the heap (a transaction), rebuilds the table
+// into it with uninstrumented stores (the private phase — the shard is
+// quiesced by its own fence), installs it in the header, and returns
+// the old block through stmalloc.FreeQuiesced — the old block needs no
+// further grace period because the shard's fence already guaranteed no
+// transaction holds a stale reference to it. Freed table blocks are
+// recycled across shards, so a store that grows and shrinks repeatedly
+// occupies bounded register space.
 //
 // The privatization frequency is therefore a first-class knob: it is
 // driven by how often callers Scan/Clear/Resize and by the growth
@@ -52,6 +65,7 @@ import (
 	"time"
 
 	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
 )
 
 const (
@@ -59,8 +73,9 @@ const (
 	offCap   = 1
 	offCount = 2
 	offTombs = 3
+	offTable = 4
 	// hdrRegs is the per-shard header size in registers.
-	hdrRegs = 4
+	hdrRegs = 5
 
 	keyEmpty int64 = 0
 	keyTomb  int64 = -1
@@ -69,6 +84,10 @@ const (
 	// capacity) beyond which Put privatizes the shard and grows it.
 	maxLoadNum = 3
 	maxLoadDen = 4
+
+	// initialCap is the active capacity shards start with (clamped to
+	// the slot arena): every doubling beyond it is a privatize cycle.
+	initialCap = 8
 )
 
 // ErrFull is returned by Put when the key's shard is at its arena limit
@@ -115,9 +134,9 @@ type KV struct {
 // Store is a sharded transactional KV store over a core.TM.
 type Store struct {
 	tm      core.TM
+	heap    *stmalloc.Heap
 	shards  int
-	slots   int // slot arena per shard
-	span    int // registers per shard
+	slots   int // maximum active capacity per shard
 	txnScan bool
 
 	privatizations atomic.Int64
@@ -126,72 +145,130 @@ type Store struct {
 	clears         atomic.Int64
 
 	// asyncErr holds the first error a deferred maintenance callback
-	// hit (publish contention); Drain surfaces it.
+	// hit (publish contention, heap exhaustion); Drain surfaces it.
 	asyncErr atomic.Pointer[error]
 }
 
-// RegsNeeded returns the register count a store with the given geometry
-// requires; size the TM with at least this many registers.
-func RegsNeeded(shards, slots int) int { return shards * (hdrRegs + 2*slots) }
+// kvHeapShards sizes the table heap's shard count: enough to keep
+// concurrent growers of different shards off each other's bump
+// pointers, without one free-list head per store shard.
+func kvHeapShards(shards int) int {
+	if shards < 4 {
+		return shards
+	}
+	return 4
+}
 
-// New builds a store with `shards` shards of `slots` slots each over
-// tm's registers [0, RegsNeeded(shards, slots)). The header registers
-// are initialized non-transactionally (thread 1), so construction must
-// happen before concurrent use, like stmds allocators.
+// RegsNeeded returns the register count a store with the given geometry
+// requires; size the TM with at least this many registers. The budget
+// covers the shard headers, the heap header, and a heap arena large
+// enough that every shard can grow to `slots` active slots — including
+// the transient old-table+new-table double occupancy of a rehash and
+// the lower-class blocks stranded on free lists as tables outgrow them.
+func RegsNeeded(shards, slots int) int {
+	if shards <= 0 || slots <= 0 {
+		return 0
+	}
+	maxBlock := stmalloc.BlockRegs(2 * slots)
+	if maxBlock == 0 {
+		return 0 // unallocatable geometry; New rejects it
+	}
+	hs := kvHeapShards(shards)
+	// Per size class at most 2*shards blocks are ever demanded at once
+	// (each shard's live table plus its in-flight replacement); summed
+	// over the power-of-two ladder up to maxBlock that is < 4·shards·
+	// maxBlock. One extra block per heap shard absorbs bump-tail
+	// fragmentation (a block cannot straddle heap chunks).
+	arena := 4*shards*maxBlock + hs*maxBlock
+	return shards*hdrRegs + stmalloc.HeaderRegs(hs) + arena
+}
+
+// New builds a store with `shards` shards of at most `slots` active
+// slots each over tm's registers [0, RegsNeeded(shards, slots)). The
+// headers and the heap are initialized non-transactionally (thread 1),
+// so construction must happen before concurrent use.
 func New(tm core.TM, shards, slots int, opts ...Option) (*Store, error) {
 	if shards <= 0 || slots <= 0 {
 		return nil, fmt.Errorf("stmkv: bad geometry shards=%d slots=%d", shards, slots)
 	}
-	if need := RegsNeeded(shards, slots); tm.NumRegs() < need {
+	if stmalloc.BlockRegs(2*slots) == 0 {
+		return nil, fmt.Errorf("stmkv: %d slots per shard exceeds the allocator's block bound", slots)
+	}
+	need := RegsNeeded(shards, slots)
+	if tm.NumRegs() < need {
 		return nil, fmt.Errorf("stmkv: TM has %d registers, geometry needs %d", tm.NumRegs(), need)
 	}
-	s := &Store{tm: tm, shards: shards, slots: slots, span: hdrRegs + 2*slots}
+	s := &Store{tm: tm, shards: shards, slots: slots}
 	for _, o := range opts {
 		o(s)
 	}
+	heap, err := stmalloc.New(tm, shards*hdrRegs, need, stmalloc.WithShards(kvHeapShards(shards)))
+	if err != nil {
+		return nil, fmt.Errorf("stmkv: heap: %w", err)
+	}
+	s.heap = heap
 	// Start with a small active table and grow on demand: every growth
 	// is a privatize→rehash→publish cycle, so the paper's idiom runs on
 	// the hot path instead of only in explicit bulk calls.
 	initial := slots
-	if initial > 8 {
-		initial = 8
+	if initial > initialCap {
+		initial = initialCap
 	}
 	for sh := 0; sh < shards; sh++ {
-		base := sh * s.span
+		base := s.base(sh)
+		var tab int64
+		err := core.Atomically(tm, 1, func(tx core.Txn) error {
+			var err error
+			tab, err = heap.New(tx, 1, 2*initial)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stmkv: initial table for shard %d: %w", sh, err)
+		}
+		// Wipe the fresh block: the TM (and the heap region) may have
+		// been used before. Construction is single-threaded, so the
+		// uninstrumented stores are race-free.
+		for i := 0; i < initial; i++ {
+			tm.Store(1, int(tab)+2*i, keyEmpty)
+			tm.Store(1, int(tab)+2*i+1, 0)
+		}
 		tm.Store(1, base+offFlag, 0)
 		tm.Store(1, base+offCap, int64(initial))
 		tm.Store(1, base+offCount, 0)
 		tm.Store(1, base+offTombs, 0)
-		// Wipe the initial active range: the TM may have been used
-		// before. Slots beyond it are wiped by rehash before any growth
-		// makes them active.
-		for i := 0; i < initial; i++ {
-			tm.Store(1, s.keyReg(base, i), keyEmpty)
-			tm.Store(1, s.valReg(base, i), 0)
-		}
+		tm.Store(1, base+offTable, tab)
 	}
 	return s, nil
 }
 
 // NewForTM derives the geometry from the TM itself: `shards` shards
-// splitting all of tm's registers, each shard using every slot that
-// fits its span. This lets harnesses size the TM once (RegsFor) and
+// with the largest per-shard slot arena whose RegsNeeded budget fits
+// tm's registers. This lets harnesses size the TM once (RegsFor) and
 // still sweep the shard count.
 func NewForTM(tm core.TM, shards int, opts ...Option) (*Store, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("stmkv: bad shard count %d", shards)
 	}
-	slots := (tm.NumRegs()/shards - hdrRegs) / 2
-	if slots <= 0 {
-		return nil, fmt.Errorf("stmkv: %d registers cannot host %d shards", tm.NumRegs(), shards)
+	lo, hi := 1, tm.NumRegs()
+	if RegsNeeded(shards, lo) > tm.NumRegs() {
+		return nil, fmt.Errorf("stmkv: %d registers cannot host %d shards (need %d)",
+			tm.NumRegs(), shards, RegsNeeded(shards, lo))
 	}
-	return New(tm, shards, slots, opts...)
+	for lo < hi { // largest slots with RegsNeeded(shards, slots) ≤ NumRegs
+		mid := (lo + hi + 1) / 2
+		if n := RegsNeeded(shards, mid); n != 0 && n <= tm.NumRegs() {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return New(tm, shards, lo, opts...)
 }
 
 // Shards returns the shard count.
 func (s *Store) Shards() int { return s.shards }
 
-// SlotsPerShard returns the per-shard slot arena size.
+// SlotsPerShard returns the per-shard maximum active capacity.
 func (s *Store) SlotsPerShard() int { return s.slots }
 
 // Stats returns a snapshot of the privatization counters.
@@ -203,6 +280,11 @@ func (s *Store) Stats() Stats {
 		Clears:         s.clears.Load(),
 	}
 }
+
+// HeapStats exposes the table heap's counters: after a Drain,
+// Allocs-Frees equals the shard count (one live table block each) —
+// the store-level leak-accounting invariant.
+func (s *Store) HeapStats() stmalloc.Stats { return s.heap.Stats() }
 
 // mix64 is the splitmix64 finalizer: the key hash.
 func mix64(x uint64) uint64 {
@@ -225,14 +307,19 @@ func slotStart(key int64, cap int64) int {
 	return int(mix64(mix64(uint64(key))) % uint64(cap))
 }
 
-func (s *Store) base(shard int) int     { return shard * s.span }
-func (s *Store) keyReg(base, i int) int { return base + hdrRegs + 2*i }
-func (s *Store) valReg(base, i int) int { return base + hdrRegs + 2*i + 1 }
+func (s *Store) base(shard int) int { return shard * hdrRegs }
+
+func keyReg(tab int64, i int) int { return int(tab) + 2*i }
+func valReg(tab int64, i int) int { return int(tab) + 2*i + 1 }
 
 // shared is the DRF guard of every point transaction: read the shard's
 // flag and refuse to proceed while it is odd (privatized). Because the
 // read is transactional, a privatizer committing after it dooms this
-// transaction — the conflict Theorem 5.3 relies on.
+// transaction — the conflict Theorem 5.3 relies on. A transaction that
+// passed the guard may safely read the rest of the header (cap, table
+// pointer): the uninstrumented writes of a private phase start only
+// after a fence that waited for every transaction that saw the flag
+// even.
 func shared(tx core.Txn, base int) error {
 	f, err := tx.Read(base + offFlag)
 	if err != nil {
@@ -242,6 +329,18 @@ func shared(tx core.Txn, base int) error {
 		return errShardPrivate
 	}
 	return nil
+}
+
+// table reads the shard's active geometry inside tx (after the shared
+// guard): the table block pointer and the active capacity.
+func (s *Store) table(tx core.Txn, base int) (tab, cap int64, err error) {
+	if cap, err = tx.Read(base + offCap); err != nil {
+		return 0, 0, err
+	}
+	if tab, err = tx.Read(base + offTable); err != nil {
+		return 0, 0, err
+	}
+	return tab, cap, nil
 }
 
 // Get reads key's value; ok reports presence. th is the caller's TM
@@ -256,13 +355,13 @@ func (s *Store) Get(th int, key int64) (v int64, ok bool, err error) {
 		if err := shared(tx, base); err != nil {
 			return err
 		}
-		cap, err := tx.Read(base + offCap)
+		tab, cap, err := s.table(tx, base)
 		if err != nil {
 			return err
 		}
 		i := slotStart(key, cap)
 		for j := int64(0); j < cap; j++ {
-			k, err := tx.Read(s.keyReg(base, i))
+			k, err := tx.Read(keyReg(tab, i))
 			if err != nil {
 				return err
 			}
@@ -270,7 +369,7 @@ func (s *Store) Get(th int, key int64) (v int64, ok bool, err error) {
 				return nil
 			}
 			if k == key {
-				if v, err = tx.Read(s.valReg(base, i)); err != nil {
+				if v, err = tx.Read(valReg(tab, i)); err != nil {
 					return err
 				}
 				ok = true
@@ -300,7 +399,7 @@ func (s *Store) Put(th int, key, val int64) error {
 			if err := shared(tx, base); err != nil {
 				return err
 			}
-			cap, err := tx.Read(base + offCap)
+			tab, cap, err := s.table(tx, base)
 			if err != nil {
 				return err
 			}
@@ -315,12 +414,12 @@ func (s *Store) Put(th int, key, val int64) error {
 			i := slotStart(key, cap)
 			firstTomb := -1
 			for j := int64(0); j < cap; j++ {
-				k, err := tx.Read(s.keyReg(base, i))
+				k, err := tx.Read(keyReg(tab, i))
 				if err != nil {
 					return err
 				}
 				if k == key {
-					return tx.Write(s.valReg(base, i), val)
+					return tx.Write(valReg(tab, i), val)
 				}
 				if k == keyTomb && firstTomb < 0 {
 					firstTomb = i
@@ -341,10 +440,10 @@ func (s *Store) Put(th int, key, val int64) error {
 							return err
 						}
 					}
-					if err := tx.Write(s.keyReg(base, at), key); err != nil {
+					if err := tx.Write(keyReg(tab, at), key); err != nil {
 						return err
 					}
-					if err := tx.Write(s.valReg(base, at), val); err != nil {
+					if err := tx.Write(valReg(tab, at), val); err != nil {
 						return err
 					}
 					return tx.Write(base+offCount, count+1)
@@ -354,10 +453,10 @@ func (s *Store) Put(th int, key, val int64) error {
 				}
 			}
 			if firstTomb >= 0 {
-				if err := tx.Write(s.keyReg(base, firstTomb), key); err != nil {
+				if err := tx.Write(keyReg(tab, firstTomb), key); err != nil {
 					return err
 				}
-				if err := tx.Write(s.valReg(base, firstTomb), val); err != nil {
+				if err := tx.Write(valReg(tab, firstTomb), val); err != nil {
 					return err
 				}
 				if err := tx.Write(base+offTombs, tombs-1); err != nil {
@@ -391,13 +490,13 @@ func (s *Store) Delete(th int, key int64) (removed bool, err error) {
 		if err := shared(tx, base); err != nil {
 			return err
 		}
-		cap, err := tx.Read(base + offCap)
+		tab, cap, err := s.table(tx, base)
 		if err != nil {
 			return err
 		}
 		i := slotStart(key, cap)
 		for j := int64(0); j < cap; j++ {
-			k, err := tx.Read(s.keyReg(base, i))
+			k, err := tx.Read(keyReg(tab, i))
 			if err != nil {
 				return err
 			}
@@ -413,7 +512,7 @@ func (s *Store) Delete(th int, key int64) (removed bool, err error) {
 				if err != nil {
 					return err
 				}
-				if err := tx.Write(s.keyReg(base, i), keyTomb); err != nil {
+				if err := tx.Write(keyReg(tab, i), keyTomb); err != nil {
 					return err
 				}
 				if err := tx.Write(base+offCount, count-1); err != nil {
@@ -488,10 +587,11 @@ func (s *Store) scanShardPrivate(th, shard int, out []KV) ([]KV, error) {
 		return nil, err
 	}
 	tm := s.tm
+	tab := tm.Load(th, base+offTable)
 	cap := int(tm.Load(th, base+offCap))
 	for i := 0; i < cap; i++ {
-		if k := tm.Load(th, s.keyReg(base, i)); k > 0 {
-			out = append(out, KV{k, tm.Load(th, s.valReg(base, i))})
+		if k := tm.Load(th, keyReg(tab, i)); k > 0 {
+			out = append(out, KV{k, tm.Load(th, valReg(tab, i))})
 		}
 	}
 	return out, s.publish(th, base)
@@ -506,19 +606,19 @@ func (s *Store) scanShardTxn(th, shard int, out []KV) ([]KV, error) {
 		if err := shared(tx, base); err != nil {
 			return err
 		}
-		cap, err := tx.Read(base + offCap)
+		tab, cap, err := s.table(tx, base)
 		if err != nil {
 			return err
 		}
 		for i := 0; i < int(cap); i++ {
-			k, err := tx.Read(s.keyReg(base, i))
+			k, err := tx.Read(keyReg(tab, i))
 			if err != nil {
 				return err
 			}
 			if k <= 0 {
 				continue
 			}
-			v, err := tx.Read(s.valReg(base, i))
+			v, err := tx.Read(valReg(tab, i))
 			if err != nil {
 				return err
 			}
@@ -541,10 +641,11 @@ func (s *Store) Clear(th int) error {
 		base := s.base(sh)
 		err := s.privatizeDeferred(th, base, func(th int) {
 			tm := s.tm
+			tab := tm.Load(th, base+offTable)
 			cap := int(tm.Load(th, base+offCap))
 			for i := 0; i < cap; i++ {
-				tm.Store(th, s.keyReg(base, i), keyEmpty)
-				tm.Store(th, s.valReg(base, i), 0)
+				tm.Store(th, keyReg(tab, i), keyEmpty)
+				tm.Store(th, valReg(tab, i), 0)
 			}
 			tm.Store(th, base+offCount, 0)
 			tm.Store(th, base+offTombs, 0)
@@ -561,7 +662,7 @@ func (s *Store) Clear(th int) error {
 // [live keys, slot arena]), privatizing one shard at a time. Like
 // Clear, the rehash→publish tail is deferred: on a defer-mode TM all
 // shards' grace periods batch onto the TM's reclaimer and the caller
-// never blocks on one.
+// never blocks on one. The replaced table blocks return to the heap.
 func (s *Store) Resize(th, slots int) error {
 	if slots < 1 {
 		slots = 1
@@ -576,7 +677,9 @@ func (s *Store) Resize(th, slots int) error {
 			if live := s.tm.Load(th, base+offCount); target < live {
 				target = live
 			}
-			s.rehash(th, base, target)
+			if err := s.rehashTo(th, base, target); err != nil {
+				s.fail(err)
+			}
 		})
 		if err != nil {
 			return err
@@ -586,15 +689,19 @@ func (s *Store) Resize(th, slots int) error {
 }
 
 // Drain blocks until every deferred Clear/Resize registered before the
-// call has completed and returns the first error any of them hit. On
-// TMs whose fence mode is not deferred the maintenance ran inline and
-// Drain only collects errors.
+// call has completed and returns the first error any of them — or the
+// table heap's reclamations — hit. On TMs whose fence mode is not
+// deferred the maintenance ran inline and Drain only collects errors.
 func (s *Store) Drain(th int) error {
 	s.tm.FenceBarrier(th)
 	if e := s.asyncErr.Load(); e != nil {
 		return *e
 	}
-	return nil
+	return s.heap.Drain(th)
+}
+
+func (s *Store) fail(err error) {
+	s.asyncErr.CompareAndSwap(nil, &err)
 }
 
 // grow doubles a shard's active capacity (up to the arena) after Put
@@ -621,10 +728,17 @@ func (s *Store) grow(th, shard int) error {
 	}
 	switch {
 	case newCap != cap:
-		s.rehash(th, base, newCap)
+		if err := s.rehashTo(th, base, newCap); err != nil {
+			_ = s.publish(th, base)
+			return err
+		}
 		s.grows.Add(1)
 	case tombs > 0:
-		s.rehash(th, base, cap) // compaction: reclaim tombstones
+		// Compaction: rebuild at the same capacity, dropping tombstones.
+		if err := s.rehashTo(th, base, cap); err != nil {
+			_ = s.publish(th, base)
+			return err
+		}
 	case count >= cap && cap == int64(s.slots):
 		err := s.publish(th, base)
 		if err == nil {
@@ -635,40 +749,53 @@ func (s *Store) grow(th, shard int) error {
 	return s.publish(th, base)
 }
 
-// rehash rebuilds the (privatized) shard's table at newCap active
-// slots, dropping tombstones. Uninstrumented accesses only — the caller
-// holds the shard private.
-func (s *Store) rehash(th, base int, newCap int64) {
+// rehashTo rebuilds the (privatized, quiesced) shard's table at newCap
+// active slots, dropping tombstones: allocate a fresh block from the
+// heap, fill it with uninstrumented stores — race-free because the
+// shard's fence already ran — install it in the header, and return the
+// old block to the heap. The old block needs no further grace period
+// (FreeQuiesced): every transaction that could have read this shard's
+// table pointer completed before the fence.
+func (s *Store) rehashTo(th, base int, newCap int64) error {
 	tm := s.tm
 	oldCap := tm.Load(th, base+offCap)
-	type kv struct{ k, v int64 }
-	live := make([]kv, 0, tm.Load(th, base+offCount))
+	oldTab := tm.Load(th, base+offTable)
+	var newTab int64
+	err := core.Atomically(tm, th, func(tx core.Txn) error {
+		var err error
+		newTab, err = s.heap.New(tx, th, int(2*newCap))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("stmkv: rehash to %d slots: %w", newCap, err)
+	}
+	for i := 0; i < int(newCap); i++ {
+		tm.Store(th, keyReg(newTab, i), keyEmpty)
+		tm.Store(th, valReg(newTab, i), 0)
+	}
+	var live int64
 	for i := 0; i < int(oldCap); i++ {
-		if k := tm.Load(th, s.keyReg(base, i)); k > 0 {
-			live = append(live, kv{k, tm.Load(th, s.valReg(base, i))})
+		k := tm.Load(th, keyReg(oldTab, i))
+		if k <= 0 {
+			continue
 		}
-	}
-	wipe := oldCap
-	if newCap > wipe {
-		wipe = newCap
-	}
-	for i := 0; i < int(wipe); i++ {
-		tm.Store(th, s.keyReg(base, i), keyEmpty)
-		tm.Store(th, s.valReg(base, i), 0)
-	}
-	for _, e := range live {
-		i := slotStart(e.k, newCap)
-		for tm.Load(th, s.keyReg(base, i)) != keyEmpty {
-			if i++; i == int(newCap) {
-				i = 0
+		v := tm.Load(th, valReg(oldTab, i))
+		j := slotStart(k, newCap)
+		for tm.Load(th, keyReg(newTab, j)) != keyEmpty {
+			if j++; j == int(newCap) {
+				j = 0
 			}
 		}
-		tm.Store(th, s.keyReg(base, i), e.k)
-		tm.Store(th, s.valReg(base, i), e.v)
+		tm.Store(th, keyReg(newTab, j), k)
+		tm.Store(th, valReg(newTab, j), v)
+		live++
 	}
+	tm.Store(th, base+offTable, newTab)
 	tm.Store(th, base+offCap, newCap)
-	tm.Store(th, base+offCount, int64(len(live)))
+	tm.Store(th, base+offCount, live)
 	tm.Store(th, base+offTombs, 0)
+	s.heap.FreeQuiesced(th, oldTab, int(2*oldCap))
+	return nil
 }
 
 // acquirePrivate commits the transaction flipping the shard's flag odd
@@ -708,7 +835,8 @@ func (s *Store) privatize(th, base int) error {
 // commits inline (so the shard is private from the caller's point of
 // view the moment this returns), then work runs after the grace period
 // on whatever thread the TM provides, followed by the publish that
-// re-shares the shard. work must use only uninstrumented accesses.
+// re-shares the shard. work must use only uninstrumented accesses and
+// heap calls.
 func (s *Store) privatizeDeferred(th, base int, work func(th int)) error {
 	if err := s.acquirePrivate(th, base); err != nil {
 		return err
@@ -716,7 +844,7 @@ func (s *Store) privatizeDeferred(th, base int, work func(th int)) error {
 	s.tm.FenceAsync(th, func(cb int) {
 		work(cb)
 		if err := s.publish(cb, base); err != nil {
-			s.asyncErr.CompareAndSwap(nil, &err)
+			s.fail(err)
 		}
 	})
 	return nil

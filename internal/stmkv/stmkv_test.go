@@ -229,12 +229,30 @@ func TestBadGeometry(t *testing.T) {
 	if _, err := stmkv.NewForTM(tm, 100); err == nil {
 		t.Fatal("stmkv.NewForTM with too many shards accepted")
 	}
-	s, err := stmkv.NewForTM(tm, 1)
+	if _, err := stmkv.NewForTM(tm, 1); err == nil {
+		t.Fatal("8 registers cannot host a shard header plus its heap")
+	}
+	// Derived geometry: NewForTM picks the largest slot arena whose
+	// RegsNeeded budget fits, so it is at least the arena the budget
+	// was computed for, and the store must fill to that many keys per
+	// shard without ErrFull.
+	tm2 := engine.MustNewSpec("baseline", stmkv.RegsNeeded(2, 32), 2, nil)
+	s, err := stmkv.NewForTM(tm2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.SlotsPerShard() != 2 || s.Shards() != 1 {
-		t.Fatalf("derived geometry %d/%d", s.Shards(), s.SlotsPerShard())
+	if s.Shards() != 2 || s.SlotsPerShard() < 32 {
+		t.Fatalf("derived geometry %d/%d, want 2 shards with ≥32 slots", s.Shards(), s.SlotsPerShard())
+	}
+	if stmkv.RegsNeeded(2, s.SlotsPerShard()) > tm2.NumRegs() {
+		t.Fatalf("derived geometry needs %d regs, TM has %d",
+			stmkv.RegsNeeded(2, s.SlotsPerShard()), tm2.NumRegs())
+	}
+	// 32 keys fit even if every one hashes to the same shard.
+	for k := int64(1); k <= 32; k++ {
+		if err := s.Put(1, k, k); err != nil {
+			t.Fatalf("Put(%d) within budget: %v", k, err)
+		}
 	}
 }
 

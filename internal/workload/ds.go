@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
+	"safepriv/internal/stmds"
+)
+
+// Register layout of the data-structure workloads: a few pointer
+// registers at the front, the allocator arena after them. Register 0
+// stays unused (nil).
+const (
+	dsRegHead  = 1 // set/map head
+	dsRegQHead = 2 // queue head
+	dsRegQTail = 3 // queue tail
+	dsRegBump  = 4 // bump allocator counter
+	dsArena    = 8 // first arena register
+)
+
+// dsAllocator builds the allocator selected by Params.Alloc over tm's
+// registers [dsArena, NumRegs): the stmds bump allocator ("", "bump"),
+// or the stmalloc reclaiming heap ("quiesce"). On quiesce the returned
+// heap is non-nil; reclaim latency lands in hist. Params.UnsafeFence
+// switches the heap to fully transactional reclamation (the fallback
+// for nofence/skipro TMs, whose FenceAsync gives no grace period).
+func dsAllocator(tm core.TM, p Params, hist *Hist) (stmds.Allocator, *stmalloc.Heap, error) {
+	switch p.Alloc {
+	case "", "bump":
+		return stmds.NewAlloc(tm, dsRegBump, dsArena, tm.NumRegs()), nil, nil
+	case "quiesce":
+		shards := p.Threads
+		if shards > 8 {
+			shards = 8
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		opts := []stmalloc.Option{
+			stmalloc.WithShards(shards),
+			stmalloc.WithLatencyRecorder(hist),
+		}
+		if p.UnsafeFence {
+			opts = append(opts, stmalloc.WithTransactionalFree())
+		}
+		heap, err := stmalloc.New(tm, dsArena, tm.NumRegs(), opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return heap, heap, nil
+	}
+	return nil, nil, fmt.Errorf("workload: unknown allocator %q (want bump or quiesce)", p.Alloc)
+}
+
+// dsFinish settles the allocator and fills the allocator-side Stats:
+// reclaim latency, steady-state register footprint, and the exact
+// alloc/free counters (transactional, so aborted attempts don't
+// count).
+func dsFinish(st *Stats, heap *stmalloc.Heap, alloc stmds.Allocator, hist *Hist) error {
+	if heap != nil {
+		if err := heap.Drain(1); err != nil {
+			return err
+		}
+		hs := heap.Stats()
+		st.HeapRegs = hs.BumpRegs
+		st.Allocs, st.Frees = hs.Allocs, hs.Frees
+		st.ReclaimLatency = hist
+		return nil
+	}
+	if b, ok := alloc.(*stmds.Alloc); ok {
+		st.HeapRegs = b.Footprint()
+	}
+	return nil
+}
+
+// SetChurn runs the dynamic-set churn workload: p.Threads workers each
+// perform p.Ops operations on one sorted-list set, drawing keys from a
+// window of twice the target live-set size (p.LiveSet) and choosing
+// insert or remove with equal probability — so the set hovers around
+// the target while nodes are allocated and unlinked continuously. On a
+// reclaiming allocator (p.Alloc = "quiesce") every successful remove
+// rides the privatization idiom through stmalloc and the register
+// footprint stays bounded for any op count; on the bump allocator the
+// footprint grows with every insert until the arena is exhausted
+// (stmds.ErrOutOfSpace).
+func SetChurn(tm core.TM, p Params) (Stats, error) {
+	threads, ops := p.Threads, p.Ops
+	hist := new(Hist)
+	alloc, heap, err := dsAllocator(tm, p, hist)
+	if err != nil {
+		return Stats{}, err
+	}
+	set := stmds.NewSet(tm, dsRegHead, alloc)
+	live := p.LiveSet
+	if live <= 0 {
+		live = 128
+	}
+	keyspace := int64(2 * live)
+	c := newCounter(threads)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for th := 1; th <= threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(p.Seed + int64(th)*1777))
+			for i := 0; i < ops; i++ {
+				k := 1 + r.Int63n(keyspace)
+				var err error
+				if r.Intn(2) == 0 {
+					_, err = set.Insert(th, k)
+				} else {
+					_, err = set.Remove(th, k)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("set-churn worker %d op %d: %w", th, i, err)
+					return
+				}
+				c.slots[th].commits++
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	st := c.stats()
+	if err := dsFinish(&st, heap, alloc, hist); err != nil {
+		return st, err
+	}
+	for err := range errs {
+		return st, err
+	}
+	return st, nil
+}
+
+// QueuePipe runs the producer/consumer pipeline workload: half of
+// p.Threads enqueue p.Ops values each onto one transactional FIFO
+// queue, the other half dequeue until everything has passed through.
+// The queue depth is throttled to the live-set knob (p.LiveSet), so on
+// a reclaiming allocator the workload streams any number of values
+// through a bounded register footprint — every dequeue frees its node
+// after the dequeuing transaction commits.
+func QueuePipe(tm core.TM, p Params) (Stats, error) {
+	threads, ops := p.Threads, p.Ops
+	if threads < 2 {
+		return Stats{}, fmt.Errorf("workload: queue-pipe needs ≥2 threads (half produce, half consume)")
+	}
+	hist := new(Hist)
+	alloc, heap, err := dsAllocator(tm, p, hist)
+	if err != nil {
+		return Stats{}, err
+	}
+	q := stmds.NewQueue(tm, dsRegQHead, dsRegQTail, alloc)
+	depth := int64(p.LiveSet)
+	if depth <= 0 {
+		depth = 64
+	}
+	producers := (threads + 1) / 2
+	consumers := threads - producers
+	target := int64(producers) * int64(ops)
+	var outstanding, consumed atomic.Int64
+	var failed atomic.Bool
+	c := newCounter(threads)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for pr := 1; pr <= producers; pr++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(p.Seed + int64(th)*911))
+			for i := 0; i < ops; i++ {
+				for outstanding.Load() >= depth && !failed.Load() {
+					runtime.Gosched()
+				}
+				if failed.Load() {
+					return
+				}
+				if err := q.Enqueue(th, r.Int63()); err != nil {
+					failed.Store(true)
+					errs <- fmt.Errorf("queue-pipe producer %d op %d: %w", th, i, err)
+					return
+				}
+				outstanding.Add(1)
+				c.slots[th].commits++
+			}
+		}(pr)
+	}
+	for co := 1; co <= consumers; co++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for consumed.Load() < target && !failed.Load() {
+				_, ok, err := q.Dequeue(th)
+				if err != nil {
+					failed.Store(true)
+					errs <- fmt.Errorf("queue-pipe consumer %d: %w", th, err)
+					return
+				}
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				outstanding.Add(-1)
+				consumed.Add(1)
+				c.slots[th].commits++
+			}
+		}(producers + co)
+	}
+	wg.Wait()
+	close(errs)
+	st := c.stats()
+	if err := dsFinish(&st, heap, alloc, hist); err != nil {
+		return st, err
+	}
+	for err := range errs {
+		return st, err
+	}
+	return st, nil
+}
+
+// IsOutOfSpace reports whether err is allocator exhaustion — the
+// expected end of a bump-allocator churn run that outlived its arena.
+func IsOutOfSpace(err error) bool { return errors.Is(err, stmds.ErrOutOfSpace) }

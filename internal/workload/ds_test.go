@@ -1,0 +1,116 @@
+package workload_test
+
+import (
+	"testing"
+
+	"safepriv/internal/engine"
+	"safepriv/internal/workload"
+)
+
+// TestSetChurnAllTMs smokes the set-churn workload through the
+// registry on both allocator axes: every TM must complete the run, and
+// on quiesce the allocator counters must balance against the residual
+// live set.
+func TestSetChurnAllTMs(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 150
+	}
+	for _, tmName := range engine.TMs() {
+		for _, alloc := range []string{"bump", "quiesce"} {
+			spec := tmName + "+" + alloc
+			t.Run(spec, func(t *testing.T) {
+				st, err := engine.RunWorkload(spec, "set-churn",
+					workload.Params{Threads: 4, Ops: ops, Seed: 3, LiveSet: 64})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Commits != int64(4*ops) {
+					t.Fatalf("commits %d, want %d", st.Commits, 4*ops)
+				}
+				if st.HeapRegs <= 0 {
+					t.Fatalf("no footprint reported: %+v", st)
+				}
+				if alloc == "quiesce" {
+					if st.Frees == 0 {
+						t.Fatalf("quiesce run reclaimed nothing: %+v", st)
+					}
+					if st.ReclaimLatency == nil || st.ReclaimLatency.Count() != st.Frees {
+						t.Fatalf("reclaim latency samples %v, frees %d",
+							st.ReclaimLatency.Count(), st.Frees)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueuePipeAllTMs smokes queue-pipe: all values stream through,
+// and on quiesce the drained queue holds no live blocks.
+func TestQueuePipeAllTMs(t *testing.T) {
+	ops := 300
+	if testing.Short() {
+		ops = 100
+	}
+	for _, tmName := range engine.TMs() {
+		t.Run(tmName+"+quiesce", func(t *testing.T) {
+			st, err := engine.RunWorkload(tmName+"+quiesce", "queue-pipe",
+				workload.Params{Threads: 4, Ops: ops, Seed: 5, LiveSet: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 2 producers × ops enqueues + as many dequeues.
+			if want := int64(2 * 2 * ops); st.Commits != want {
+				t.Fatalf("commits %d, want %d", st.Commits, want)
+			}
+			if st.Allocs != st.Frees {
+				t.Fatalf("drained pipe leaks: allocs %d, frees %d", st.Allocs, st.Frees)
+			}
+		})
+	}
+}
+
+// TestChurnBoundedSpace is the PR's headline contrast, end to end: on
+// the same small TM, the same churn traffic exhausts the bump
+// allocator with the typed ErrOutOfSpace, while the quiesce allocator
+// completes it in a bounded register footprint — the paper's
+// privatization idiom is what makes long-running dynamic workloads
+// possible at all.
+func TestChurnBoundedSpace(t *testing.T) {
+	const regs = 2048
+	const threads, ops = 4, 2000 // ~4k inserts × 2 regs ≫ 2048 registers
+	run := func(alloc string) (workload.Stats, error) {
+		tm := engine.MustNewSpec("tl2", regs, threads+2, nil)
+		return workload.SetChurn(tm,
+			workload.Params{Threads: threads, Ops: ops, Seed: 9, Alloc: alloc, LiveSet: 64})
+	}
+	if _, err := run("bump"); !workload.IsOutOfSpace(err) {
+		t.Fatalf("bump churn past the arena returned %v, want ErrOutOfSpace", err)
+	}
+	st, err := run("quiesce")
+	if err != nil {
+		t.Fatalf("quiesce churn failed where it must reclaim: %v", err)
+	}
+	if st.HeapRegs >= regs/2 {
+		t.Fatalf("quiesce footprint %d regs is not bounded well below the %d-reg arena", st.HeapRegs, regs)
+	}
+	if st.Frees == 0 {
+		t.Fatal("quiesce churn reclaimed nothing")
+	}
+	t.Logf("bump: ErrOutOfSpace; quiesce: %d ops in %d regs (allocs %d, frees %d)",
+		threads*ops, st.HeapRegs, st.Allocs, st.Frees)
+}
+
+// TestSetChurnUnsafeFenceFallback: the nofence spec routes the quiesce
+// allocator through its fully transactional fallback (no grace period
+// to ride); the run must still complete with balanced accounting.
+func TestSetChurnUnsafeFenceFallback(t *testing.T) {
+	st, err := engine.RunWorkload("tl2+nofence+quiesce", "set-churn",
+		workload.Params{Threads: 4, Ops: 200, Seed: 1, LiveSet: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frees == 0 {
+		t.Fatalf("transactional-fallback run reclaimed nothing: %+v", st)
+	}
+}

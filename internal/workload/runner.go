@@ -32,6 +32,19 @@ type Params struct {
 	// kv-zipfian, every 200 ops for kv-scan. Negative disables scans
 	// even for kv-scan.
 	PrivatizeEvery int
+	// Alloc selects the allocator for the data-structure workloads
+	// (set-churn, queue-pipe): "" or "bump" (append-only, leaks on
+	// remove), or "quiesce" (the stmalloc reclaiming heap).
+	// engine.RunWorkload fills it from the spec's allocator axis.
+	Alloc string
+	// UnsafeFence tells a quiesce allocator that the TM's fence gives
+	// no grace-period guarantee (nofence/skipro specs): reclamation
+	// falls back to the fully transactional path.
+	UnsafeFence bool
+	// LiveSet is the data-structure workloads' live-set-size knob: the
+	// target resident key count for set-churn, the queue-depth bound
+	// for queue-pipe (0 = workload default).
+	LiveSet int
 }
 
 // Runner executes a named workload against a TM.
@@ -70,6 +83,8 @@ var runners = map[string]Runner{
 	"kv-zipfian": func(tm core.TM, p Params) (Stats, error) {
 		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ReadPct: 90, DeletePct: 5, Zipfian: true, ScanEvery: kvScanEvery(p, 0)}, p.Seed)
 	},
+	"set-churn":  SetChurn,
+	"queue-pipe": QueuePipe,
 }
 
 // kvScanEvery resolves Params.PrivatizeEvery against a workload
@@ -97,6 +112,11 @@ func RegsFor(name string, threads int) int {
 		return 65
 	case "kvstore", "kv-scan", "kv-zipfian":
 		return stmkv.RegsNeeded(KVDefaultShards, KVDefaultSlots)
+	case "set-churn", "queue-pipe":
+		// Generous arena: the bump-allocator contrast keeps every node
+		// ever allocated, so the default op counts must fit; the
+		// reclaiming allocator uses a small bounded prefix of it.
+		return 1 << 16
 	default: // shorttxn, bank: one cache line of registers per thread
 		if threads < 8 {
 			return 64

@@ -52,6 +52,21 @@ type Stats struct {
 	// privatizing bulk operation took, as the caller saw it). Only the
 	// KV workloads record it; nil elsewhere.
 	PrivLatency *Hist
+	// ReclaimLatency is the memory-reclamation latency histogram (Free
+	// call to the block re-entering the free list). Only the
+	// data-structure churn workloads on a reclaiming allocator record
+	// it; nil elsewhere.
+	ReclaimLatency *Hist
+	// HeapRegs is the allocator's steady-state register footprint
+	// after the run (bump high-water): bounded under churn on a
+	// reclaiming allocator, monotonically growing on the bump
+	// allocator. Zero for workloads without an allocator.
+	HeapRegs int64
+	// Allocs and Frees are the allocator's exact block counters
+	// (transactional: aborted attempts don't count). Allocs-Frees is
+	// the live node count. Zero for workloads without a reclaiming
+	// allocator.
+	Allocs, Frees int64
 }
 
 // counter keeps per-thread tallies on separate cache lines so the
