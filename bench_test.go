@@ -832,13 +832,16 @@ func TestEmitFenceBenchJSON(t *testing.T) {
 // --- Transactional heap: churn throughput and footprint per TM ×
 // allocator (the stmalloc reclamation experiment) ---
 
-// BenchmarkSetChurn sweeps the allocator axis on TL2: bump (leaking)
-// vs quiesce with each fence mode. The quiesce rows pay a reclamation
-// fence per remove; defer batches them on the background reclaimer.
+// BenchmarkSetChurn sweeps the allocator and reclaim axes on TL2: bump
+// (leaking) vs quiesce with each fence mode, per-free vs batch
+// (magazine) reclamation. The per-free quiesce rows pay a reclamation
+// fence per remove; the batch rows amortize one grace period over a
+// whole magazine of removes.
 func BenchmarkSetChurn(b *testing.B) {
 	threads := kvBenchThreads()
 	const ops = 1500
-	for _, spec := range []string{"tl2+bump", "tl2+quiesce", "tl2+combine+quiesce", "tl2+defer+quiesce"} {
+	for _, spec := range []string{"tl2+bump", "tl2+quiesce", "tl2+combine+quiesce", "tl2+defer+quiesce",
+		"tl2+quiesce+batch", "tl2+defer+quiesce+batch"} {
 		b.Run(spec, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.RunWorkload(spec, "set-churn",
@@ -872,41 +875,52 @@ func BenchmarkQueuePipe(b *testing.B) {
 
 // dsBenchRow is one BENCH_ds.json record.
 type dsBenchRow struct {
-	Spec       string  `json:"spec"`
-	TM         string  `json:"tm"`
-	Alloc      string  `json:"alloc"`
-	Fence      string  `json:"fence"`
-	Workload   string  `json:"workload"`
-	Threads    int     `json:"threads"`
-	Ops        int64   `json:"ops"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
-	HeapRegs   int64   `json:"heap_regs"`
-	Allocs     int64   `json:"allocs"`
-	Frees      int64   `json:"frees"`
-	ReclaimP50 int64   `json:"reclaim_p50_ns"`
-	ReclaimP99 int64   `json:"reclaim_p99_ns"`
+	Spec           string  `json:"spec"`
+	TM             string  `json:"tm"`
+	Alloc          string  `json:"alloc"`
+	Fence          string  `json:"fence"`
+	Reclaim        string  `json:"reclaim"`
+	Workload       string  `json:"workload"`
+	Threads        int     `json:"threads"`
+	Ops            int64   `json:"ops"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	HeapRegs       int64   `json:"heap_regs"`
+	Allocs         int64   `json:"allocs"`
+	Frees          int64   `json:"frees"`
+	ReclaimBatches int64   `json:"reclaim_batches"`
+	ReclaimP50     int64   `json:"reclaim_p50_ns"`
+	ReclaimP99     int64   `json:"reclaim_p99_ns"`
 }
 
 // TestEmitDSBenchJSON measures the set-churn sweep — every TM × the
-// bump/quiesce allocator axis, plus the batched-fence quiesce variants
-// on TL2 — and writes BENCH_ds.json: ops/sec and the steady-state
-// register footprint per row. The quiesce rows prove the reclamation
-// story (frees keep up with allocs, footprint bounded); the bump rows
-// are the leaking contrast whose footprint scales with the op count.
-// Row order is deterministic (sorted tm, alloc, fence keys).
+// bump/quiesce allocator axis, the per-free vs batch (magazine)
+// reclaim axis on TL2 and NOrec, plus the batched-fence quiesce
+// variants on TL2 — and writes BENCH_ds.json: ops/sec and the
+// steady-state register footprint per row. The quiesce rows prove the
+// reclamation story (frees keep up with allocs, footprint bounded);
+// the bump rows are the leaking contrast whose footprint scales with
+// the op count; the batch rows must show real amortization (fewer
+// grace-period registrations than frees). Row order is deterministic
+// (sorted tm, alloc, reclaim, fence keys).
 func TestEmitDSBenchJSON(t *testing.T) {
 	threads := kvBenchThreads()
 	ops := 2500
 	if testing.Short() {
 		ops = 500
 	}
-	specs := make([]string, 0, 2*len(engine.TMs())+2)
+	specs := make([]string, 0, 2*len(engine.TMs())+6)
 	for _, tmName := range engine.TMs() {
 		specs = append(specs, tmName+"+bump", tmName+"+quiesce")
 	}
-	specs = append(specs, "tl2+combine+quiesce", "tl2+defer+quiesce")
+	specs = append(specs,
+		"tl2+combine+quiesce", "tl2+defer+quiesce",
+		// The per-free vs batch contrast on two TMs, plus the
+		// defer+batch combination (batched magazines over the batched
+		// reclaimer).
+		"tl2+quiesce+batch", "norec+quiesce+batch", "tl2+defer+quiesce+batch")
 	var rows []dsBenchRow
+	batchTMs := map[string]bool{}
 	for _, spec := range specs {
 		cfg, err := engine.Parse(spec)
 		if err != nil {
@@ -915,6 +929,10 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		fence := cfg.Fence
 		if fence == "" {
 			fence = "wait"
+		}
+		reclaim := cfg.Reclaim
+		if reclaim == "" {
+			reclaim = "free"
 		}
 		start := time.Now()
 		st, err := engine.RunWorkload(spec, "set-churn",
@@ -925,12 +943,13 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		dur := time.Since(start)
 		total := int64(threads) * int64(ops)
 		row := dsBenchRow{
-			Spec: spec, TM: cfg.TM, Alloc: cfg.Alloc, Fence: fence,
+			Spec: spec, TM: cfg.TM, Alloc: cfg.Alloc, Fence: fence, Reclaim: reclaim,
 			Workload: "set-churn", Threads: threads, Ops: total,
 			NsPerOp:   float64(dur.Nanoseconds()) / float64(total),
 			OpsPerSec: float64(total) / dur.Seconds(),
 			HeapRegs:  st.HeapRegs,
 			Allocs:    st.Allocs, Frees: st.Frees,
+			ReclaimBatches: st.ReclaimBatches,
 		}
 		if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
 			row.ReclaimP50 = h.Quantile(0.50).Nanoseconds()
@@ -946,7 +965,19 @@ func TestEmitDSBenchJSON(t *testing.T) {
 				t.Fatalf("%s: quiesce footprint %d regs not bounded (total ops %d)", spec, st.HeapRegs, total)
 			}
 		}
+		if reclaim == "batch" {
+			if st.ReclaimBatches == 0 || st.ReclaimBatches >= st.Frees {
+				t.Fatalf("%s: batch run shows no amortization: %d batches for %d frees",
+					spec, st.ReclaimBatches, st.Frees)
+			}
+			batchTMs[cfg.TM] = true
+		}
 		rows = append(rows, row)
+	}
+	// The batch emit must cover at least two TMs — CI's ds-reclaim
+	// smoke depends on these rows existing.
+	if len(batchTMs) < 2 {
+		t.Fatalf("batch rows cover %d TMs, want >= 2", len(batchTMs))
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
@@ -955,6 +986,9 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		}
 		if a.Alloc != b.Alloc {
 			return a.Alloc < b.Alloc
+		}
+		if a.Reclaim != b.Reclaim {
+			return a.Reclaim < b.Reclaim
 		}
 		return a.Fence < b.Fence
 	})

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6,e9..e16) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6,e9..e17) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -65,6 +65,7 @@ func main() {
 	run("e14", func() { fenceLatencyTable() })
 	run("e15", func() { norecTable() })
 	run("e16", func() { wtstmTable() })
+	run("e17", func() { reclaimTable(*seed) })
 }
 
 func verdict(b bool) string {
@@ -355,6 +356,52 @@ func fenceLatencyTable() {
 		}
 		fmt.Printf("%-8s %-12.1f\n", im.name, float64(time.Since(start).Nanoseconds())/iters)
 	}
+}
+
+// reclaimTable is E17, the Figure 7 story quantified (BENCH_ds.json's
+// sweep as one command): set-churn footprint and throughput as the op
+// count grows, per allocator/reclaim configuration. The bump column's
+// footprint scales with the op count until the arena dies; the quiesce
+// columns stay bounded by the live set; the batch columns additionally
+// amortize one grace period over a whole magazine of frees (the
+// batches column counts the grace-period registrations the run paid).
+func reclaimTable(seed int64) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	specs := []string{"tl2+bump", "tl2+quiesce", "tl2+quiesce+batch", "tl2+defer+quiesce", "tl2+defer+quiesce+batch"}
+	fmt.Printf("set-churn footprint vs ops (%d threads, live set 128): heap regs [ops/µs] (batches)\n", threads)
+	fmt.Printf("%-8s", "ops/thr")
+	for _, s := range specs {
+		fmt.Printf(" %-26s", s)
+	}
+	fmt.Println()
+	for _, ops := range []int{500, 1000, 2000} {
+		fmt.Printf("%-8d", ops)
+		for _, spec := range specs {
+			start := time.Now()
+			st, err := engine.RunWorkload(spec, "set-churn",
+				workload.Params{Threads: threads, Ops: ops, Seed: seed, LiveSet: 128})
+			dur := time.Since(start)
+			if err != nil && !workload.IsOutOfSpace(err) {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			cell := fmt.Sprintf("%d [%.1f]", st.HeapRegs,
+				float64(threads)*float64(ops)/float64(dur.Microseconds()))
+			if workload.IsOutOfSpace(err) {
+				cell = "EXHAUSTED"
+			} else if st.ReclaimBatches > 0 {
+				cell += fmt.Sprintf(" (%d)", st.ReclaimBatches)
+			}
+			fmt.Printf(" %-26s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape: bump's footprint grows with ops (until EXHAUSTED on long")
+	fmt.Println("runs); quiesce stays bounded near the live set; batch matches that bound")
+	fmt.Println("with far fewer grace periods than frees (one per magazine, not per Free)")
 }
 
 // norecTable is E15: fence-free privatization safety on NOrec.

@@ -20,16 +20,21 @@
 //	stress -tm tl2 -fence combine -workload kv-scan -privevery 50
 //	stress -tm tl2+quiesce -ds set -churn 256 -wops 50000
 //	stress -tm tl2 -fence defer -alloc quiesce -ds queue
+//	stress -tm tl2 -alloc quiesce -reclaim batch -ds set
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
 //
-// -fence and -alloc append the fence-mode (wait, combine, defer) and
-// allocator (bump, quiesce) modifiers to the -tm spec. -ds set|queue is
-// shorthand for the set-churn/queue-pipe data-structure workloads and
-// -churn sets their live-set-size knob; on a quiesce spec the report
-// includes the reclaim-latency quantiles and the steady-state register
-// footprint (on a bump spec the footprint line shows the leak). KV
-// workload reports include a p50/p99 privatization-latency line.
+// -fence, -alloc and -reclaim append the fence-mode (wait, combine,
+// defer), allocator (bump, quiesce) and reclaim-granularity (free,
+// batch) modifiers to the -tm spec. -ds set|queue is shorthand for the
+// set-churn/queue-pipe data-structure workloads and -churn sets their
+// live-set-size knob; on a quiesce spec the report includes the
+// reclaim-latency quantiles and the steady-state register footprint
+// (on a bump spec the footprint line shows the leak), and on a batch
+// spec a magazine summary: how many grace periods the batched retires
+// actually paid for the run's frees, and the blocks left cached in the
+// per-thread magazines. KV workload reports include a p50/p99
+// privatization-latency line.
 package main
 
 import (
@@ -75,6 +80,10 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 	} else if st.HeapRegs > 0 {
 		fmt.Printf("allocator footprint: %d regs (bump: removed nodes leak)\n", st.HeapRegs)
 	}
+	if st.ReclaimBatches > 0 {
+		fmt.Printf("magazines: %d frees in %d batch retires (%.1f frees/grace period), %d blocks still cached\n",
+			st.Frees, st.ReclaimBatches, float64(st.Frees)/float64(st.ReclaimBatches), st.MagCached)
+	}
 	return nil
 }
 
@@ -89,6 +98,7 @@ func main() {
 	tmSpec := flag.String("tm", "tl2", "TM under test: an engine spec (or 'list' to print them)")
 	fence := flag.String("fence", "", "fence mode modifier appended to -tm: wait, combine, or defer")
 	alloc := flag.String("alloc", "", "allocator modifier appended to -tm: bump or quiesce")
+	reclaim := flag.String("reclaim", "", "reclaim-granularity modifier appended to -tm: free or batch")
 	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
 	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn) or queue (queue-pipe)")
 	churn := flag.Int("churn", 0, "live-set-size knob for the -ds workloads (0 = default)")
@@ -110,6 +120,9 @@ func main() {
 	}
 	if *alloc != "" {
 		*tmSpec += "+" + *alloc
+	}
+	if *reclaim != "" {
+		*tmSpec += "+" + *reclaim
 	}
 	if *wl == "list" {
 		for _, s := range workload.Names() {

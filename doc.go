@@ -10,13 +10,18 @@
 //   - Runtime layer: five executable TMs (tl2, norec, wtstm, baseline,
 //     atomictm) over shared primitives (stripe, vlock, vclock, oaset),
 //     all constructed through the internal/engine registry's
-//     specification strings (TM × clock × fence × quiescer × alloc).
-//   - Quiescence layer: internal/rcu grace periods under the
-//     internal/quiesce service — wait/combine/defer fence modes, the
-//     asynchronous fence (FenceAsync) and its background reclaimer.
+//     specification strings (TM × clock × fence × quiescer × alloc ×
+//     reclaim granularity).
+//   - Quiescence layer: internal/rcu grace periods (with
+//     scheduler-aware parked waits) under the internal/quiesce service
+//     — wait/combine/defer fence modes, the asynchronous fence
+//     (FenceAsync), its batched form (FenceAsyncBatch: N callbacks,
+//     one grace period) and the background reclaimer.
 //   - Heap layer: internal/stmalloc, the quiescence-based safe memory
 //     reclamation allocator (unlink transactionally, ride the fence,
-//     reuse), with the typed ErrOutOfSpace exhaustion contract.
+//     reuse), with the typed ErrOutOfSpace exhaustion contract and a
+//     per-thread magazine layer (the engine's batch reclaim axis) that
+//     amortizes one grace period over a whole magazine of frees.
 //   - Application layer: internal/stmds dynamic structures (sorted set,
 //     sorted map, FIFO queue) that free removed nodes through the
 //     allocator; internal/stmkv, the sharded privatization-safe KV

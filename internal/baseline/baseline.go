@@ -93,6 +93,10 @@ func (tm *TM) Fence(thread int) {
 // Deferred grace periods are not recorded in the sink.
 func (tm *TM) FenceAsync(thread int, fn func(thread int)) { tm.qs.Defer(thread, fn) }
 
+// FenceAsyncBatch implements core.BatchFencer: every callback shares
+// one grace period.
+func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) { tm.qs.DeferBatch(thread, fns) }
+
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 

@@ -74,6 +74,31 @@ type TM interface {
 	Store(thread, x int, v int64)
 }
 
+// BatchFencer is the optional batched form of FenceAsync: the TM
+// registers every callback in fns under ONE grace period that starts
+// after the call, instead of one per callback. Callbacks run in slice
+// order under the same thread-id contract as FenceAsync. All registry
+// TMs implement it; callers should go through FenceAsyncBatch, which
+// falls back to per-callback FenceAsync on TMs that do not.
+type BatchFencer interface {
+	FenceAsyncBatch(thread int, fns []func(thread int))
+}
+
+// FenceAsyncBatch registers fns under one shared grace period when the
+// TM supports batched registration (BatchFencer), and degrades to one
+// FenceAsync per callback otherwise. K callbacks from one caller pay
+// for one grace period instead of K — the amortization the magazine
+// allocator and stmkv's bulk maintenance are built on.
+func FenceAsyncBatch(tm TM, thread int, fns []func(thread int)) {
+	if bf, ok := tm.(BatchFencer); ok {
+		bf.FenceAsyncBatch(thread, fns)
+		return
+	}
+	for _, fn := range fns {
+		tm.FenceAsync(thread, fn)
+	}
+}
+
 // MaxAttempts bounds Atomically's retry loop; exceeding it returns
 // ErrContention. The bound is generous: TL2 livelock over bounded
 // register sets is short-lived.

@@ -31,21 +31,33 @@
 //	           quiescence-based allocator          (all TMs)
 //	bump       append-only bump allocation — the default, for
 //	           explicitness
+//	batch      the stmalloc heap adds the per-thread magazine layer:
+//	           frees park in thread-local magazines and whole
+//	           magazines retire under one shared grace period
+//	           (requires a quiesce allocator and a safe fence)
+//	free       one grace-period registration per Free — the default
+//	           reclaim granularity, for explicitness
 //
 // combine, defer, nofence, skipro and wait all set the one fence axis,
 // so any two of them in a spec conflict (in particular nofence+combine
 // and combine+defer are rejected); bump and quiesce likewise share the
-// allocator axis. The allocator axis does not change the TM itself —
-// it is carried in the Config for the layers that build transactional
-// data structures over the TM (internal/workload, cmd/stress,
+// allocator axis, and free and batch the reclaim-granularity axis. The
+// allocator and reclaim axes do not change the TM itself — they are
+// carried in the Config for the layers that build transactional data
+// structures over the TM (internal/workload, cmd/stress,
 // bench_test.go): on a quiesce spec they allocate from an
 // internal/stmalloc heap whose Free rides the TM's fence, on a bump
-// spec from the append-only stmds bump allocator. On the unsafe fence
-// specs (nofence, skipro) those layers fall back to stmalloc's
-// fully-transactional reclamation, which needs no grace period.
+// spec from the append-only stmds bump allocator, and on a batch spec
+// the heap grows per-thread magazines so reclamation cost scales with
+// free epochs instead of free count. batch conflicts with an explicit
+// bump allocator (nothing to batch) and with the unsafe fence specs
+// (no grace period to amortize); "tm+batch" alone implies quiesce. On
+// the unsafe fence specs (nofence, skipro) the quiesce layers fall
+// back to stmalloc's fully-transactional reclamation, which needs no
+// grace period.
 //
 // Examples: "tl2+gv4+epochs+rofast", "wtstm+nofence", "norec+defer",
-// "tl2+gv4+combine", "tl2+defer+quiesce".
+// "tl2+gv4+combine", "tl2+defer+quiesce", "tl2+quiesce+batch".
 package engine
 
 import (
@@ -87,6 +99,12 @@ type Config struct {
 	// the TM: "" or "bump" (default), or "quiesce" (the stmalloc
 	// reclaiming heap). It does not affect TM construction.
 	Alloc string
+	// Reclaim selects the reclamation granularity of a quiesce
+	// allocator: "" or "free" (default — one grace-period registration
+	// per Free), or "batch" (the stmalloc magazine layer: thread-local
+	// caches, whole magazines retired under one shared grace period).
+	// It does not affect TM construction.
+	Reclaim string
 	// ReadOnlyFastPath enables TL2's read-only commit fast path.
 	ReadOnlyFastPath bool
 	// SortedLocks acquires TL2 commit locks in register order.
@@ -127,6 +145,9 @@ func (c Config) Spec() string {
 	}
 	if c.Alloc == "quiesce" {
 		mods = append(mods, "quiesce")
+	}
+	if c.Reclaim == "batch" {
+		mods = append(mods, "batch")
 	}
 	if len(mods) == 0 {
 		return c.TM
@@ -175,6 +196,8 @@ func Parse(spec string) (Config, error) {
 			err = setAxis("fence", &cfg.Fence, "skipro", m)
 		case "bump", "quiesce":
 			err = setAxis("alloc", &cfg.Alloc, strings.TrimSpace(m), m)
+		case "free", "batch":
+			err = setAxis("reclaim", &cfg.Reclaim, strings.TrimSpace(m), m)
 		case "rofast":
 			if cfg.ReadOnlyFastPath {
 				err = fmt.Errorf("engine: duplicate modifier %q in spec %q", m, spec)
@@ -210,6 +233,21 @@ func (c *Config) normalize() error {
 	}
 	if c.Quiescer == "" {
 		c.Quiescer = "flags"
+	}
+	if c.Reclaim == "" {
+		c.Reclaim = "free"
+	}
+	if c.Reclaim == "batch" {
+		// Batched reclamation presupposes a reclaiming allocator and a
+		// real grace period: an explicit bump allocator or an unsafe
+		// fence conflicts; a bare "tm+batch" implies quiesce.
+		if c.Alloc == "bump" {
+			return fmt.Errorf("engine: reclaim=%q requires alloc=quiesce, not %q (a bump allocator never frees)", c.Reclaim, c.Alloc)
+		}
+		if c.UnsafeFence() {
+			return fmt.Errorf("engine: reclaim=%q needs a grace period to amortize; fence=%q gives none", c.Reclaim, c.Fence)
+		}
+		c.Alloc = "quiesce"
 	}
 	if c.Alloc == "" {
 		c.Alloc = "bump"
@@ -425,6 +463,9 @@ func Specs() []string {
 		"tl2+gv4+combine",
 		"tl2+quiesce",
 		"tl2+defer+quiesce",
+		"tl2+quiesce+batch",
+		"tl2+defer+quiesce+batch",
+		"norec+quiesce+batch",
 	}
 	sort.Strings(s)
 	return s

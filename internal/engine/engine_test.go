@@ -128,6 +128,18 @@ func TestParseErrors(t *testing.T) {
 		{"tl2+bump+bump", "duplicate alloc"},
 		{"tl2+bump+quiesce", "duplicate alloc"},
 		{"norec+quiesce+bump", "duplicate alloc"},
+		// The reclaim-granularity axis: free and batch conflict with
+		// each other, and batch needs a reclaiming allocator and a real
+		// grace period.
+		{"tl2+batch+batch", "duplicate reclaim"},
+		{"tl2+free+free", "duplicate reclaim"},
+		{"tl2+free+batch", "duplicate reclaim"},
+		{"tl2+batch+free", "duplicate reclaim"},
+		{"tl2+bump+batch", "requires alloc=quiesce"},
+		{"norec+batch+bump", "requires alloc=quiesce"},
+		{"tl2+nofence+quiesce+batch", "needs a grace period"},
+		{"tl2+skipro+batch", "needs a grace period"},
+		{"wtstm+nofence+batch", "needs a grace period"},
 		// Parse fine, rejected by construction.
 		{"norec+gv4", "does not support"},
 		{"baseline+rofast", "supports no modifiers"},
@@ -168,12 +180,13 @@ func TestParseErrors(t *testing.T) {
 // canonicalizes away.
 func TestParseBenignModifiers(t *testing.T) {
 	for spec, canon := range map[string]string{
-		"tl2+fai":       "tl2",
-		"tl2+wait":      "tl2",
-		"tl2+flags":     "tl2",
-		"wtstm+fai":     "wtstm",
-		"tl2+bump":      "tl2",
-		"baseline+bump": "baseline",
+		"tl2+fai":          "tl2",
+		"tl2+wait":         "tl2",
+		"tl2+flags":        "tl2",
+		"wtstm+fai":        "wtstm",
+		"tl2+bump":         "tl2",
+		"baseline+bump":    "baseline",
+		"tl2+quiesce+free": "tl2+quiesce",
 	} {
 		cfg, err := Parse(spec)
 		if err != nil {
@@ -275,5 +288,47 @@ func TestAllocAxisFlow(t *testing.T) {
 	}
 	if st.Frees == 0 || st.ReclaimLatency == nil {
 		t.Fatalf("quiesce spec did not reach the reclaiming allocator: %+v", st)
+	}
+}
+
+// TestReclaimAxisFlow: the reclaim-granularity axis parses, implies
+// quiesce, round-trips, and flows into RunWorkload's churn workloads —
+// a batch run reclaims through the magazine layer (cached blocks
+// visible in the stats) and keeps the exact leak accounting.
+func TestReclaimAxisFlow(t *testing.T) {
+	cfg, err := Parse("tl2+quiesce+batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alloc != "quiesce" || cfg.Reclaim != "batch" {
+		t.Fatalf("parsed alloc=%q reclaim=%q", cfg.Alloc, cfg.Reclaim)
+	}
+	if got := cfg.Spec(); got != "tl2+quiesce+batch" {
+		t.Fatalf("Spec() = %q, want round-trip", got)
+	}
+	// A bare batch modifier implies the quiesce allocator.
+	implied, err := Parse("norec+batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied.Regs, implied.Threads = 4, 3
+	if _, err := New(implied); err != nil {
+		t.Fatalf("norec+batch construction: %v", err)
+	}
+	for _, spec := range []string{"tl2+quiesce+batch", "norec+batch", "tl2+defer+quiesce+batch"} {
+		st, err := RunWorkload(spec, "set-churn",
+			workload.Params{Threads: 2, Ops: 150, Seed: 1, LiveSet: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if st.Frees == 0 {
+			t.Fatalf("%s: batch run reclaimed nothing: %+v", spec, st)
+		}
+		if st.ReclaimBatches == 0 {
+			t.Fatalf("%s: batch run registered no batch retires: %+v", spec, st)
+		}
+		if st.ReclaimBatches >= st.Frees {
+			t.Fatalf("%s: %d batches for %d frees — no amortization", spec, st.ReclaimBatches, st.Frees)
+		}
 	}
 }

@@ -14,11 +14,13 @@ import (
 // and call workload.ByName directly; keep this function's sizing
 // (workload.RegsFor, the +2 spare thread ids) in step with them.
 //
-// The specification's allocator axis (bump/quiesce) and fence safety
-// flow into the workload parameters: a churn workload on a
-// "tl2+quiesce" spec builds its data structures over the stmalloc
-// reclaiming heap, and on an unsafe-fence spec (nofence/skipro) the
-// heap falls back to fully transactional reclamation.
+// The specification's allocator axis (bump/quiesce), reclaim
+// granularity (free/batch) and fence safety flow into the workload
+// parameters: a churn workload on a "tl2+quiesce" spec builds its data
+// structures over the stmalloc reclaiming heap (with the per-thread
+// magazine layer on a batch spec), and on an unsafe-fence spec
+// (nofence/skipro) the heap falls back to fully transactional
+// reclamation.
 func RunWorkload(tmSpec, name string, p workload.Params) (workload.Stats, error) {
 	run, ok := workload.ByName(name)
 	if !ok {
@@ -28,14 +30,19 @@ func RunWorkload(tmSpec, name string, p workload.Params) (workload.Stats, error)
 	if err != nil {
 		return workload.Stats{}, err
 	}
-	if cfg.Alloc != "" {
-		p.Alloc = cfg.Alloc
-	}
-	p.UnsafeFence = cfg.UnsafeFence()
 	// +2: thread 1 is the maintenance/privatizer slot in pipeline, and
 	// every workload numbers workers from low ids; a spare id keeps the
 	// harnesses' historical sizing.
 	cfg.Regs, cfg.Threads = workload.RegsFor(name, p.Threads), p.Threads+2
+	// Normalize before reading the data-structure axes, so axis
+	// implications (batch ⇒ quiesce) flow into the workload parameters
+	// by the same rule New applies — not a hand-kept copy of it.
+	if err := cfg.normalize(); err != nil {
+		return workload.Stats{}, err
+	}
+	p.Alloc = cfg.Alloc
+	p.Reclaim = cfg.Reclaim
+	p.UnsafeFence = cfg.UnsafeFence()
 	tm, err := New(cfg)
 	if err != nil {
 		return workload.Stats{}, err

@@ -202,13 +202,6 @@ func (s *Service) Stats() Stats {
 
 // grace runs one grace period, reusing *buf for the snapshot when the
 // split API is available. The caller must own *buf exclusively.
-//
-// The poll loop yields at first and escalates to short sleeps: a
-// combining leader or the reclaimer waits on behalf of many callers,
-// and on an oversubscribed scheduler a pure Gosched loop can starve
-// behind CPU-bound transaction threads for whole preemption quanta
-// (tens of milliseconds per poll) — sleeping releases the CPU so the
-// observed threads actually run to quiescence.
 func (s *Service) grace(buf *rcu.Gen) {
 	s.gracePeriods.Add(1)
 	if s.snap == nil {
@@ -216,7 +209,22 @@ func (s *Service) grace(buf *rcu.Gen) {
 		return
 	}
 	*buf = s.snap.SnapshotInto(*buf)
-	for i := 0; !s.snap.Quiesced(*buf); i++ {
+	s.awaitQuiesced(*buf)
+}
+
+// awaitQuiesced waits out one snapshot. When the quiescer supports the
+// parked wait (rcu.Parker) the caller sleeps on a condition variable
+// that transaction exits signal — on an oversubscribed scheduler a
+// polling leader can starve behind CPU-bound transaction threads for
+// whole preemption quanta, while a parked one wakes the moment the
+// observed transactions finish. Quiescers without parking fall back to
+// the old yield-then-sleep poll.
+func (s *Service) awaitQuiesced(g rcu.Gen) {
+	if p, ok := s.snap.(rcu.Parker); ok {
+		p.WaitQuiesced(g)
+		return
+	}
+	for i := 0; !s.snap.Quiesced(g); i++ {
 		if i < 64 {
 			runtime.Gosched()
 		} else {
@@ -264,13 +272,7 @@ func (s *Service) FenceFiltered(keep func(thread int) bool) {
 			g.Drop(t)
 		}
 	}
-	for i := 0; !s.snap.Quiesced(g); i++ {
-		if i < 64 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(20 * time.Microsecond)
-		}
-	}
+	s.awaitQuiesced(g)
 }
 
 // combinedWait coalesces concurrent fences: each caller needs one grace
@@ -312,6 +314,65 @@ func (s *Service) Defer(thread int, fn func(thread int)) {
 	s.enqueued++
 	s.startReclaimerLocked()
 	s.dmu.Unlock()
+}
+
+// DeferBatch registers every callback in fns under ONE grace period
+// that starts after this call — the batched form of Defer. In Defer
+// mode the whole batch joins the reclaimer's queue in a single step and
+// shares the next reclaimer round's generation snapshot with whatever
+// else is pending; in the other modes one (combined) Fence covers the
+// batch and the callbacks then run inline, in order, on the caller's
+// thread. N callbacks pay for one grace period instead of N. The fns
+// obey the same rules as Defer callbacks.
+func (s *Service) DeferBatch(thread int, fns []func(thread int)) {
+	if len(fns) == 0 {
+		return
+	}
+	s.deferredCnt.Add(uint64(len(fns)))
+	if s.mode != Defer {
+		s.Fence()
+		for _, fn := range fns {
+			fn(thread)
+		}
+		return
+	}
+	s.dmu.Lock()
+	for _, fn := range fns {
+		s.pending = append(s.pending, deferred{fn: fn})
+	}
+	s.enqueued += uint64(len(fns))
+	s.startReclaimerLocked()
+	s.dmu.Unlock()
+}
+
+// Batch accumulates deferred callbacks that will share one grace
+// period: Defer appends without touching the service, Flush hands the
+// whole batch to DeferBatch. It is the incremental-accumulation form
+// of DeferBatch for callers that discover their reclamation round
+// piece by piece and want a single generation snapshot for all of it
+// (the TMs' core.BatchFencer surface is the slice form, DeferBatch,
+// directly). A Batch is not safe for concurrent use; Flush resets it
+// for reuse.
+type Batch struct {
+	s   *Service
+	fns []func(thread int)
+}
+
+// NewBatch returns an empty batch over the service.
+func (s *Service) NewBatch() *Batch { return &Batch{s: s} }
+
+// Defer appends fn to the batch. Nothing is registered until Flush.
+func (b *Batch) Defer(fn func(thread int)) { b.fns = append(b.fns, fn) }
+
+// Len returns the number of callbacks accumulated since the last Flush.
+func (b *Batch) Len() int { return len(b.fns) }
+
+// Flush registers the accumulated callbacks under one shared grace
+// period (see DeferBatch) and resets the batch. A Flush of an empty
+// batch is a no-op.
+func (b *Batch) Flush(thread int) {
+	b.s.DeferBatch(thread, b.fns)
+	b.fns = nil
 }
 
 // Barrier blocks until every callback registered by Defer before the

@@ -306,3 +306,104 @@ func TestStressAllModes(t *testing.T) {
 		})
 	}
 }
+
+// TestDeferBatchSharesGracePeriod: in Wait mode N separate Defer calls
+// pay N grace periods, while one DeferBatch of N callbacks pays one —
+// the amortization the magazine allocator's batch retire rides.
+func TestDeferBatchSharesGracePeriod(t *testing.T) {
+	const n = 6
+	s := newSvc(Wait)
+	var ran atomic.Int32
+	before := s.Stats().GracePeriods
+	for i := 0; i < n; i++ {
+		s.Defer(1, func(th int) { ran.Add(1) })
+	}
+	perCall := s.Stats().GracePeriods - before
+	if perCall != n {
+		t.Fatalf("%d Defer calls ran %d grace periods, want %d", n, perCall, n)
+	}
+
+	fns := make([]func(int), n)
+	for i := range fns {
+		fns[i] = func(th int) { ran.Add(1) }
+	}
+	before = s.Stats().GracePeriods
+	s.DeferBatch(1, fns)
+	if got := s.Stats().GracePeriods - before; got != 1 {
+		t.Fatalf("DeferBatch of %d callbacks ran %d grace periods, want 1", n, got)
+	}
+	if ran.Load() != 2*n {
+		t.Fatalf("%d callbacks ran, want %d", ran.Load(), 2*n)
+	}
+}
+
+// TestDeferBatchDeferMode: in Defer mode the batch joins the reclaimer
+// queue in one step, runs after a grace period that starts after
+// registration, in order, and settles under Barrier.
+func TestDeferBatchDeferMode(t *testing.T) {
+	s := newSvc(Defer)
+	s.Enter(2) // an active transaction the batch must wait out
+	var order []int
+	var mu sync.Mutex
+	fns := make([]func(int), 5)
+	for i := range fns {
+		i := i
+		fns[i] = func(th int) {
+			if th != reclaimID {
+				t.Errorf("callback %d ran on thread %d, want %d", i, th, reclaimID)
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	s.DeferBatch(1, fns)
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	ranEarly := len(order)
+	mu.Unlock()
+	if ranEarly != 0 {
+		t.Fatalf("%d callbacks ran before the observed transaction exited", ranEarly)
+	}
+	s.Exit(2)
+	s.Barrier()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("%d callbacks ran, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("callbacks ran out of order: %v", order)
+		}
+	}
+}
+
+// TestBatchHandle: the accumulate-then-flush handle registers
+// everything under one grace period and resets for reuse; flushing an
+// empty batch is a no-op.
+func TestBatchHandle(t *testing.T) {
+	s := newSvc(Combine)
+	b := s.NewBatch()
+	b.Flush(1) // empty: no grace period
+	if got := s.Stats().GracePeriods; got != 0 {
+		t.Fatalf("empty flush ran %d grace periods", got)
+	}
+	var ran atomic.Int32
+	for i := 0; i < 4; i++ {
+		b.Defer(func(th int) { ran.Add(1) })
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	b.Flush(1)
+	if b.Len() != 0 {
+		t.Fatalf("batch not reset after Flush: Len = %d", b.Len())
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("%d callbacks ran, want 4", ran.Load())
+	}
+	if got := s.Stats().GracePeriods; got != 1 {
+		t.Fatalf("flush of 4 callbacks ran %d grace periods, want 1", got)
+	}
+}

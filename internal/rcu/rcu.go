@@ -26,10 +26,19 @@
 // batched (combining) and asynchronous (deferred) fences on — the
 // snapshot buffer is caller-owned, so repeated grace periods allocate
 // nothing.
+//
+// Grace-period waits are scheduler-aware (Parker): a waiter spins
+// briefly and then parks on a condition variable that Exit signals, so
+// on an oversubscribed box the fence sleeps until the observed
+// transactions actually finish instead of burning (or, worse, starving
+// behind) CPU-bound transaction threads with a poll loop. The Exit
+// fast path pays one extra atomic load; the broadcast happens only
+// while a waiter is parked.
 package rcu
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -81,13 +90,68 @@ type Snapshotter interface {
 	Quiesced(g Gen) bool
 }
 
-// waitSnapshot is the shared Wait body: one grace period via the split
-// API.
-func waitSnapshot(s Snapshotter) {
-	g := s.SnapshotInto(nil)
-	for !s.Quiesced(g) {
+// Parker is a Snapshotter whose grace-period wait can park the caller:
+// WaitQuiesced blocks until Quiesced(g) holds, sleeping on a condition
+// variable that transaction exits signal instead of polling. Flags and
+// Epochs implement it; internal/quiesce prefers it over its poll loop.
+type Parker interface {
+	Snapshotter
+	// WaitQuiesced blocks until every thread observed active in g has
+	// completed its observed transaction (same contract as polling
+	// Quiesced(g) to true). The caller must own g exclusively.
+	WaitQuiesced(g Gen)
+}
+
+// waker parks grace-period waiters between transaction exits. wake is
+// called on every Exit; it broadcasts only when a waiter is actually
+// parked (one atomic load otherwise).
+type waker struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	waiters atomic.Int32
+}
+
+func newWaker() *waker {
+	w := &waker{}
+	w.cond.L = &w.mu
+	return w
+}
+
+func (w *waker) wake() {
+	if w.waiters.Load() == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// await spins briefly (the common case: the observed transactions are
+// already gone or finish within a few yields), then parks until done()
+// reports true. done is re-checked under the waker's lock, so an Exit
+// that lands between the check and the park is never missed: its
+// broadcast and our wait are ordered by the same mutex.
+func (w *waker) await(done func() bool) {
+	for i := 0; i < 64; i++ {
+		if done() {
+			return
+		}
 		runtime.Gosched()
 	}
+	w.waiters.Add(1)
+	w.mu.Lock()
+	for !done() {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+	w.waiters.Add(-1)
+}
+
+// waitSnapshot is the shared Wait body: one grace period via the split
+// API, parked between exits.
+func waitSnapshot(p Parker) {
+	g := p.SnapshotInto(nil)
+	p.WaitQuiesced(g)
 }
 
 // cacheLinePad separates per-thread words to avoid false sharing.
@@ -101,16 +165,20 @@ type flagSlot struct {
 // Flags is the paper's flag-based fence (Figure 7).
 type Flags struct {
 	slots []flagSlot
+	w     *waker
 }
 
 // NewFlags returns a flag quiescer for thread ids 1..n.
-func NewFlags(n int) *Flags { return &Flags{slots: make([]flagSlot, n+1)} }
+func NewFlags(n int) *Flags { return &Flags{slots: make([]flagSlot, n+1), w: newWaker()} }
 
 // Enter implements Quiescer.
 func (f *Flags) Enter(t int) { f.slots[t].active.Store(1) }
 
 // Exit implements Quiescer.
-func (f *Flags) Exit(t int) { f.slots[t].active.Store(0) }
+func (f *Flags) Exit(t int) {
+	f.slots[t].active.Store(0)
+	f.w.wake()
+}
 
 // Active implements Quiescer.
 func (f *Flags) Active(t int) bool { return f.slots[t].active.Load() == 1 }
@@ -144,6 +212,10 @@ func (f *Flags) Quiesced(g Gen) bool {
 	return done
 }
 
+// WaitQuiesced implements Parker: the second pass of Figure 7 as a
+// parked wait instead of a spin.
+func (f *Flags) WaitQuiesced(g Gen) { f.w.await(func() bool { return f.Quiesced(g) }) }
+
 // Wait implements the two-pass fence of Figure 7 lines 33–39.
 func (f *Flags) Wait() { waitSnapshot(f) }
 
@@ -155,16 +227,20 @@ type epochSlot struct {
 // Epochs is a sequence-counter grace-period fence.
 type Epochs struct {
 	slots []epochSlot
+	w     *waker
 }
 
 // NewEpochs returns an epoch quiescer for thread ids 1..n.
-func NewEpochs(n int) *Epochs { return &Epochs{slots: make([]epochSlot, n+1)} }
+func NewEpochs(n int) *Epochs { return &Epochs{slots: make([]epochSlot, n+1), w: newWaker()} }
 
 // Enter implements Quiescer: the counter becomes odd.
 func (e *Epochs) Enter(t int) { e.slots[t].seq.Add(1) }
 
 // Exit implements Quiescer: the counter becomes even.
-func (e *Epochs) Exit(t int) { e.slots[t].seq.Add(1) }
+func (e *Epochs) Exit(t int) {
+	e.slots[t].seq.Add(1)
+	e.w.wake()
+}
 
 // Active implements Quiescer.
 func (e *Epochs) Active(t int) bool { return e.slots[t].seq.Load()%2 == 1 }
@@ -200,6 +276,9 @@ func (e *Epochs) Quiesced(g Gen) bool {
 	}
 	return done
 }
+
+// WaitQuiesced implements Parker.
+func (e *Epochs) WaitQuiesced(g Gen) { e.w.await(func() bool { return e.Quiesced(g) }) }
 
 // Wait blocks until every counter observed odd has changed.
 func (e *Epochs) Wait() { waitSnapshot(e) }

@@ -250,3 +250,63 @@ func TestConcurrentFenceStress(t *testing.T) {
 		})
 	}
 }
+
+// TestWaitQuiescedParksUntilExit: the parked grace-period wait blocks
+// while the observed transaction runs and returns promptly once Exit
+// signals it — no polling deadline involved.
+func TestWaitQuiescedParksUntilExit(t *testing.T) {
+	for name, q := range quiescers(4) {
+		t.Run(name, func(t *testing.T) {
+			p, ok := q.(Parker)
+			if !ok {
+				t.Fatalf("%s does not implement Parker", name)
+			}
+			q.Enter(2)
+			g := p.SnapshotInto(nil)
+			done := make(chan struct{})
+			go func() {
+				p.WaitQuiesced(g)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("WaitQuiesced returned while the observed transaction was active")
+			case <-time.After(20 * time.Millisecond):
+			}
+			q.Exit(2)
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("WaitQuiesced did not wake on Exit")
+			}
+		})
+	}
+}
+
+// TestWaitQuiescedConcurrentWaiters: several parked waiters with
+// independent snapshots all wake from one Exit broadcast.
+func TestWaitQuiescedConcurrentWaiters(t *testing.T) {
+	for name, q := range quiescers(4) {
+		t.Run(name, func(t *testing.T) {
+			p := q.(Parker)
+			q.Enter(1)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					p.WaitQuiesced(p.SnapshotInto(nil))
+				}()
+			}
+			time.Sleep(10 * time.Millisecond)
+			q.Exit(1)
+			waited := make(chan struct{})
+			go func() { wg.Wait(); close(waited) }()
+			select {
+			case <-waited:
+			case <-time.After(2 * time.Second):
+				t.Fatal("parked waiters did not all wake")
+			}
+		})
+	}
+}

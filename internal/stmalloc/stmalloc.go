@@ -39,12 +39,51 @@
 //     that unlinked the block while the shard was quiescent may return
 //     it straight to the free list.
 //
+// # The magazine layer
+//
+// WithMagazines adds a per-thread cache of blocks per size class
+// (after Bonwick's slab/magazine design, with RCU call_rcu-style batch
+// reclamation): New pops from the owning thread's cache, and Free
+// pushes onto it — both through registers only that thread touches, so
+// the hot paths are transactions that never conflict and still roll
+// back cleanly on abort. The shared structures are touched only in
+// batches:
+//
+//   - An empty cache refills by unlinking up to a magazine's worth of
+//     blocks from one shard free list in the allocating transaction —
+//     one shared-list access amortized over the next capacity pops.
+//   - A full free-side magazine is retired as one batch: ONE
+//     transactional unlink of the whole chain, ONE grace-period
+//     registration (FenceAsync — riding the combine/defer leader
+//     machinery, so concurrent retirers share grace periods too), one
+//     uninstrumented wipe pass over every block, and one publish back
+//     to the shard free lists. Reclamation cost scales with free
+//     epochs, not free count.
+//
+// The free-side push writes the block's link register transactionally,
+// so a doomed reader still traversing the block is caught by its
+// validation — the block is touched uninstrumented only after the
+// batch's grace period. FreeQuiesced blocks (already fenced by the
+// caller) are wiped immediately and recycled through the alloc-side
+// cache. FlushThread retires a thread's partial magazines (thread
+// exit); Drain flushes every thread's parked frees under one shared
+// grace period before settling. When every shard list and bump region
+// is empty, New steals from other threads' alloc-side caches before
+// reporting ErrOutOfSpace — parked frees are never stolen (they have
+// not quiesced).
+//
 // Per-shard statistics (allocations, frees, bump high-water) are kept
 // in registers and updated transactionally, so they are exact: aborted
 // attempts do not count, and Allocs-Frees equals the number of live
-// blocks (the leak-accounting invariant the tests pin). Reclaim
-// latency — Free call to slot re-entering the free list — is recorded
-// through an optional LatencyRecorder (workload.Hist satisfies it).
+// blocks (the leak-accounting invariant the tests pin). With magazines
+// the counters move to per-thread registers (counted when a block
+// passes between the heap and the caller, not when it migrates between
+// pools), so the invariant is unchanged: after a Drain, Allocs-Frees
+// is exactly the caller-held block count — magazine-resident blocks
+// are free, merely cached. Reclaim latency — Free call to slot
+// re-entering the free list — is recorded through an optional
+// LatencyRecorder (workload.Hist satisfies it); on the batch path the
+// retire trigger's timestamp stands in for the whole batch.
 package stmalloc
 
 import (
@@ -80,8 +119,40 @@ const (
 )
 
 // HeaderRegs returns the header size of a heap with the given shard
-// count; the usable arena is everything after it.
+// count; the usable arena is everything after it (and after the
+// magazine headers, when magazines are enabled).
 func HeaderRegs(shards int) int { return shards * shardHdr }
+
+// Per-thread magazine header layout (registers, relative to the
+// thread's magazine base): the thread's transactional alloc/free
+// counters, then per size class the alloc-side cache (head, count) and
+// the free-side magazine (head, count). Chains link blocks through
+// their first register, like the shard free lists.
+const (
+	offMagAllocs = 0
+	offMagFrees  = 1
+	magClassBase = 2
+	magAllocHead = 0
+	magAllocCnt  = 1
+	magFreeHead  = 2
+	magFreeCnt   = 3
+	magClassRegs = 4
+	magHdrRegs   = magClassBase + numClasses*magClassRegs
+)
+
+// defaultMagCap is the default magazine capacity (blocks per class per
+// side) when WithMagazines is given capacity <= 0.
+const defaultMagCap = 8
+
+// MagazineRegs returns the register footprint of the per-thread
+// magazine headers for the given thread count — the extra header
+// budget a WithMagazines heap needs beyond HeaderRegs.
+func MagazineRegs(threads int) int {
+	if threads <= 0 {
+		return 0
+	}
+	return threads * magHdrRegs
+}
 
 // BlockRegs returns the register footprint a request for n registers
 // actually occupies (the size-class roundup), or 0 if n is not
@@ -129,6 +200,18 @@ func WithTransactionalFree() Option { return func(h *Heap) { h.txnFree = true } 
 // WithLatencyRecorder routes reclaim-latency samples to r.
 func WithLatencyRecorder(r LatencyRecorder) Option { return func(h *Heap) { h.rec = r } }
 
+// WithMagazines adds the per-thread magazine layer for thread ids
+// 1..threads (see the package comment): thread-local alloc/free caches
+// of up to `capacity` blocks per size class per side (capacity <= 0
+// selects the default), with full free-side magazines retired as one
+// batch under one grace period. Threads outside 1..threads (the TM's
+// reserved reclaim thread, harness spares) fall back to the shared
+// path. Incompatible with WithTransactionalFree, whose whole point is
+// to never ride the fence the batch retire amortizes.
+func WithMagazines(threads, capacity int) Option {
+	return func(h *Heap) { h.magThreads, h.magCap = threads, capacity }
+}
+
 // ShardStats is one shard's traffic snapshot.
 type ShardStats struct {
 	// Allocs and Frees count blocks (transactionally exact).
@@ -147,8 +230,19 @@ type Stats struct {
 	// steady-state register footprint.
 	BumpRegs int64
 	// PendingFrees counts Free calls whose grace period has not yet
-	// completed (their blocks are neither live nor on a free list).
+	// completed (their blocks are neither live nor on a free list —
+	// including frees parked in magazines awaiting a batch retire).
 	PendingFrees int64
+	// MagAlloc and MagFree count blocks resident in the per-thread
+	// magazines at snapshot time: quiesced blocks cached on the alloc
+	// side, and parked frees awaiting a batch retire. Zero on heaps
+	// without magazines.
+	MagAlloc, MagFree int64
+	// Batches counts batch retires: grace-period registrations that
+	// each covered a whole magazine (or flush) of frees. On the batch
+	// path Frees/Batches is the amortization factor. Zero on heaps
+	// without magazines.
+	Batches int64
 	// Shards holds the per-shard breakdown.
 	Shards []ShardStats
 }
@@ -159,17 +253,21 @@ type Stats struct {
 // chunks. Construction reinitializes the header non-transactionally,
 // so it must happen before concurrent use.
 type Heap struct {
-	tm      core.TM
-	first   int // header base
-	arena   int // first register after the header
-	limit   int
-	chunk   int // registers per shard chunk
-	shards  int
-	txnFree bool
-	rec     LatencyRecorder
+	tm         core.TM
+	first      int // header base
+	arena      int // first register after the header(s)
+	limit      int
+	chunk      int // registers per shard chunk
+	shards     int
+	txnFree    bool
+	magThreads int // 0 = no magazine layer
+	magCap     int
+	rec        LatencyRecorder
 
 	// pending counts Frees registered but not yet pushed back.
 	pending atomic.Int64
+	// batches counts batch retires (magazine fills and flushes).
+	batches atomic.Int64
 	// asyncErr holds the first error a deferred reclamation hit;
 	// Drain surfaces it.
 	asyncErr atomic.Pointer[error]
@@ -189,13 +287,24 @@ func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
 	if h.shards < 1 {
 		return nil, fmt.Errorf("stmalloc: bad shard count %d", h.shards)
 	}
+	if h.magThreads < 0 {
+		return nil, fmt.Errorf("stmalloc: bad magazine thread count %d", h.magThreads)
+	}
+	if h.magThreads > 0 {
+		if h.txnFree {
+			return nil, fmt.Errorf("stmalloc: magazines batch reclamation through the fence; they cannot combine with WithTransactionalFree")
+		}
+		if h.magCap <= 0 {
+			h.magCap = defaultMagCap
+		}
+	}
 	// Clamp shards so every chunk holds at least one minimal block.
-	for h.shards > 1 && (limit-first-HeaderRegs(h.shards))/h.shards < 1 {
+	for h.shards > 1 && (limit-first-HeaderRegs(h.shards)-MagazineRegs(h.magThreads))/h.shards < 1 {
 		h.shards--
 	}
-	h.arena = first + HeaderRegs(h.shards)
+	h.arena = first + HeaderRegs(h.shards) + MagazineRegs(h.magThreads)
 	if h.arena >= limit {
-		return nil, fmt.Errorf("stmalloc: arena [%d, %d) cannot hold a %d-shard header", first, limit, h.shards)
+		return nil, fmt.Errorf("stmalloc: arena [%d, %d) cannot hold a %d-shard header plus %d magazine threads", first, limit, h.shards, h.magThreads)
 	}
 	h.chunk = (limit - h.arena) / h.shards
 	// Reinitialize the header: fresh bump pointers, empty lists, zero
@@ -208,12 +317,27 @@ func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
 			tm.Store(1, h.hdr(s)+offLists+c, 0)
 		}
 	}
+	for t := 1; t <= h.magThreads; t++ {
+		for r := 0; r < magHdrRegs; r++ {
+			tm.Store(1, h.magBase(t)+r, 0)
+		}
+	}
 	return h, nil
 }
 
 func (h *Heap) hdr(s int) int        { return h.first + s*shardHdr }
 func (h *Heap) chunkStart(s int) int { return h.arena + s*h.chunk }
 func (h *Heap) chunkEnd(s int) int   { return h.arena + (s+1)*h.chunk }
+
+// magBase is thread th's magazine header base; magClass the base of
+// its class-c cache/magazine slot.
+func (h *Heap) magBase(th int) int      { return h.first + h.shards*shardHdr + (th-1)*magHdrRegs }
+func (h *Heap) magClass(th, c int) int  { return h.magBase(th) + magClassBase + c*magClassRegs }
+func (h *Heap) hasMagazine(th int) bool { return h.magThreads > 0 && th >= 1 && th <= h.magThreads }
+
+// Magazines reports the magazine geometry: the covered thread count
+// and the per-class per-side capacity (0, 0 without magazines).
+func (h *Heap) Magazines() (threads, capacity int) { return h.magThreads, h.magCap }
 
 // MaxBlock returns the largest block (registers) this heap can serve:
 // the size-class bound clamped to the chunk size.
@@ -240,12 +364,25 @@ func (h *Heap) validPtr(v int64) bool {
 // New allocates n consecutive registers inside tx and returns the
 // index of the first. th picks the preferred shard; allocation falls
 // over to other shards (free list first, then bump) before reporting
-// ErrOutOfSpace. Aborted transactions roll the allocation back.
+// ErrOutOfSpace. Aborted transactions roll the allocation back. On a
+// magazine heap the common case pops from the calling thread's cache —
+// registers no other thread touches, so concurrent allocators never
+// conflict — refilling a magazine's worth from a shard free list when
+// the cache runs dry.
 func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 	c, ok := classOf(n)
 	if !ok || 1<<c > h.chunk {
 		return 0, fmt.Errorf("stmalloc: cannot serve %d-register block (max %d): %w", n, h.MaxBlock(), ErrOutOfSpace)
 	}
+	if h.hasMagazine(th) {
+		return h.newMag(tx, th, c, n)
+	}
+	return h.newShared(tx, th, c, n)
+}
+
+// newShared is the magazine-less allocation path: shard free lists,
+// then bump regions, shard counters.
+func (h *Heap) newShared(tx core.Txn, th, c, n int) (int64, error) {
 	size := int64(1) << c
 	start := th % h.shards
 	if start < 0 {
@@ -278,17 +415,11 @@ func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 			return head, nil
 		}
 		// Bump region.
-		b, err := tx.Read(h.hdr(s) + offBump)
+		b, err := h.bump(tx, s, size)
 		if err != nil {
 			return 0, err
 		}
-		if !h.validBump(s, b) {
-			return 0, core.ErrAborted
-		}
-		if b+size <= int64(h.chunkEnd(s)) {
-			if err := tx.Write(h.hdr(s)+offBump, b+size); err != nil {
-				return 0, err
-			}
+		if b != 0 {
 			if err := h.countAlloc(tx, s); err != nil {
 				return 0, err
 			}
@@ -296,6 +427,173 @@ func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 		}
 	}
 	return 0, fmt.Errorf("stmalloc: no shard can serve %d registers: %w", n, ErrOutOfSpace)
+}
+
+// bump takes size registers from shard s's bump region, returning 0
+// (no error) when the chunk is exhausted.
+func (h *Heap) bump(tx core.Txn, s int, size int64) (int64, error) {
+	b, err := tx.Read(h.hdr(s) + offBump)
+	if err != nil {
+		return 0, err
+	}
+	if !h.validBump(s, b) {
+		return 0, core.ErrAborted
+	}
+	if b+size > int64(h.chunkEnd(s)) {
+		return 0, nil
+	}
+	if err := tx.Write(h.hdr(s)+offBump, b+size); err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// newMag is the magazine allocation path, in falling order of
+// preference: the thread's own cache, a batch refill from a shard free
+// list, a bump region, and finally another thread's cache (blocks
+// parked on free-side magazines are never taken — they have not
+// quiesced).
+func (h *Heap) newMag(tx core.Txn, th, c, n int) (int64, error) {
+	ptr, err := h.popMag(tx, th, c)
+	if err != nil {
+		return 0, err
+	}
+	if ptr == 0 {
+		start := th % h.shards
+		for i := 0; i < h.shards && ptr == 0; i++ {
+			if ptr, err = h.refill(tx, th, (start+i)%h.shards, c); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if ptr == 0 {
+		size := int64(1) << c
+		start := th % h.shards
+		for i := 0; i < h.shards && ptr == 0; i++ {
+			if ptr, err = h.bump(tx, (start+i)%h.shards, size); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if ptr == 0 {
+		for t := 1; t <= h.magThreads && ptr == 0; t++ {
+			if t == th {
+				continue
+			}
+			if ptr, err = h.popMag(tx, t, c); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if ptr == 0 {
+		return 0, fmt.Errorf("stmalloc: no shard or magazine can serve %d registers: %w", n, ErrOutOfSpace)
+	}
+	if err := h.countMag(tx, th, offMagAllocs); err != nil {
+		return 0, err
+	}
+	return ptr, nil
+}
+
+// popMag pops one block from thread owner's alloc-side cache (0 when
+// empty). Popping another thread's cache is legal — all magazine
+// traffic is transactional — it just conflicts with the owner.
+func (h *Heap) popMag(tx core.Txn, owner, c int) (int64, error) {
+	reg := h.magClass(owner, c)
+	head, err := tx.Read(reg + magAllocHead)
+	if err != nil {
+		return 0, err
+	}
+	if head == 0 {
+		return 0, nil
+	}
+	if !h.validPtr(head) {
+		return 0, core.ErrAborted
+	}
+	next, err := tx.Read(int(head))
+	if err != nil {
+		return 0, err
+	}
+	if next != 0 && !h.validPtr(next) {
+		return 0, core.ErrAborted
+	}
+	if err := tx.Write(reg+magAllocHead, next); err != nil {
+		return 0, err
+	}
+	cnt, err := tx.Read(reg + magAllocCnt)
+	if err != nil {
+		return 0, err
+	}
+	return head, tx.Write(reg+magAllocCnt, cnt-1)
+}
+
+// refill unlinks up to magCap+1 blocks from shard s's class-c free
+// list in one step: the first serves the current allocation, the rest
+// become the (empty) alloc-side cache — one shared-list access
+// amortized over the next magCap thread-local pops. Returns 0 when the
+// list is empty.
+func (h *Heap) refill(tx core.Txn, th, s, c int) (int64, error) {
+	head, err := tx.Read(h.hdr(s) + offLists + c)
+	if err != nil {
+		return 0, err
+	}
+	if head == 0 {
+		return 0, nil
+	}
+	if !h.validPtr(head) {
+		return 0, core.ErrAborted
+	}
+	take := make([]int64, 1, h.magCap+1)
+	take[0] = head
+	for len(take) < h.magCap+1 {
+		nxt, err := tx.Read(int(take[len(take)-1]))
+		if err != nil {
+			return 0, err
+		}
+		if nxt == 0 {
+			break
+		}
+		if !h.validPtr(nxt) {
+			return 0, core.ErrAborted
+		}
+		take = append(take, nxt)
+	}
+	tail := take[len(take)-1]
+	tailNext, err := tx.Read(int(tail))
+	if err != nil {
+		return 0, err
+	}
+	if tailNext != 0 && !h.validPtr(tailNext) {
+		return 0, core.ErrAborted
+	}
+	if err := tx.Write(h.hdr(s)+offLists+c, tailNext); err != nil {
+		return 0, err
+	}
+	if len(take) > 1 {
+		// The chain from take[1] on is already linked; install it as
+		// the cache and cut the tail.
+		reg := h.magClass(th, c)
+		if err := tx.Write(reg+magAllocHead, take[1]); err != nil {
+			return 0, err
+		}
+		if err := tx.Write(reg+magAllocCnt, int64(len(take)-1)); err != nil {
+			return 0, err
+		}
+		if err := tx.Write(int(tail), 0); err != nil {
+			return 0, err
+		}
+	}
+	return take[0], nil
+}
+
+// countMag bumps one of thread th's transactional traffic counters
+// (offMagAllocs or offMagFrees).
+func (h *Heap) countMag(tx core.Txn, th, off int) error {
+	reg := h.magBase(th) + off
+	v, err := tx.Read(reg)
+	if err != nil {
+		return err
+	}
+	return tx.Write(reg, v+1)
 }
 
 // validBump guards the bump pointer the same way validPtr guards list
@@ -347,15 +645,161 @@ func (h *Heap) Free(th int, ptr int64, n int) {
 		h.release(th, ptr, c, start, false)
 		return
 	}
+	if h.hasMagazine(th) {
+		h.freeMag(th, ptr, c)
+		return
+	}
 	h.tm.FenceAsync(th, func(cb int) {
 		h.release(cb, ptr, c, start, true)
 	})
 }
 
+// retired is one block awaiting (or leaving) a batch retire.
+type retired struct {
+	ptr   int64
+	class int
+}
+
+// freeMag is the magazine Free: push ptr onto the thread's free-side
+// magazine with a small transaction — the block's link register is
+// written transactionally, so a doomed reader still traversing the
+// block aborts on validation instead of seeing a torn value; nothing
+// touches the block uninstrumented before its batch's grace period.
+// The push that fills the magazine instead unlinks the whole chain and
+// retires it as one batch.
+func (h *Heap) freeMag(th int, ptr int64, c int) {
+	reg := h.magClass(th, c)
+	var batch []retired
+	err := core.Atomically(h.tm, th, func(tx core.Txn) error {
+		batch = batch[:0]
+		cnt, err := tx.Read(reg + magFreeCnt)
+		if err != nil {
+			return err
+		}
+		head, err := tx.Read(reg + magFreeHead)
+		if err != nil {
+			return err
+		}
+		if head != 0 && !h.validPtr(head) {
+			return core.ErrAborted
+		}
+		if cnt < int64(h.magCap) {
+			if err := tx.Write(int(ptr), head); err != nil {
+				return err
+			}
+			if err := tx.Write(reg+magFreeHead, ptr); err != nil {
+				return err
+			}
+			if err := tx.Write(reg+magFreeCnt, cnt+1); err != nil {
+				return err
+			}
+			return h.countMag(tx, th, offMagFrees)
+		}
+		// Full magazine: one transactional unlink of the whole chain,
+		// with this block riding along.
+		for cur := head; cur != 0; {
+			if !h.validPtr(cur) || len(batch) > h.magCap {
+				return core.ErrAborted
+			}
+			batch = append(batch, retired{ptr: cur, class: c})
+			nxt, err := tx.Read(int(cur))
+			if err != nil {
+				return err
+			}
+			cur = nxt
+		}
+		batch = append(batch, retired{ptr: ptr, class: c})
+		if err := tx.Write(reg+magFreeHead, 0); err != nil {
+			return err
+		}
+		if err := tx.Write(reg+magFreeCnt, 0); err != nil {
+			return err
+		}
+		return h.countMag(tx, th, offMagFrees)
+	})
+	if err != nil {
+		h.pending.Add(-1)
+		h.fail(fmt.Errorf("stmalloc: magazine free of %d failed: %w", ptr, err))
+		return
+	}
+	if len(batch) > 0 {
+		h.retire(th, batch)
+	}
+}
+
+// retire reclaims a batch of unlinked blocks: ONE grace-period
+// registration covers the whole batch (riding the TM's combine/defer
+// machinery), after which every block is wiped uninstrumented and
+// published back to the shard free lists.
+func (h *Heap) retire(th int, batch []retired) {
+	h.batches.Add(1)
+	start := time.Now()
+	h.tm.FenceAsync(th, func(cb int) {
+		h.publishBatch(cb, batch, start)
+	})
+}
+
+// publishBatch is the tail of a batch retire, after the grace period:
+// one uninstrumented wipe pass over every block (the idiom's private
+// phase, amortized — all blocks are unreachable and quiescent), then
+// publish transactions pushing them onto their home shards' class
+// lists. Publishes chunk so one retire cannot exceed the TM's
+// comfortable write-set size.
+func (h *Heap) publishBatch(th int, batch []retired, start time.Time) {
+	defer h.pending.Add(-int64(len(batch)))
+	for _, r := range batch {
+		// Register ptr+0 is skipped — the publish below turns it into
+		// the free-list link.
+		for i := 1; i < 1<<r.class; i++ {
+			h.tm.Store(th, int(r.ptr)+i, 0)
+		}
+	}
+	const chunk = 64
+	for lo := 0; lo < len(batch); lo += chunk {
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		part := batch[lo:hi]
+		err := core.Atomically(h.tm, th, func(tx core.Txn) error {
+			for _, r := range part {
+				s := h.shardOf(r.ptr)
+				head, err := tx.Read(h.hdr(s) + offLists + r.class)
+				if err != nil {
+					return err
+				}
+				if head != 0 && !h.validPtr(head) {
+					return core.ErrAborted
+				}
+				if err := tx.Write(int(r.ptr), head); err != nil {
+					return err
+				}
+				if err := tx.Write(h.hdr(s)+offLists+r.class, r.ptr); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			h.fail(fmt.Errorf("stmalloc: batch publish of %d blocks failed: %w", len(part), err))
+			return
+		}
+	}
+	if h.rec != nil {
+		d := time.Since(start)
+		for range batch {
+			h.rec.Add(d)
+		}
+	}
+}
+
 // FreeQuiesced is Free for a block the caller already knows to be
 // quiescent — its own privatize→fence cycle guarantees no transaction
 // holds a stale reference (stmkv's growth path). The grace period is
-// skipped; the wipe and push happen inline.
+// skipped; the wipe happens inline, and on a magazine heap the block
+// recycles straight through the thread's alloc-side cache (spilling to
+// its home shard's list when the cache is full), so the next
+// allocation of the class pops it locally.
 func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 	c, ok := classOf(n)
 	if !ok {
@@ -363,7 +807,185 @@ func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 		return
 	}
 	h.pending.Add(1)
+	if h.hasMagazine(th) {
+		start := time.Now()
+		// Quiescent already: the uninstrumented wipe is race-free now.
+		for i := 1; i < 1<<c; i++ {
+			h.tm.Store(th, int(ptr)+i, 0)
+		}
+		reg := h.magClass(th, c)
+		err := core.Atomically(h.tm, th, func(tx core.Txn) error {
+			cnt, err := tx.Read(reg + magAllocCnt)
+			if err != nil {
+				return err
+			}
+			if cnt < int64(h.magCap) {
+				head, err := tx.Read(reg + magAllocHead)
+				if err != nil {
+					return err
+				}
+				if head != 0 && !h.validPtr(head) {
+					return core.ErrAborted
+				}
+				if err := tx.Write(int(ptr), head); err != nil {
+					return err
+				}
+				if err := tx.Write(reg+magAllocHead, ptr); err != nil {
+					return err
+				}
+				if err := tx.Write(reg+magAllocCnt, cnt+1); err != nil {
+					return err
+				}
+				return h.countMag(tx, th, offMagFrees)
+			}
+			// Cache full: spill to the home shard's list.
+			s := h.shardOf(ptr)
+			head, err := tx.Read(h.hdr(s) + offLists + c)
+			if err != nil {
+				return err
+			}
+			if head != 0 && !h.validPtr(head) {
+				return core.ErrAborted
+			}
+			if err := tx.Write(int(ptr), head); err != nil {
+				return err
+			}
+			if err := tx.Write(h.hdr(s)+offLists+c, ptr); err != nil {
+				return err
+			}
+			return h.countMag(tx, th, offMagFrees)
+		})
+		h.pending.Add(-1)
+		if err != nil {
+			h.fail(fmt.Errorf("stmalloc: quiesced free of %d failed: %w", ptr, err))
+			return
+		}
+		if h.rec != nil {
+			h.rec.Add(time.Since(start))
+		}
+		return
+	}
 	h.release(th, ptr, c, time.Now(), !h.txnFree)
+}
+
+// FlushThread empties thread th's magazines: the free-side chains of
+// every class retire as ONE batch (one grace period for everything the
+// thread had parked), and the alloc-side cache returns to the shard
+// free lists (its blocks are wiped and quiescent, so no grace period
+// is needed). Call it when a worker goroutine retires mid-run so its
+// parked frees don't strand; it is safe to call concurrently with the
+// owner (all magazine traffic is transactional) and is a no-op without
+// magazines.
+func (h *Heap) FlushThread(th int) {
+	if !h.hasMagazine(th) {
+		return
+	}
+	if batch := h.unlinkFreeMags(th, th); len(batch) > 0 {
+		h.retire(th, batch)
+	}
+	h.flushAllocMags(th, th)
+}
+
+// unlinkFreeMags empties thread owner's free-side magazines (every
+// class) in one transaction run by txTh — the batched unlink —
+// returning the parked blocks.
+func (h *Heap) unlinkFreeMags(txTh, owner int) []retired {
+	var batch []retired
+	err := core.Atomically(h.tm, txTh, func(tx core.Txn) error {
+		batch = batch[:0]
+		for c := 0; c < numClasses; c++ {
+			reg := h.magClass(owner, c)
+			head, err := tx.Read(reg + magFreeHead)
+			if err != nil {
+				return err
+			}
+			if head == 0 {
+				continue
+			}
+			n := 0
+			for cur := head; cur != 0; {
+				if !h.validPtr(cur) || n > h.magCap {
+					return core.ErrAborted
+				}
+				batch = append(batch, retired{ptr: cur, class: c})
+				n++
+				nxt, err := tx.Read(int(cur))
+				if err != nil {
+					return err
+				}
+				cur = nxt
+			}
+			if err := tx.Write(reg+magFreeHead, 0); err != nil {
+				return err
+			}
+			if err := tx.Write(reg+magFreeCnt, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		h.fail(fmt.Errorf("stmalloc: magazine flush of thread %d failed: %w", owner, err))
+		return nil
+	}
+	return batch
+}
+
+// flushAllocMags returns thread owner's cached (wiped, quiescent)
+// blocks to their home shards' free lists in one transaction run by
+// txTh. No grace period and no counter updates: the blocks move
+// between free pools, not between the heap and a caller.
+func (h *Heap) flushAllocMags(txTh, owner int) {
+	err := core.Atomically(h.tm, txTh, func(tx core.Txn) error {
+		for c := 0; c < numClasses; c++ {
+			reg := h.magClass(owner, c)
+			head, err := tx.Read(reg + magAllocHead)
+			if err != nil {
+				return err
+			}
+			n := 0
+			for cur := head; cur != 0; {
+				if !h.validPtr(cur) || n > h.magCap {
+					return core.ErrAborted
+				}
+				nxt, err := tx.Read(int(cur))
+				if err != nil {
+					return err
+				}
+				if nxt != 0 && !h.validPtr(nxt) {
+					return core.ErrAborted
+				}
+				s := h.shardOf(cur)
+				sh, err := tx.Read(h.hdr(s) + offLists + c)
+				if err != nil {
+					return err
+				}
+				if sh != 0 && !h.validPtr(sh) {
+					return core.ErrAborted
+				}
+				if err := tx.Write(int(cur), sh); err != nil {
+					return err
+				}
+				if err := tx.Write(h.hdr(s)+offLists+c, cur); err != nil {
+					return err
+				}
+				cur = nxt
+				n++
+			}
+			if head != 0 {
+				if err := tx.Write(reg+magAllocHead, 0); err != nil {
+					return err
+				}
+				if err := tx.Write(reg+magAllocCnt, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		h.fail(fmt.Errorf("stmalloc: alloc-cache flush of thread %d failed: %w", owner, err))
+	}
 }
 
 // release is the tail of every reclamation: optionally wipe the block
@@ -417,8 +1039,21 @@ func (h *Heap) fail(err error) {
 
 // Drain blocks until every reclamation registered by Free before the
 // call has completed, and returns the first error any reclamation hit.
-// th must be a valid thread id not currently inside a transaction.
+// On a magazine heap it first flushes every thread's parked frees and
+// retires them under ONE shared grace period (frees parked in a
+// magazine have not been registered with the fence yet), leaving the
+// alloc-side caches in place. th must be a valid thread id not
+// currently inside a transaction.
 func (h *Heap) Drain(th int) error {
+	if h.magThreads > 0 {
+		var all []retired
+		for t := 1; t <= h.magThreads; t++ {
+			all = append(all, h.unlinkFreeMags(th, t)...)
+		}
+		if len(all) > 0 {
+			h.retire(th, all)
+		}
+	}
 	h.tm.FenceBarrier(th)
 	if e := h.asyncErr.Load(); e != nil {
 		return *e
@@ -430,7 +1065,11 @@ func (h *Heap) Drain(th int) error {
 // quiesced (after Drain, or with no concurrent mutators) for exact
 // numbers; under concurrency it is a monotone approximation.
 func (h *Heap) Stats() Stats {
-	st := Stats{Shards: make([]ShardStats, h.shards), PendingFrees: h.pending.Load()}
+	st := Stats{
+		Shards:       make([]ShardStats, h.shards),
+		PendingFrees: h.pending.Load(),
+		Batches:      h.batches.Load(),
+	}
 	for s := 0; s < h.shards; s++ {
 		sh := ShardStats{
 			Allocs:   h.tm.Load(1, h.hdr(s)+offAllocs),
@@ -441,6 +1080,15 @@ func (h *Heap) Stats() Stats {
 		st.Allocs += sh.Allocs
 		st.Frees += sh.Frees
 		st.BumpRegs += sh.BumpRegs
+	}
+	for t := 1; t <= h.magThreads; t++ {
+		st.Allocs += h.tm.Load(1, h.magBase(t)+offMagAllocs)
+		st.Frees += h.tm.Load(1, h.magBase(t)+offMagFrees)
+		for c := 0; c < numClasses; c++ {
+			reg := h.magClass(t, c)
+			st.MagAlloc += h.tm.Load(1, reg+magAllocCnt)
+			st.MagFree += h.tm.Load(1, reg+magFreeCnt)
+		}
 	}
 	st.Live = st.Allocs - st.Frees
 	return st

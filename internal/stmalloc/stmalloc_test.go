@@ -327,6 +327,299 @@ func TestBoundedFootprintUnderChurn(t *testing.T) {
 	}
 }
 
+// --- Magazine layer ---
+
+// TestMagazineChurnLeakAccounting is TestLeakAccountingChurn on the
+// batch path: concurrent set churn over a magazine heap on every TM ×
+// fence mode, with a concurrent Drain/FreeQuiesced interferer — the
+// interleaving that would expose a double count between the per-Free
+// push, the batch retire, and a flush taking the same chain. After the
+// final Drain, Allocs-Frees must equal the live set exactly and the
+// amortization must be real (fewer batches than frees). Run under
+// -race in CI.
+func TestMagazineChurnLeakAccounting(t *testing.T) {
+	const threads = 4
+	rounds := 300
+	if testing.Short() {
+		rounds = 100
+	}
+	for _, spec := range reclaimSpecs(testing.Short()) {
+		t.Run(spec, func(t *testing.T) {
+			// threads workers + 1 interferer, all with magazines; +1
+			// spare TM id for the reclaim thread.
+			tm := engine.MustNewSpec(spec, 1<<13, threads+2, nil)
+			h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+				stmalloc.WithShards(threads), stmalloc.WithMagazines(threads+1, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := stmds.NewSet(tm, 1, h)
+			var wg sync.WaitGroup
+			errs := make(chan error, threads+1)
+			for th := 1; th <= threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(th) * 99))
+					for i := 0; i < rounds; i++ {
+						k := int64(r.Intn(120) + 1)
+						var err error
+						if r.Intn(2) == 0 {
+							_, err = set.Insert(th, k)
+						} else {
+							_, err = set.Remove(th, k)
+						}
+						if err != nil {
+							errs <- fmt.Errorf("thread %d round %d: %w", th, i, err)
+							return
+						}
+					}
+				}(th)
+			}
+			// Interferer: FreeQuiesced traffic racing mid-churn Drains
+			// and FlushThreads on the same magazines the workers fill.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := threads + 1
+				for i := 0; i < rounds/10; i++ {
+					var ptr int64
+					err := core.Atomically(tm, th, func(tx core.Txn) error {
+						var err error
+						ptr, err = h.New(tx, th, 2)
+						return err
+					})
+					if err != nil {
+						errs <- fmt.Errorf("interferer alloc %d: %w", i, err)
+						return
+					}
+					h.FreeQuiesced(th, ptr, 2)
+					switch i % 3 {
+					case 0:
+						if err := h.Drain(th); err != nil {
+							errs <- fmt.Errorf("mid-churn drain %d: %w", i, err)
+							return
+						}
+					case 1:
+						h.FlushThread(th)
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := h.Drain(1); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := set.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := h.Stats()
+			if st.Live != int64(len(snap)) {
+				t.Fatalf("allocs-frees = %d, live set size %d (stats %+v)", st.Live, len(snap), st)
+			}
+			if st.PendingFrees != 0 {
+				t.Fatalf("pending frees %d after Drain", st.PendingFrees)
+			}
+			if st.MagFree != 0 {
+				t.Fatalf("%d frees still parked after Drain", st.MagFree)
+			}
+			if st.Frees > 0 && st.Batches >= st.Frees {
+				t.Fatalf("%d batches for %d frees: retires are not amortizing", st.Batches, st.Frees)
+			}
+		})
+	}
+}
+
+// TestMagazineBoundedFootprint pins the batch path's space story: churn
+// far past the arena's bump capacity stays bounded by live set +
+// magazine capacity.
+func TestMagazineBoundedFootprint(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 1<<10, 3, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(1), stmalloc.WithMagazines(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stmds.NewSet(tm, 1, h)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 8000; i++ {
+		k := int64(r.Intn(40) + 1)
+		var err error
+		if r.Intn(2) == 0 {
+			_, err = set.Insert(1, k)
+		} else {
+			_, err = set.Remove(1, k)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	// ≤40 live 2-reg nodes + one magazine (8 alloc-side + 8 parked, 2
+	// regs each) + retire slack.
+	if fp := h.Footprint(); fp > 256 {
+		t.Fatalf("footprint %d regs after 8k churn ops over ≤40 live keys", fp)
+	}
+}
+
+// TestFlushThreadPartialMagazine is the thread-exit edge case: a worker
+// leaves partially full magazines behind; FlushThread retires its
+// parked frees (one batch) and returns its cache to the shard lists, so
+// another thread reuses the registers instead of bumping fresh ones.
+func TestFlushThreadPartialMagazine(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 1<<10, 4, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(1), stmalloc.WithMagazines(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1: allocate 6 blocks, free 3 (parked — fewer than the
+	// capacity 8, so no retire happens), keep 3 live, then exit.
+	var live, freed []int64
+	for i := 0; i < 6; i++ {
+		p := alloc(t, tm, h, 1, 2)
+		if i%2 == 0 {
+			live = append(live, p)
+		} else {
+			freed = append(freed, p)
+		}
+	}
+	for _, p := range freed {
+		h.Free(1, p, 2)
+	}
+	st := h.Stats()
+	if st.MagFree != int64(len(freed)) {
+		t.Fatalf("expected %d parked frees, stats %+v", len(freed), st)
+	}
+	h.FlushThread(1)
+	if err := h.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+	st = h.Stats()
+	if st.MagFree != 0 || st.MagAlloc != 0 {
+		t.Fatalf("magazines not empty after FlushThread+Drain: %+v", st)
+	}
+	if st.Live != int64(len(live)) {
+		t.Fatalf("allocs-frees = %d, want %d live", st.Live, len(live))
+	}
+	// Thread 2 must reuse the flushed registers: footprint stays flat.
+	before := h.Footprint()
+	for i := 0; i < len(freed); i++ {
+		alloc(t, tm, h, 2, 2)
+	}
+	if after := h.Footprint(); after != before {
+		t.Fatalf("flushed blocks not reused: footprint %d -> %d", before, after)
+	}
+}
+
+// TestOutOfSpaceWithParkedFrees is the exhaustion edge case: when the
+// last blocks of the arena sit parked on a free-side magazine, New
+// reports ErrOutOfSpace (parked frees have not quiesced and are never
+// stolen) — and a FlushThread+Drain recovers them.
+func TestOutOfSpaceWithParkedFrees(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 512, 3, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(1), stmalloc.WithMagazines(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the arena with 4-register blocks.
+	var ptrs []int64
+	for {
+		var p int64
+		err := core.Atomically(tm, 1, func(tx core.Txn) error {
+			var err error
+			p, err = h.New(tx, 1, 4)
+			return err
+		})
+		if errors.Is(err, stmalloc.ErrOutOfSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) < 3 {
+		t.Fatalf("arena too small for the scenario: %d blocks", len(ptrs))
+	}
+	// Park two frees (below capacity: no retire).
+	h.Free(1, ptrs[0], 4)
+	h.Free(1, ptrs[1], 4)
+	err = core.Atomically(tm, 1, func(tx core.Txn) error {
+		_, err := h.New(tx, 1, 4)
+		return err
+	})
+	if !errors.Is(err, stmalloc.ErrOutOfSpace) {
+		t.Fatalf("allocation served while the only free blocks were parked: %v", err)
+	}
+	h.FlushThread(1)
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	alloc(t, tm, h, 1, 4) // the flushed blocks are allocatable again
+}
+
+// TestMagazineSteal: when the shard lists and bump regions are empty
+// but another thread's alloc-side cache holds quiesced blocks, New
+// steals one instead of failing.
+func TestMagazineSteal(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 512, 3, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(1), stmalloc.WithMagazines(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 drains the arena, then FreeQuiesced recycles two blocks
+	// straight into its alloc-side cache.
+	var ptrs []int64
+	for {
+		var p int64
+		err := core.Atomically(tm, 1, func(tx core.Txn) error {
+			var err error
+			p, err = h.New(tx, 1, 4)
+			return err
+		})
+		if errors.Is(err, stmalloc.ErrOutOfSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	h.FreeQuiesced(1, ptrs[0], 4)
+	h.FreeQuiesced(1, ptrs[1], 4)
+	if st := h.Stats(); st.MagAlloc != 2 {
+		t.Fatalf("FreeQuiesced did not cache: %+v", st)
+	}
+	// Thread 2 has nothing local and nothing shared — it must steal.
+	p := alloc(t, tm, h, 2, 4)
+	if p != ptrs[0] && p != ptrs[1] {
+		t.Fatalf("allocated %d, want one of the cached blocks %v", p, ptrs[:2])
+	}
+	if st := h.Stats(); st.MagAlloc != 1 {
+		t.Fatalf("steal did not come from the cache: %+v", st)
+	}
+}
+
+// TestMagazinesRejectTransactionalFree: the two reclamation escapes are
+// mutually exclusive — batching exists to amortize the fence the
+// transactional fallback never takes.
+func TestMagazinesRejectTransactionalFree(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 1<<10, 3, nil)
+	if _, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithMagazines(2, 4), stmalloc.WithTransactionalFree()); err == nil {
+		t.Fatal("magazines + transactional free accepted")
+	}
+}
+
 func TestBadArena(t *testing.T) {
 	tm := engine.MustNewSpec("baseline", 64, 2, nil)
 	if _, err := stmalloc.New(tm, 0, 64); err == nil {

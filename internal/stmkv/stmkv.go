@@ -44,17 +44,21 @@
 // one big read-only transaction per shard, no fence, the natural choice
 // on a TM like NOrec whose privatization is safe without fences.
 //
-// Clear and Resize use *deferred* privatization: the privatizing
-// transaction commits inline, but the fence→operate→publish tail runs
-// through the TM's asynchronous fence (core.TM.FenceAsync). On a TM
-// built with the defer fence mode the caller returns without ever
-// blocking on a grace period and the wipe/rehash happens on the TM's
-// reclaimer; on any other TM FenceAsync degrades to the synchronous
-// cycle and nothing changes. Either way no reader can observe a
-// half-maintained shard — point operations block-retry while the
-// shard's flag is odd, and the flag goes even only after the deferred
-// work published. Drain waits for all outstanding deferred maintenance
-// and surfaces its errors.
+// Clear and Resize use *deferred, batched* privatization: every
+// shard's flag flips odd inline (ascending order, so concurrent bulk
+// operations never deadlock), then ONE shared grace period
+// (core.FenceAsyncBatch) covers all shards' operate→publish tails. On
+// a TM built with the defer fence mode the caller returns without ever
+// blocking on a grace period and the wipes/rehashes happen on the TM's
+// reclaimer; on wait/combine TMs one (combined) fence replaces the
+// per-shard fences. Either way no reader can observe a half-maintained
+// shard — point operations block-retry while the shard's flag is odd
+// (parking on the store's publish gate rather than sleep-polling), and
+// the flag goes even only after the deferred work published. Drain
+// waits for all outstanding deferred maintenance and surfaces its
+// errors. WithBatchReclaim additionally gives the table heap
+// per-thread magazine caches, so the table blocks a rehash replaces
+// recycle thread-locally.
 package stmkv
 
 import (
@@ -115,6 +119,15 @@ type Option func(*Store)
 // all; on TL2 the transactional scan pays validation instead).
 func WithTransactionalScan() Option { return func(s *Store) { s.txnScan = true } }
 
+// WithBatchReclaim builds the store's table heap with the stmalloc
+// magazine layer for thread ids 1..threads: a replaced table block
+// recycles through the rehashing thread's alloc-side cache (it is
+// already quiescent after the shard's fence), so repeated grow/Resize
+// cycles pop their next table locally instead of contending on the
+// heap's shard lists. Size the TM with RegsNeededBatch instead of
+// RegsNeeded.
+func WithBatchReclaim(threads int) Option { return func(s *Store) { s.batchThreads = threads } }
+
 // Stats counts the store's privatization traffic.
 type Stats struct {
 	// Privatizations is the number of privatize→fence→publish cycles
@@ -133,11 +146,17 @@ type KV struct {
 
 // Store is a sharded transactional KV store over a core.TM.
 type Store struct {
-	tm      core.TM
-	heap    *stmalloc.Heap
-	shards  int
-	slots   int // maximum active capacity per shard
-	txnScan bool
+	tm           core.TM
+	heap         *stmalloc.Heap
+	shards       int
+	slots        int // maximum active capacity per shard
+	txnScan      bool
+	batchThreads int // >0: table heap carries magazines for ids 1..batchThreads
+
+	// pubGate is closed and replaced on every publish, so point
+	// operations waiting out a privatized shard park on it instead of
+	// sleep-polling.
+	pubGate atomic.Pointer[chan struct{}]
 
 	privatizations atomic.Int64
 	grows          atomic.Int64
@@ -183,6 +202,24 @@ func RegsNeeded(shards, slots int) int {
 	return shards*hdrRegs + stmalloc.HeaderRegs(hs) + arena
 }
 
+// kvMagCap is the magazine capacity of a WithBatchReclaim table heap:
+// table blocks are large and few, so the cache is shallow.
+const kvMagCap = 2
+
+// RegsNeededBatch is RegsNeeded for a WithBatchReclaim(threads) store:
+// the magazine headers plus headroom for the blocks the per-thread
+// caches may hold back from the shared pool (per thread at most
+// kvMagCap blocks per class, summing to < 2·kvMagCap·maxBlock over the
+// power-of-two ladder).
+func RegsNeededBatch(shards, slots, threads int) int {
+	n := RegsNeeded(shards, slots)
+	if n == 0 || threads <= 0 {
+		return n
+	}
+	maxBlock := stmalloc.BlockRegs(2 * slots)
+	return n + stmalloc.MagazineRegs(threads) + threads*2*kvMagCap*maxBlock
+}
+
 // New builds a store with `shards` shards of at most `slots` active
 // slots each over tm's registers [0, RegsNeeded(shards, slots)). The
 // headers and the heap are initialized non-transactionally (thread 1),
@@ -194,15 +231,21 @@ func New(tm core.TM, shards, slots int, opts ...Option) (*Store, error) {
 	if stmalloc.BlockRegs(2*slots) == 0 {
 		return nil, fmt.Errorf("stmkv: %d slots per shard exceeds the allocator's block bound", slots)
 	}
-	need := RegsNeeded(shards, slots)
-	if tm.NumRegs() < need {
-		return nil, fmt.Errorf("stmkv: TM has %d registers, geometry needs %d", tm.NumRegs(), need)
-	}
 	s := &Store{tm: tm, shards: shards, slots: slots}
 	for _, o := range opts {
 		o(s)
 	}
-	heap, err := stmalloc.New(tm, shards*hdrRegs, need, stmalloc.WithShards(kvHeapShards(shards)))
+	gate := make(chan struct{})
+	s.pubGate.Store(&gate)
+	need := RegsNeededBatch(shards, slots, s.batchThreads)
+	if tm.NumRegs() < need {
+		return nil, fmt.Errorf("stmkv: TM has %d registers, geometry needs %d", tm.NumRegs(), need)
+	}
+	heapOpts := []stmalloc.Option{stmalloc.WithShards(kvHeapShards(shards))}
+	if s.batchThreads > 0 {
+		heapOpts = append(heapOpts, stmalloc.WithMagazines(s.batchThreads, kvMagCap))
+	}
+	heap, err := stmalloc.New(tm, shards*hdrRegs, need, heapOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("stmkv: heap: %w", err)
 	}
@@ -249,14 +292,21 @@ func NewForTM(tm core.TM, shards int, opts ...Option) (*Store, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("stmkv: bad shard count %d", shards)
 	}
-	lo, hi := 1, tm.NumRegs()
-	if RegsNeeded(shards, lo) > tm.NumRegs() {
-		return nil, fmt.Errorf("stmkv: %d registers cannot host %d shards (need %d)",
-			tm.NumRegs(), shards, RegsNeeded(shards, lo))
+	// Probe the options for the batch-reclaim thread count: a magazine
+	// heap needs extra header and cache headroom per slot budget.
+	probe := &Store{}
+	for _, o := range opts {
+		o(probe)
 	}
-	for lo < hi { // largest slots with RegsNeeded(shards, slots) ≤ NumRegs
+	need := func(slots int) int { return RegsNeededBatch(shards, slots, probe.batchThreads) }
+	lo, hi := 1, tm.NumRegs()
+	if need(lo) > tm.NumRegs() {
+		return nil, fmt.Errorf("stmkv: %d registers cannot host %d shards (need %d)",
+			tm.NumRegs(), shards, need(lo))
+	}
+	for lo < hi { // largest slots whose budget fits NumRegs
 		mid := (lo + hi + 1) / 2
-		if n := RegsNeeded(shards, mid); n != 0 && n <= tm.NumRegs() {
+		if n := need(mid); n != 0 && n <= tm.NumRegs() {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -637,32 +687,29 @@ func (s *Store) scanShardTxn(th, shard int, out []KV) ([]KV, error) {
 // so callers observe the cleared state, just possibly later. Use Drain
 // to wait for completion.
 func (s *Store) Clear(th int) error {
-	for sh := 0; sh < s.shards; sh++ {
+	return s.privatizeAllDeferred(th, func(th, sh int) {
 		base := s.base(sh)
-		err := s.privatizeDeferred(th, base, func(th int) {
-			tm := s.tm
-			tab := tm.Load(th, base+offTable)
-			cap := int(tm.Load(th, base+offCap))
-			for i := 0; i < cap; i++ {
-				tm.Store(th, keyReg(tab, i), keyEmpty)
-				tm.Store(th, valReg(tab, i), 0)
-			}
-			tm.Store(th, base+offCount, 0)
-			tm.Store(th, base+offTombs, 0)
-			s.clears.Add(1)
-		})
-		if err != nil {
-			return err
+		tm := s.tm
+		tab := tm.Load(th, base+offTable)
+		cap := int(tm.Load(th, base+offCap))
+		for i := 0; i < cap; i++ {
+			tm.Store(th, keyReg(tab, i), keyEmpty)
+			tm.Store(th, valReg(tab, i), 0)
 		}
-	}
-	return nil
+		tm.Store(th, base+offCount, 0)
+		tm.Store(th, base+offTombs, 0)
+		s.clears.Add(1)
+	})
 }
 
 // Resize rehashes every shard to the given active capacity (clamped to
-// [live keys, slot arena]), privatizing one shard at a time. Like
-// Clear, the rehash→publish tail is deferred: on a defer-mode TM all
-// shards' grace periods batch onto the TM's reclaimer and the caller
-// never blocks on one. The replaced table blocks return to the heap.
+// [live keys, slot arena]). Like Clear, the rehash→publish tails are
+// deferred and batched: all shards privatize up front and ONE shared
+// grace period (core.FenceAsyncBatch) covers every shard's rehash — on
+// a defer-mode TM the caller never blocks and the reclaimer runs the
+// batch; on wait/combine TMs one fence replaces the per-shard fences.
+// The replaced table blocks return to the heap (through the rehashing
+// thread's magazine cache under WithBatchReclaim).
 func (s *Store) Resize(th, slots int) error {
 	if slots < 1 {
 		slots = 1
@@ -670,22 +717,16 @@ func (s *Store) Resize(th, slots int) error {
 	if slots > s.slots {
 		slots = s.slots
 	}
-	for sh := 0; sh < s.shards; sh++ {
+	return s.privatizeAllDeferred(th, func(th, sh int) {
 		base := s.base(sh)
-		err := s.privatizeDeferred(th, base, func(th int) {
-			target := int64(slots)
-			if live := s.tm.Load(th, base+offCount); target < live {
-				target = live
-			}
-			if err := s.rehashTo(th, base, target); err != nil {
-				s.fail(err)
-			}
-		})
-		if err != nil {
-			return err
+		target := int64(slots)
+		if live := s.tm.Load(th, base+offCount); target < live {
+			target = live
 		}
-	}
-	return nil
+		if err := s.rehashTo(th, base, target); err != nil {
+			s.fail(err)
+		}
+	})
 }
 
 // Drain blocks until every deferred Clear/Resize registered before the
@@ -830,53 +871,85 @@ func (s *Store) privatize(th, base int) error {
 	return nil
 }
 
-// privatizeDeferred is privatize with the fence and the private phase
-// pushed through the TM's asynchronous fence: the flag-odd transaction
-// commits inline (so the shard is private from the caller's point of
-// view the moment this returns), then work runs after the grace period
-// on whatever thread the TM provides, followed by the publish that
-// re-shares the shard. work must use only uninstrumented accesses and
+// privatizeAllDeferred is the batched bulk-maintenance cycle: commit
+// the flag-odd transaction for every shard (ascending order, so
+// concurrent bulk operations cannot deadlock), then register one
+// callback per shard — work(th, shard) followed by the publish that
+// re-shares it — under ONE shared grace period via core.FenceAsyncBatch.
+// The fence starts after every privatizing transaction committed, so
+// when the callbacks run no transaction that saw any of the shards
+// shared is still live. work must use only uninstrumented accesses and
 // heap calls.
-func (s *Store) privatizeDeferred(th, base int, work func(th int)) error {
-	if err := s.acquirePrivate(th, base); err != nil {
-		return err
-	}
-	s.tm.FenceAsync(th, func(cb int) {
-		work(cb)
-		if err := s.publish(cb, base); err != nil {
-			s.fail(err)
+func (s *Store) privatizeAllDeferred(th int, work func(th, shard int)) error {
+	fns := make([]func(int), 0, s.shards)
+	for sh := 0; sh < s.shards; sh++ {
+		base := s.base(sh)
+		if err := s.acquirePrivate(th, base); err != nil {
+			// Re-share what we already hold: a half-acquired bulk op
+			// must not leave shards privatized forever. A publish that
+			// fails here leaves its shard stuck odd — record it so
+			// Drain surfaces the stuck shard instead of reporting
+			// success while point operations time out against it.
+			for done := 0; done < len(fns); done++ {
+				if perr := s.publish(th, s.base(done)); perr != nil {
+					s.fail(fmt.Errorf("stmkv: rollback publish of shard %d failed (shard stuck private): %w", done, perr))
+				}
+			}
+			return err
 		}
-	})
+		sh := sh
+		fns = append(fns, func(cb int) {
+			work(cb, sh)
+			if err := s.publish(cb, s.base(sh)); err != nil {
+				s.fail(err)
+			}
+		})
+	}
+	core.FenceAsyncBatch(s.tm, th, fns)
 	return nil
 }
 
 // publish commits a transaction flipping the shard's flag back to even,
-// re-sharing it.
+// re-sharing it, and wakes every point operation parked on the gate.
 func (s *Store) publish(th, base int) error {
-	return core.Atomically(s.tm, th, func(tx core.Txn) error {
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
 		f, err := tx.Read(base + offFlag)
 		if err != nil {
 			return err
 		}
 		return tx.Write(base+offFlag, f+1)
 	})
+	if err == nil {
+		gate := make(chan struct{})
+		if old := s.pubGate.Swap(&gate); old != nil {
+			close(*old)
+		}
+	}
+	return err
 }
 
 // maxPrivateWaits bounds how long a point operation waits for a
 // privatized shard before giving up: shard rehashes are bounded work,
-// so a wait this long means the privatizer died between privatize and
-// publish (the flag is stuck odd) and spinning would hang forever.
-const maxPrivateWaits = 1 << 22
+// so exhausting the bound means the privatizer died between privatize
+// and publish (the flag is stuck odd) and waiting longer would hang
+// forever. Each parked wait is capped at a millisecond, so the bound
+// is also a rough stuck-time budget.
+const maxPrivateWaits = 1 << 20
 
 // retryShared runs body transactionally, retrying as long as it
 // reports the shard privatized. Bodies start with the shared() guard,
-// so they never touch a private shard's table. The wait yields at
-// first, then escalates to short sleeps: with deferred privatization
-// the shard stays private until a background reclaimer runs, and a
-// pure spin-yield here can starve it behind CPU-bound threads for
-// whole scheduler preemption quanta.
+// so they never touch a private shard's table. The wait yields for a
+// few rounds (the privatizer is usually nearly done), then parks on
+// the store's publish gate: every publish closes the gate and installs
+// a fresh one, so a waiter wakes the moment ANY shard re-shares
+// instead of sleep-polling — the scheduler-aware analogue of the
+// quiesce layer's parked grace-period wait. The gate is sampled before
+// the attempt, so a publish landing between the failed attempt and the
+// park has already closed the sampled gate and the wait returns
+// immediately; the timeout only backstops a dead privatizer.
 func (s *Store) retryShared(th int, body func(core.Txn) error) error {
 	for i := 0; ; i++ {
+		gate := *s.pubGate.Load()
 		err := core.Atomically(s.tm, th, func(tx core.Txn) error {
 			return body(tx)
 		})
@@ -886,9 +959,14 @@ func (s *Store) retryShared(th int, body func(core.Txn) error) error {
 			}
 			if i < 64 {
 				runtime.Gosched()
-			} else {
-				time.Sleep(20 * time.Microsecond)
+				continue
 			}
+			t := time.NewTimer(time.Millisecond)
+			select {
+			case <-gate:
+			case <-t.C:
+			}
+			t.Stop()
 			continue
 		}
 		return err

@@ -503,3 +503,108 @@ func TestScanIsPerShardSnapshot(t *testing.T) {
 		}
 	}
 }
+
+// TestKVBatchReclaimResizeRace is the batch-retire-vs-Resize race: a
+// WithBatchReclaim store whose table blocks recycle through per-thread
+// magazine caches, hammered by concurrent Resizes (each one batch of
+// privatize→rehash→publish cycles plus FreeQuiesced of every replaced
+// table) interleaved with point operations. After a Drain the
+// store-level leak invariant must hold — exactly one live table block
+// per shard — and every surviving key must be readable. Run under
+// -race in CI.
+func TestKVBatchReclaimResizeRace(t *testing.T) {
+	for _, spec := range []string{"tl2", "tl2+defer", "norec+combine"} {
+		t.Run(spec, func(t *testing.T) {
+			const shards, slots = 4, 64
+			const workers, resizers = 2, 2
+			threads := workers + resizers + 1
+			tm, err := engine.NewSpec(spec, stmkv.RegsNeededBatch(shards, slots, threads), threads+1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := stmkv.New(tm, shards, slots, stmkv.WithBatchReclaim(threads))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const keys = 60
+			for k := int64(1); k <= keys; k++ {
+				if err := s.Put(1, k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rounds := 40
+			if testing.Short() {
+				rounds = 10
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, threads)
+			for w := 1; w <= workers; w++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(th) * 31))
+					for i := 0; i < rounds*5; i++ {
+						k := int64(r.Intn(keys) + 1)
+						switch r.Intn(3) {
+						case 0:
+							if err := s.Put(th, k, k*10); err != nil {
+								errs <- fmt.Errorf("worker %d put: %w", th, err)
+								return
+							}
+						case 1:
+							if _, _, err := s.Get(th, k); err != nil {
+								errs <- fmt.Errorf("worker %d get: %w", th, err)
+								return
+							}
+						default:
+							if _, err := s.Delete(th, k); err != nil {
+								errs <- fmt.Errorf("worker %d delete: %w", th, err)
+								return
+							}
+							if err := s.Put(th, k, k); err != nil {
+								errs <- fmt.Errorf("worker %d re-put: %w", th, err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			for rz := 1; rz <= resizers; rz++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						if err := s.Resize(th, 16+(i%2)*32); err != nil {
+							errs <- fmt.Errorf("resizer %d round %d: %w", th, i, err)
+							return
+						}
+					}
+				}(workers + rz)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := s.Drain(threads); err != nil {
+				t.Fatal(err)
+			}
+			hs := s.HeapStats()
+			if hs.Live != int64(shards) {
+				t.Fatalf("heap holds %d live blocks after Drain, want one table per shard (%d): %+v", hs.Live, shards, hs)
+			}
+			if hs.PendingFrees != 0 {
+				t.Fatalf("%d pending frees after Drain", hs.PendingFrees)
+			}
+			for k := int64(1); k <= keys; k++ {
+				v, ok, err := s.Get(1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok && v != k && v != k*10 {
+					t.Fatalf("key %d holds %d, want %d or %d", k, v, k, k*10)
+				}
+			}
+		})
+	}
+}

@@ -268,6 +268,19 @@ func (tm *TM) FenceAsync(thread int, fn func(thread int)) {
 	tm.qs.Defer(thread, fn)
 }
 
+// FenceAsyncBatch implements core.BatchFencer: every callback shares
+// one grace period (inline, with no grace period, under the unsafe
+// no-op fence policy, matching FenceAsync).
+func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) {
+	if tm.cfg.Fence == FenceNoOp {
+		for _, fn := range fns {
+			fn(thread)
+		}
+		return
+	}
+	tm.qs.DeferBatch(thread, fns)
+}
+
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 

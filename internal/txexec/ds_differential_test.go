@@ -141,6 +141,11 @@ func runOnTM(t *testing.T, spec string, script []dsOp) dsOutcome {
 	if cfg.UnsafeFence() {
 		opts = append(opts, stmalloc.WithTransactionalFree())
 	}
+	if cfg.Reclaim == "batch" {
+		// A shallow magazine so the script's small keyspace cycles
+		// blocks through park→retire→refill many times.
+		opts = append(opts, stmalloc.WithMagazines(2, 4))
+	}
 	heap, err := stmalloc.New(tm, 8, tm.NumRegs(), opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +301,40 @@ func TestDifferentialDataStructures(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestDifferentialDataStructuresBatch is the differential suite on the
+// magazine reclamation path: frees park in thread-local magazines and
+// whole chains retire under one shared grace period, so register reuse
+// happens in bursts — every TM × fence mode on the batch axis must
+// still reproduce the serial oracle exactly, and the post-drain leak
+// accounting must balance with blocks resident in the alloc-side
+// cache.
+func TestDifferentialDataStructuresBatch(t *testing.T) {
+	seeds := int64(4)
+	opsPerSeed := 400
+	if testing.Short() {
+		seeds, opsPerSeed = 2, 150
+	}
+	specs := []string{
+		"tl2+quiesce+batch",
+		"tl2+combine+quiesce+batch",
+		"tl2+defer+quiesce+batch",
+		"norec+quiesce+batch",
+		"norec+defer+quiesce+batch",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				script := dsScript(seed*53, opsPerSeed)
+				want := runOracle(script)
+				got := runOnTM(t, spec, script)
+				if where, ok := diffOutcome(got, want); !ok {
+					t.Fatalf("seed %d: diverged from oracle at %s", seed, where)
+				}
+			}
+		})
 	}
 }
 

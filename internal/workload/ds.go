@@ -27,9 +27,13 @@ const (
 // dsAllocator builds the allocator selected by Params.Alloc over tm's
 // registers [dsArena, NumRegs): the stmds bump allocator ("", "bump"),
 // or the stmalloc reclaiming heap ("quiesce"). On quiesce the returned
-// heap is non-nil; reclaim latency lands in hist. Params.UnsafeFence
-// switches the heap to fully transactional reclamation (the fallback
-// for nofence/skipro TMs, whose FenceAsync gives no grace period).
+// heap is non-nil; reclaim latency lands in hist. Params.Reclaim =
+// "batch" adds the per-thread magazine layer (thread-local caches,
+// whole magazines retired under one shared grace period) for the
+// worker thread ids. Params.UnsafeFence switches the heap to fully
+// transactional reclamation (the fallback for nofence/skipro TMs,
+// whose FenceAsync gives no grace period) and disables magazines —
+// there is no grace period for a batch to amortize.
 func dsAllocator(tm core.TM, p Params, hist *Hist) (stmds.Allocator, *stmalloc.Heap, error) {
 	switch p.Alloc {
 	case "", "bump":
@@ -45,6 +49,15 @@ func dsAllocator(tm core.TM, p Params, hist *Hist) (stmds.Allocator, *stmalloc.H
 		opts := []stmalloc.Option{
 			stmalloc.WithShards(shards),
 			stmalloc.WithLatencyRecorder(hist),
+		}
+		switch p.Reclaim {
+		case "", "free":
+		case "batch":
+			if !p.UnsafeFence {
+				opts = append(opts, stmalloc.WithMagazines(p.Threads, 0))
+			}
+		default:
+			return nil, nil, fmt.Errorf("workload: unknown reclaim granularity %q (want free or batch)", p.Reclaim)
 		}
 		if p.UnsafeFence {
 			opts = append(opts, stmalloc.WithTransactionalFree())
@@ -70,6 +83,8 @@ func dsFinish(st *Stats, heap *stmalloc.Heap, alloc stmds.Allocator, hist *Hist)
 		hs := heap.Stats()
 		st.HeapRegs = hs.BumpRegs
 		st.Allocs, st.Frees = hs.Allocs, hs.Frees
+		st.MagCached = hs.MagAlloc + hs.MagFree
+		st.ReclaimBatches = hs.Batches
 		st.ReclaimLatency = hist
 		return nil
 	}

@@ -17,7 +17,7 @@ func TestSetChurnAllTMs(t *testing.T) {
 		ops = 150
 	}
 	for _, tmName := range engine.TMs() {
-		for _, alloc := range []string{"bump", "quiesce"} {
+		for _, alloc := range []string{"bump", "quiesce", "quiesce+batch"} {
 			spec := tmName + "+" + alloc
 			t.Run(spec, func(t *testing.T) {
 				st, err := engine.RunWorkload(spec, "set-churn",
@@ -31,13 +31,19 @@ func TestSetChurnAllTMs(t *testing.T) {
 				if st.HeapRegs <= 0 {
 					t.Fatalf("no footprint reported: %+v", st)
 				}
-				if alloc == "quiesce" {
+				if alloc != "bump" {
 					if st.Frees == 0 {
 						t.Fatalf("quiesce run reclaimed nothing: %+v", st)
 					}
 					if st.ReclaimLatency == nil || st.ReclaimLatency.Count() != st.Frees {
 						t.Fatalf("reclaim latency samples %v, frees %d",
 							st.ReclaimLatency.Count(), st.Frees)
+					}
+				}
+				if alloc == "quiesce+batch" {
+					if st.ReclaimBatches == 0 || st.ReclaimBatches >= st.Frees {
+						t.Fatalf("batch run shows no amortization: %d batches for %d frees",
+							st.ReclaimBatches, st.Frees)
 					}
 				}
 			})

@@ -37,6 +37,12 @@ type Params struct {
 	// remove), or "quiesce" (the stmalloc reclaiming heap).
 	// engine.RunWorkload fills it from the spec's allocator axis.
 	Alloc string
+	// Reclaim selects the quiesce allocator's reclamation granularity:
+	// "" or "free" (one grace-period registration per Free), or
+	// "batch" (the stmalloc magazine layer: per-thread caches, one
+	// shared grace period per full magazine). engine.RunWorkload fills
+	// it from the spec's reclaim axis; ignored on a bump allocator.
+	Reclaim string
 	// UnsafeFence tells a quiesce allocator that the TM's fence gives
 	// no grace-period guarantee (nofence/skipro specs): reclamation
 	// falls back to the fully transactional path.

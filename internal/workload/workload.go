@@ -67,6 +67,16 @@ type Stats struct {
 	// the live node count. Zero for workloads without a reclaiming
 	// allocator.
 	Allocs, Frees int64
+	// MagCached counts blocks resident in the allocator's per-thread
+	// magazines after the run settles (free, merely cached — the gap
+	// between HeapRegs and the live set a batch reclaim spec carries).
+	// Zero without the magazine layer.
+	MagCached int64
+	// ReclaimBatches counts batch retires: grace-period registrations
+	// that each covered a whole magazine of frees, so
+	// Frees/ReclaimBatches is the amortization the batch reclaim mode
+	// achieved. Zero without the magazine layer.
+	ReclaimBatches int64
 }
 
 // counter keeps per-thread tallies on separate cache lines so the
