@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"safepriv/internal/adapt"
 	"safepriv/internal/core"
 	"safepriv/internal/engine"
 	"safepriv/internal/hb"
@@ -24,6 +25,7 @@ import (
 	"safepriv/internal/spec"
 	"safepriv/internal/stmds"
 	"safepriv/internal/stmkv"
+	"safepriv/internal/telemetry"
 	"safepriv/internal/vclock"
 	"safepriv/internal/workload"
 )
@@ -522,66 +524,121 @@ func BenchmarkKVScanMode(b *testing.B) {
 	}
 }
 
+// benchProcs is the multi-core truth axis: every emitter measures each
+// configuration under these GOMAXPROCS settings, so the JSON shows how
+// the numbers move when goroutines actually run in parallel (or, on a
+// small host, how they degrade under timeslicing).
+var benchProcs = []int{1, 2, 4}
+
+// withProcs runs f under GOMAXPROCS=procs and restores the old value.
+func withProcs(procs int, f func()) {
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// benchWorkers is the worker count for the procs-swept emitters: at
+// least as many workers as the widest GOMAXPROCS setting, so shrinking
+// the procs axis changes real scheduling (timeslicing the same
+// workers) instead of leaving processors idle.
+func benchWorkers() int {
+	threads := kvBenchThreads()
+	if max := benchProcs[len(benchProcs)-1]; threads < max {
+		threads = max
+	}
+	return threads
+}
+
+// telemetrySnap reads tm's telemetry board (zero snapshot when the TM
+// carries none) — the emitters subtract a pre-run snapshot so warmup
+// traffic doesn't pollute the measured rates.
+func telemetrySnap(tm core.TM) telemetry.Snapshot {
+	if p, ok := tm.(telemetry.Provider); ok {
+		return p.TelemetryBoard().Snapshot()
+	}
+	return telemetry.Snapshot{}
+}
+
 // kvBenchRow is one BENCH_kv.json record.
 type kvBenchRow struct {
 	TM             string  `json:"tm"`
 	Shards         int     `json:"shards"`
 	Threads        int     `json:"threads"`
+	Procs          int     `json:"procs"`
 	Ops            int64   `json:"ops"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	Privatizations int64   `json:"privatizations"`
+	AbortRate      float64 `json:"abort_rate"`
+	PrivRate       float64 `json:"priv_rate"`
+	MagHitRate     float64 `json:"mag_hit_rate"`
 }
 
-// TestEmitKVBenchJSON measures the TM × shard sweep once and writes
-// BENCH_kv.json, so the performance trajectory is machine-readable in
-// every test run (short mode shrinks the op count, not the sweep).
+// TestEmitKVBenchJSON measures the TM × shard × procs sweep once and
+// writes BENCH_kv.json, so the performance trajectory is
+// machine-readable in every test run (short mode shrinks the op count,
+// not the sweep). Each row carries the telemetry-derived abort,
+// privatization and magazine-hit rates of its measured window.
 func TestEmitKVBenchJSON(t *testing.T) {
-	threads := kvBenchThreads()
-	ops := 4000
+	threads := benchWorkers()
+	ops := 2500
 	if testing.Short() {
-		ops = 800
+		ops = 500
 	}
 	var rows []kvBenchRow
-	for _, shards := range kvBenchShards {
-		for _, spec := range engine.TMs() {
-			tm := engine.MustNewSpec(spec, kvBenchRegs, threads+1, nil)
-			cfg := workload.KVConfig{Shards: shards, ScanEvery: 500}
-			// Warm up allocators and grow the tables off the clock.
-			if _, err := workload.KVStore(tm, threads, ops/4, cfg, 7); err != nil {
-				t.Fatal(err)
+	for _, procs := range benchProcs {
+		for _, shards := range kvBenchShards {
+			for _, spec := range engine.TMs() {
+				withProcs(procs, func() {
+					tm := engine.MustNewSpec(spec, kvBenchRegs, threads+1, nil)
+					cfg := workload.KVConfig{Shards: shards, ScanEvery: 500}
+					// Warm up allocators and grow the tables off the clock.
+					if _, err := workload.KVStore(tm, threads, ops/4, cfg, 7); err != nil {
+						t.Fatal(err)
+					}
+					var m1, m2 runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&m1)
+					pre := telemetrySnap(tm)
+					start := time.Now()
+					st, err := workload.KVStore(tm, threads, ops, cfg, 1)
+					if err != nil {
+						t.Fatalf("%s/shards-%d/procs-%d: %v", spec, shards, procs, err)
+					}
+					dur := time.Since(start)
+					runtime.ReadMemStats(&m2)
+					tel := st.Telemetry.Delta(pre)
+					total := int64(threads) * int64(ops)
+					rows = append(rows, kvBenchRow{
+						TM:             spec,
+						Shards:         shards,
+						Threads:        threads,
+						Procs:          procs,
+						Ops:            total,
+						NsPerOp:        float64(dur.Nanoseconds()) / float64(total),
+						OpsPerSec:      float64(total) / dur.Seconds(),
+						AllocsPerOp:    float64(m2.Mallocs-m1.Mallocs) / float64(total),
+						Privatizations: st.Fences,
+						AbortRate:      tel.AbortRate(),
+						PrivRate:       tel.PrivRate(),
+						MagHitRate:     tel.MagHitRate(),
+					})
+				})
 			}
-			var m1, m2 runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&m1)
-			start := time.Now()
-			st, err := workload.KVStore(tm, threads, ops, cfg, 1)
-			if err != nil {
-				t.Fatalf("%s/shards-%d: %v", spec, shards, err)
-			}
-			dur := time.Since(start)
-			runtime.ReadMemStats(&m2)
-			total := int64(threads) * int64(ops)
-			rows = append(rows, kvBenchRow{
-				TM:             spec,
-				Shards:         shards,
-				Threads:        threads,
-				Ops:            total,
-				NsPerOp:        float64(dur.Nanoseconds()) / float64(total),
-				OpsPerSec:      float64(total) / dur.Seconds(),
-				AllocsPerOp:    float64(m2.Mallocs-m1.Mallocs) / float64(total),
-				Privatizations: st.Fences,
-			})
 		}
 	}
-	// Deterministic row order (sorted TM×shard keys): successive bench
-	// commits diff only in the measured values, not in row positions.
+	// Deterministic row order (sorted TM×shard×procs keys): successive
+	// bench commits diff only in the measured values, not in row
+	// positions.
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].TM != rows[j].TM {
 			return rows[i].TM < rows[j].TM
 		}
-		return rows[i].Shards < rows[j].Shards
+		if rows[i].Shards != rows[j].Shards {
+			return rows[i].Shards < rows[j].Shards
+		}
+		return rows[i].Procs < rows[j].Procs
 	})
 	out, err := json.MarshalIndent(struct {
 		Workload string       `json:"workload"`
@@ -654,18 +711,42 @@ func BenchmarkFenceConcurrent(b *testing.B) {
 // fenceMaintain is the privatization-throughput shape: `goroutines`
 // maintainers concurrently Resize a 16-shard store (each Resize is one
 // privatize→fence→rehash→publish cycle per shard), cycles rounds each,
-// then drain. Returns the per-Resize-call latency histogram.
-func fenceMaintain(spec string, goroutines, cycles int) (*workload.Hist, int64, error) {
-	tm := engine.MustNewSpec(spec, stmkv.RegsNeeded(16, 64), goroutines+2, nil)
-	s, err := stmkv.New(tm, 16, 64)
+// then drain. On an adapt spec the internal/adapt controller runs for
+// the duration, retuning the fence mode from the measured
+// privatization rate. Returns the per-Resize-call latency histogram
+// and the run's telemetry delta.
+func fenceMaintain(spec string, goroutines, cycles int) (*workload.Hist, int64, telemetry.Snapshot, error) {
+	cfg, err := engine.Parse(spec)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, telemetry.Snapshot{}, err
+	}
+	regs := stmkv.RegsNeeded(16, 64)
+	var kvOpts []stmkv.Option
+	if cfg.Adaptive {
+		// The controller resizes table-heap magazines too; give the
+		// store the batch layer so that lever has something to move.
+		regs = stmkv.RegsNeededBatch(16, 64, goroutines)
+		kvOpts = append(kvOpts, stmkv.WithBatchReclaim(goroutines))
+	}
+	tm := engine.MustNewSpec(spec, regs, goroutines+2, nil)
+	s, err := stmkv.New(tm, 16, 64, kvOpts...)
+	if err != nil {
+		return nil, 0, telemetry.Snapshot{}, err
+	}
+	var ctl *adapt.Controller
+	if cfg.Adaptive {
+		if atm, ok := tm.(adapt.TM); ok {
+			ctl = adapt.New(atm)
+			ctl.AttachHeap(s.Heap(), goroutines+2)
+			ctl.Start()
+		}
 	}
 	for k := int64(1); k <= 200; k++ {
 		if err := s.Put(1, k, k); err != nil {
-			return nil, 0, err
+			return nil, 0, telemetry.Snapshot{}, err
 		}
 	}
+	pre := telemetrySnap(tm)
 	lat := new(workload.Hist)
 	var wg sync.WaitGroup
 	errs := make(chan error, goroutines)
@@ -685,13 +766,17 @@ func fenceMaintain(spec string, goroutines, cycles int) (*workload.Hist, int64, 
 	}
 	wg.Wait()
 	close(errs)
+	tel := telemetrySnap(tm).Delta(pre)
+	if ctl != nil {
+		ctl.Stop()
+	}
 	for err := range errs {
-		return nil, 0, err
+		return nil, 0, telemetry.Snapshot{}, err
 	}
 	if err := s.Drain(goroutines + 1); err != nil {
-		return nil, 0, err
+		return nil, 0, telemetry.Snapshot{}, err
 	}
-	return lat, s.Stats().Privatizations, nil
+	return lat, s.Stats().Privatizations, tel, nil
 }
 
 // BenchmarkFencePrivatizationThroughput runs the maintenance shape per
@@ -701,7 +786,7 @@ func BenchmarkFencePrivatizationThroughput(b *testing.B) {
 	for _, spec := range fenceBenchSpecs {
 		b.Run(spec, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := fenceMaintain(spec, 8, 10); err != nil {
+				if _, _, _, err := fenceMaintain(spec, 8, 10); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -716,19 +801,28 @@ type fenceBenchRow struct {
 	Fence          string  `json:"fence"`
 	Workload       string  `json:"workload"`
 	Goroutines     int     `json:"goroutines"`
+	Procs          int     `json:"procs"`
 	Ops            int64   `json:"ops"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	Privatizations int64   `json:"privatizations"`
 	PrivPerSec     float64 `json:"priv_per_sec"`
 	P50Ns          int64   `json:"p50_ns"`
 	P99Ns          int64   `json:"p99_ns"`
+	AbortRate      float64 `json:"abort_rate"`
+	PrivRate       float64 `json:"priv_rate"`
+	MagHitRate     float64 `json:"mag_hit_rate"`
 }
 
-// fenceOf splits an engine spec's fence mode for the JSON row.
+// fenceOf splits an engine spec's fence mode for the JSON row. An
+// adapt spec's fence column is "adapt": the mode is whatever the
+// controller last chose, not a fixed axis value.
 func fenceOf(spec string) (tm, fence string) {
 	cfg, err := engine.Parse(spec)
 	if err != nil {
 		return spec, "wait"
+	}
+	if cfg.Adaptive {
+		return cfg.TM, "adapt"
 	}
 	fence = cfg.Fence
 	if fence == "" {
@@ -740,58 +834,80 @@ func fenceOf(spec string) (tm, fence string) {
 // TestEmitFenceBenchJSON measures the fence-mode sweep once and writes
 // BENCH_fence.json: the privatization-heavy kv workloads (kv-maintain:
 // 8 goroutines resizing a 16-shard store; kv-scan: 8 workers with
-// frequent privatizing scans) across wait, combine and defer, with
-// privatization-latency quantiles. Row order is deterministic (sorted
-// workload, TM, fence keys).
+// frequent privatizing scans) across wait, combine, defer and the
+// adaptive controller, each under the benchProcs GOMAXPROCS axis, with
+// privatization-latency quantiles and telemetry-derived rates. Row
+// order is deterministic (sorted workload, TM, fence, procs keys).
 func TestEmitFenceBenchJSON(t *testing.T) {
 	const goroutines = 8
-	cycles, scanOps := 40, 2000
+	cycles, scanOps := 24, 1200
 	if testing.Short() {
-		cycles, scanOps = 10, 500
+		cycles, scanOps = 8, 400
 	}
+	specs := append(append([]string{}, fenceBenchSpecs...), "tl2+adapt")
 	var rows []fenceBenchRow
-	for _, spec := range fenceBenchSpecs {
-		base, fence := fenceOf(spec)
+	for _, procs := range benchProcs {
+		for _, spec := range specs {
+			withProcs(procs, func() {
+				base, fence := fenceOf(spec)
 
-		// kv-maintain: privatization is the workload.
-		start := time.Now()
-		lat, privs, err := fenceMaintain(spec, goroutines, cycles)
-		if err != nil {
-			t.Fatalf("%s kv-maintain: %v", spec, err)
-		}
-		dur := time.Since(start)
-		ops := int64(goroutines) * int64(cycles)
-		rows = append(rows, fenceBenchRow{
-			Spec: spec, TM: base, Fence: fence, Workload: "kv-maintain",
-			Goroutines: goroutines, Ops: ops,
-			OpsPerSec:      float64(ops) / dur.Seconds(),
-			Privatizations: privs,
-			PrivPerSec:     float64(privs) / dur.Seconds(),
-			P50Ns:          lat.Quantile(0.50).Nanoseconds(),
-			P99Ns:          lat.Quantile(0.99).Nanoseconds(),
-		})
+				// kv-maintain: privatization is the workload.
+				start := time.Now()
+				lat, privs, tel, err := fenceMaintain(spec, goroutines, cycles)
+				if err != nil {
+					t.Fatalf("%s kv-maintain procs-%d: %v", spec, procs, err)
+				}
+				dur := time.Since(start)
+				ops := int64(goroutines) * int64(cycles)
+				rows = append(rows, fenceBenchRow{
+					Spec: spec, TM: base, Fence: fence, Workload: "kv-maintain",
+					Goroutines: goroutines, Procs: procs, Ops: ops,
+					OpsPerSec:      float64(ops) / dur.Seconds(),
+					Privatizations: privs,
+					PrivPerSec:     float64(privs) / dur.Seconds(),
+					P50Ns:          lat.Quantile(0.50).Nanoseconds(),
+					P99Ns:          lat.Quantile(0.99).Nanoseconds(),
+					AbortRate:      tel.AbortRate(),
+					PrivRate:       tel.PrivRate(),
+					MagHitRate:     tel.MagHitRate(),
+				})
 
-		// kv-scan with a low privatization interval.
-		tm := engine.MustNewSpec(spec, workload.RegsFor("kv-scan", goroutines), goroutines+2, nil)
-		start = time.Now()
-		st, err := workload.KVStore(tm, goroutines, scanOps, workload.KVConfig{ScanEvery: 25}, 1)
-		if err != nil {
-			t.Fatalf("%s kv-scan: %v", spec, err)
+				// kv-scan with a low privatization interval.
+				cfg, err := engine.Parse(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tm := engine.MustNewSpec(spec, workload.RegsFor("kv-scan", goroutines), goroutines+2, nil)
+				kvCfg := workload.KVConfig{ScanEvery: 25, Adapt: cfg.Adaptive}
+				if cfg.Adaptive {
+					kvCfg.BatchThreads = goroutines
+				}
+				pre := telemetrySnap(tm)
+				start = time.Now()
+				st, err := workload.KVStore(tm, goroutines, scanOps, kvCfg, 1)
+				if err != nil {
+					t.Fatalf("%s kv-scan procs-%d: %v", spec, procs, err)
+				}
+				dur = time.Since(start)
+				tel = st.Telemetry.Delta(pre)
+				ops = int64(goroutines) * int64(scanOps)
+				row := fenceBenchRow{
+					Spec: spec, TM: base, Fence: fence, Workload: "kv-scan",
+					Goroutines: goroutines, Procs: procs, Ops: ops,
+					OpsPerSec:      float64(ops) / dur.Seconds(),
+					Privatizations: st.Fences,
+					PrivPerSec:     float64(st.Fences) / dur.Seconds(),
+					AbortRate:      tel.AbortRate(),
+					PrivRate:       tel.PrivRate(),
+					MagHitRate:     tel.MagHitRate(),
+				}
+				if st.PrivLatency != nil {
+					row.P50Ns = st.PrivLatency.Quantile(0.50).Nanoseconds()
+					row.P99Ns = st.PrivLatency.Quantile(0.99).Nanoseconds()
+				}
+				rows = append(rows, row)
+			})
 		}
-		dur = time.Since(start)
-		ops = int64(goroutines) * int64(scanOps)
-		row := fenceBenchRow{
-			Spec: spec, TM: base, Fence: fence, Workload: "kv-scan",
-			Goroutines: goroutines, Ops: ops,
-			OpsPerSec:      float64(ops) / dur.Seconds(),
-			Privatizations: st.Fences,
-			PrivPerSec:     float64(st.Fences) / dur.Seconds(),
-		}
-		if st.PrivLatency != nil {
-			row.P50Ns = st.PrivLatency.Quantile(0.50).Nanoseconds()
-			row.P99Ns = st.PrivLatency.Quantile(0.99).Nanoseconds()
-		}
-		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
@@ -801,20 +917,36 @@ func TestEmitFenceBenchJSON(t *testing.T) {
 		if a.TM != b.TM {
 			return a.TM < b.TM
 		}
-		return a.Fence < b.Fence
-	})
-	// Log the headline comparison: does a batched mode beat wait on the
-	// privatization-heavy shape?
-	perFence := map[string]float64{}
-	for _, r := range rows {
-		if r.Workload == "kv-maintain" && r.TM == "tl2" {
-			perFence[r.Fence] = r.PrivPerSec
+		if a.Fence != b.Fence {
+			return a.Fence < b.Fence
 		}
-	}
-	t.Logf("kv-maintain priv/sec: wait=%.0f combine=%.0f defer=%.0f",
-		perFence["wait"], perFence["combine"], perFence["defer"])
-	if perFence["combine"] <= perFence["wait"] && perFence["defer"] <= perFence["wait"] {
-		t.Logf("warning: neither combine nor defer beat wait on this host")
+		return a.Procs < b.Procs
+	})
+	// Log the headline comparisons per procs setting: does a batched
+	// mode beat wait on the privatization-heavy shape, and does the
+	// adaptive controller land within 5% of the best static mode?
+	for _, procs := range benchProcs {
+		perFence := map[string]float64{}
+		for _, r := range rows {
+			if r.Workload == "kv-maintain" && r.TM == "tl2" && r.Procs == procs {
+				perFence[r.Fence] = r.PrivPerSec
+			}
+		}
+		t.Logf("kv-maintain priv/sec procs=%d: wait=%.0f combine=%.0f defer=%.0f adapt=%.0f",
+			procs, perFence["wait"], perFence["combine"], perFence["defer"], perFence["adapt"])
+		if perFence["combine"] <= perFence["wait"] && perFence["defer"] <= perFence["wait"] {
+			t.Logf("warning: neither combine nor defer beat wait on this host (procs=%d)", procs)
+		}
+		best := perFence["wait"]
+		for _, mode := range []string{"combine", "defer"} {
+			if perFence[mode] > best {
+				best = perFence[mode]
+			}
+		}
+		if perFence["adapt"] < 0.95*best {
+			t.Logf("warning: tl2+adapt kv-maintain %.0f priv/sec is >5%% behind best static tl2 %.0f (procs=%d)",
+				perFence["adapt"], best, procs)
+		}
 	}
 	out, err := json.MarshalIndent(struct {
 		Workloads []string        `json:"workloads"`
@@ -882,6 +1014,7 @@ type dsBenchRow struct {
 	Reclaim        string  `json:"reclaim"`
 	Workload       string  `json:"workload"`
 	Threads        int     `json:"threads"`
+	Procs          int     `json:"procs"`
 	Ops            int64   `json:"ops"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
@@ -895,19 +1028,20 @@ type dsBenchRow struct {
 
 // TestEmitDSBenchJSON measures the set-churn sweep — every TM × the
 // bump/quiesce allocator axis, the per-free vs batch (magazine)
-// reclaim axis on TL2 and NOrec, plus the batched-fence quiesce
-// variants on TL2 — and writes BENCH_ds.json: ops/sec and the
+// reclaim axis on TL2 and NOrec, the batched-fence quiesce variants on
+// TL2, and the adaptive controller — each under the benchProcs
+// GOMAXPROCS axis, and writes BENCH_ds.json: ops/sec and the
 // steady-state register footprint per row. The quiesce rows prove the
 // reclamation story (frees keep up with allocs, footprint bounded);
 // the bump rows are the leaking contrast whose footprint scales with
 // the op count; the batch rows must show real amortization (fewer
 // grace-period registrations than frees). Row order is deterministic
-// (sorted tm, alloc, reclaim, fence keys).
+// (sorted tm, alloc, reclaim, fence, procs keys).
 func TestEmitDSBenchJSON(t *testing.T) {
-	threads := kvBenchThreads()
-	ops := 2500
+	threads := benchWorkers()
+	ops := 1200
 	if testing.Short() {
-		ops = 500
+		ops = 300
 	}
 	specs := make([]string, 0, 2*len(engine.TMs())+6)
 	for _, tmName := range engine.TMs() {
@@ -917,62 +1051,72 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		"tl2+combine+quiesce", "tl2+defer+quiesce",
 		// The per-free vs batch contrast on two TMs, plus the
 		// defer+batch combination (batched magazines over the batched
-		// reclaimer).
-		"tl2+quiesce+batch", "norec+quiesce+batch", "tl2+defer+quiesce+batch")
+		// reclaimer) and the adaptive controller over both levers.
+		"tl2+quiesce+batch", "norec+quiesce+batch", "tl2+defer+quiesce+batch",
+		"tl2+adapt")
 	var rows []dsBenchRow
 	batchTMs := map[string]bool{}
-	for _, spec := range specs {
-		cfg, err := engine.Parse(spec)
-		if err != nil {
-			t.Fatal(err)
+	for _, procs := range benchProcs {
+		for _, spec := range specs {
+			withProcs(procs, func() {
+				cfg, err := engine.Parse(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				alloc, fence, reclaim := cfg.Alloc, cfg.Fence, cfg.Reclaim
+				if cfg.Adaptive {
+					// Parse leaves the implied axes empty on an adapt spec;
+					// label them as normalize resolves them, with "adapt" as
+					// the fence (the controller owns that lever).
+					alloc, fence, reclaim = "quiesce", "adapt", "batch"
+				}
+				if fence == "" {
+					fence = "wait"
+				}
+				if reclaim == "" {
+					reclaim = "free"
+				}
+				start := time.Now()
+				st, err := engine.RunWorkload(spec, "set-churn",
+					workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: 128})
+				if err != nil {
+					t.Fatalf("%s procs-%d: %v", spec, procs, err)
+				}
+				dur := time.Since(start)
+				total := int64(threads) * int64(ops)
+				row := dsBenchRow{
+					Spec: spec, TM: cfg.TM, Alloc: alloc, Fence: fence, Reclaim: reclaim,
+					Workload: "set-churn", Threads: threads, Procs: procs, Ops: total,
+					NsPerOp:   float64(dur.Nanoseconds()) / float64(total),
+					OpsPerSec: float64(total) / dur.Seconds(),
+					HeapRegs:  st.HeapRegs,
+					Allocs:    st.Allocs, Frees: st.Frees,
+					ReclaimBatches: st.ReclaimBatches,
+				}
+				if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
+					row.ReclaimP50 = h.Quantile(0.50).Nanoseconds()
+					row.ReclaimP99 = h.Quantile(0.99).Nanoseconds()
+				}
+				if alloc == "quiesce" {
+					if st.Frees == 0 {
+						t.Fatalf("%s: quiesce run reclaimed nothing", spec)
+					}
+					// Boundedness: the reclaiming footprint must stay far below
+					// the bump footprint of the same traffic (~ops×threads regs).
+					if st.HeapRegs > total {
+						t.Fatalf("%s: quiesce footprint %d regs not bounded (total ops %d)", spec, st.HeapRegs, total)
+					}
+				}
+				if reclaim == "batch" {
+					if st.ReclaimBatches == 0 || st.ReclaimBatches >= st.Frees {
+						t.Fatalf("%s: batch run shows no amortization: %d batches for %d frees",
+							spec, st.ReclaimBatches, st.Frees)
+					}
+					batchTMs[cfg.TM] = true
+				}
+				rows = append(rows, row)
+			})
 		}
-		fence := cfg.Fence
-		if fence == "" {
-			fence = "wait"
-		}
-		reclaim := cfg.Reclaim
-		if reclaim == "" {
-			reclaim = "free"
-		}
-		start := time.Now()
-		st, err := engine.RunWorkload(spec, "set-churn",
-			workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: 128})
-		if err != nil {
-			t.Fatalf("%s: %v", spec, err)
-		}
-		dur := time.Since(start)
-		total := int64(threads) * int64(ops)
-		row := dsBenchRow{
-			Spec: spec, TM: cfg.TM, Alloc: cfg.Alloc, Fence: fence, Reclaim: reclaim,
-			Workload: "set-churn", Threads: threads, Ops: total,
-			NsPerOp:   float64(dur.Nanoseconds()) / float64(total),
-			OpsPerSec: float64(total) / dur.Seconds(),
-			HeapRegs:  st.HeapRegs,
-			Allocs:    st.Allocs, Frees: st.Frees,
-			ReclaimBatches: st.ReclaimBatches,
-		}
-		if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
-			row.ReclaimP50 = h.Quantile(0.50).Nanoseconds()
-			row.ReclaimP99 = h.Quantile(0.99).Nanoseconds()
-		}
-		if cfg.Alloc == "quiesce" {
-			if st.Frees == 0 {
-				t.Fatalf("%s: quiesce run reclaimed nothing", spec)
-			}
-			// Boundedness: the reclaiming footprint must stay far below
-			// the bump footprint of the same traffic (~ops×threads regs).
-			if st.HeapRegs > total {
-				t.Fatalf("%s: quiesce footprint %d regs not bounded (total ops %d)", spec, st.HeapRegs, total)
-			}
-		}
-		if reclaim == "batch" {
-			if st.ReclaimBatches == 0 || st.ReclaimBatches >= st.Frees {
-				t.Fatalf("%s: batch run shows no amortization: %d batches for %d frees",
-					spec, st.ReclaimBatches, st.Frees)
-			}
-			batchTMs[cfg.TM] = true
-		}
-		rows = append(rows, row)
 	}
 	// The batch emit must cover at least two TMs — CI's ds-reclaim
 	// smoke depends on these rows existing.
@@ -990,8 +1134,33 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		if a.Reclaim != b.Reclaim {
 			return a.Reclaim < b.Reclaim
 		}
-		return a.Fence < b.Fence
+		if a.Fence != b.Fence {
+			return a.Fence < b.Fence
+		}
+		return a.Procs < b.Procs
 	})
+	// The adaptive controller's set-churn throughput should track the
+	// best static tl2 quiesce configuration within 5% per procs setting
+	// (log-only: wall-clock comparisons are advisory on shared hosts).
+	for _, procs := range benchProcs {
+		var best, bestSpec, adaptive = 0.0, "", 0.0
+		for _, r := range rows {
+			if r.TM != "tl2" || r.Procs != procs || r.Alloc != "quiesce" {
+				continue
+			}
+			if r.Fence == "adapt" {
+				adaptive = r.OpsPerSec
+			} else if r.OpsPerSec > best {
+				best, bestSpec = r.OpsPerSec, r.Spec
+			}
+		}
+		t.Logf("set-churn ops/sec procs=%d: tl2+adapt=%.0f best-static=%.0f (%s)",
+			procs, adaptive, best, bestSpec)
+		if adaptive < 0.95*best {
+			t.Logf("warning: tl2+adapt set-churn %.0f ops/sec is >5%% behind best static tl2 %.0f (%s, procs=%d)",
+				adaptive, best, bestSpec, procs)
+		}
+	}
 	out, err := json.MarshalIndent(struct {
 		Workload string       `json:"workload"`
 		Results  []dsBenchRow `json:"results"`

@@ -21,6 +21,7 @@
 //	stress -tm tl2+quiesce -ds set -churn 256 -wops 50000
 //	stress -tm tl2 -fence defer -alloc quiesce -ds queue
 //	stress -tm tl2 -alloc quiesce -reclaim batch -ds set
+//	stress -tm tl2 -adapt -workload kvstore -procs 4
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
 //
@@ -35,12 +36,20 @@
 // actually paid for the run's frees, and the blocks left cached in the
 // per-thread magazines. KV workload reports include a p50/p99
 // privatization-latency line.
+//
+// -adapt appends the adapt modifier: the internal/adapt controller
+// retunes the fence mode and magazine capacity live from telemetry,
+// and the report gains an adapt summary line (final lever positions,
+// flip/resize counts, and the telemetry-derived abort, privatization
+// and magazine-hit rates). -procs pins GOMAXPROCS for the run — the
+// multi-core truth axis the bench emitters sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"safepriv/internal/engine"
@@ -84,6 +93,12 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 		fmt.Printf("magazines: %d frees in %d batch retires (%.1f frees/grace period), %d blocks still cached\n",
 			st.Frees, st.ReclaimBatches, float64(st.Frees)/float64(st.ReclaimBatches), st.MagCached)
 	}
+	if st.FinalFence != "" {
+		tel := st.Telemetry
+		fmt.Printf("adapt: fence=%s magcap=%d after %d flips/%d resizes; abort-rate=%.3f priv-rate=%.4f mag-hit-rate=%.3f\n",
+			st.FinalFence, st.FinalMagCap, st.AdaptFlips, st.AdaptResizes,
+			tel.AbortRate(), tel.PrivRate(), tel.MagHitRate())
+	}
 	return nil
 }
 
@@ -105,7 +120,13 @@ func main() {
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
 	privEvery := flag.Int("privevery", 0, "KV privatization cadence: scan every N ops (0 = workload default, <0 = never)")
+	procs := flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
+	adapt := flag.Bool("adapt", false, "append the adapt modifier to -tm: the runtime controller retunes fence mode and magazine capacity")
 	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	if *tmSpec == "list" {
 		for _, s := range engine.Specs() {
@@ -123,6 +144,9 @@ func main() {
 	}
 	if *reclaim != "" {
 		*tmSpec += "+" + *reclaim
+	}
+	if *adapt {
+		*tmSpec += "+adapt"
 	}
 	if *wl == "list" {
 		for _, s := range workload.Names() {

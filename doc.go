@@ -17,6 +17,12 @@
 //     — wait/combine/defer fence modes, the asynchronous fence
 //     (FenceAsync), its batched form (FenceAsyncBatch: N callbacks,
 //     one grace period) and the background reclaimer.
+//   - Adaptive layer: internal/telemetry cache-line-padded per-thread
+//     counter boards on every TM (commits, aborts, fences,
+//     privatizations, magazine traffic), and internal/adapt, the
+//     sampling controller behind the engine's adapt axis that retunes
+//     the fence mode and magazine capacity live from the measured
+//     abort, privatization and magazine-hit rates.
 //   - Heap layer: internal/stmalloc, the quiescence-based safe memory
 //     reclamation allocator (unlink transactionally, ride the fence,
 //     reuse), with the typed ErrOutOfSpace exhaustion contract and a
@@ -34,5 +40,6 @@
 // benchmarks. The benchmarks in bench_test.go regenerate the
 // quantitative experiments (E9, E13, E14 and the checker/model costs)
 // and emit the machine-readable sweeps BENCH_kv.json, BENCH_fence.json
-// and BENCH_ds.json.
+// and BENCH_ds.json, each swept across the GOMAXPROCS procs axis with
+// telemetry-derived rate columns.
 package safepriv

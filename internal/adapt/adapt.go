@@ -1,0 +1,299 @@
+// Package adapt is the runtime controller behind the engine's "adapt"
+// modifier: a sampling goroutine that reads the TM's telemetry board
+// (package telemetry) and retunes two levers while the workload runs —
+//
+//   - the fence mode: wait ↔ combine ↔ defer, via the TM's live
+//     SetFenceMode (quiesce.Service.SetMode drains the deferred queue
+//     before flipping, so a switch is always safe);
+//   - the magazine capacity of attached stmalloc heaps, via
+//     SetMagazineCapacity (flush-then-resize, also safe live).
+//
+// The policy works on snapshot deltas, so a phase change in the
+// workload shows up at the next sample regardless of history:
+//
+//   - privatization pressure (privatizing fences per commit) picks the
+//     fence mode. No pressure → wait (cheapest, no background thread
+//     churn). Moderate pressure → combine (concurrent fences coalesce
+//     onto shared grace periods). Heavy pressure, or moderate pressure
+//     with a high abort rate (grace periods are long when transactions
+//     keep retrying, so blocking on each is worst) → defer.
+//   - a low magazine hit rate with real allocator traffic doubles the
+//     magazine capacity (bounded by MaxMagCap): misses mean the
+//     per-thread caches are too shallow for the free/alloc burst size.
+//     Capacity never shrinks below the heap's configured start.
+//
+// Both levers apply hysteresis: a decision must repeat on consecutive
+// samples before the controller acts, so one noisy window cannot
+// thrash a drain-and-flip.
+package adapt
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safepriv/internal/quiesce"
+	"safepriv/internal/stmalloc"
+	"safepriv/internal/telemetry"
+)
+
+// TM is the controller's view of an adaptive engine: the telemetry it
+// reads and the fence lever it drives. Every TM in this repository
+// implements it.
+type TM interface {
+	TelemetryBoard() *telemetry.Board
+	SetFenceMode(quiesce.Mode)
+	FenceMode() quiesce.Mode
+}
+
+// Policy thresholds. Exported so harness tests can reference the same
+// constants the controller acts on.
+const (
+	// PrivCombine is the privatizing-fences-per-commit rate above which
+	// the controller prefers combine over wait.
+	PrivCombine = 0.002
+	// PrivDefer is the rate above which it prefers defer.
+	PrivDefer = 0.02
+	// AbortHot is the abort rate that escalates combine to defer: when
+	// most attempts abort, grace periods stretch and synchronous fences
+	// serialize the run.
+	AbortHot = 0.5
+	// MagLowWater is the magazine hit rate below which capacity doubles.
+	MagLowWater = 0.5
+	// MagMinTraffic is the minimum magazine events (hits+misses) in a
+	// window for the hit rate to be trusted.
+	MagMinTraffic = 32
+	// MaxMagCap bounds capacity growth: beyond this the per-thread
+	// caches hold back more blocks than the shard lists ever see.
+	MaxMagCap = 64
+	// settle is the number of consecutive agreeing samples before a
+	// lever moves.
+	settle = 2
+)
+
+// DefaultInterval is the sampling period when WithInterval is not
+// given: long enough that a window holds a meaningful delta, short
+// enough that the controller converges within a bench round.
+const DefaultInterval = 2 * time.Millisecond
+
+// Option mutates controller construction.
+type Option func(*Controller)
+
+// WithInterval sets the sampling period.
+func WithInterval(d time.Duration) Option {
+	return func(c *Controller) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// heapSlot pairs an attached heap with the thread id the controller
+// may run resize transactions on (an id no workload thread uses).
+type heapSlot struct {
+	h  *stmalloc.Heap
+	th int
+}
+
+// Controller samples a TM's telemetry and retunes it. Zero value is
+// unusable; construct with New.
+type Controller struct {
+	tm       TM
+	board    *telemetry.Board
+	interval time.Duration
+
+	mu    sync.Mutex // guards heaps and start/stop transitions
+	heaps []heapSlot
+	stop  chan struct{}
+	done  chan struct{}
+
+	// Decision state, sampler-goroutine-only between Start and Stop.
+	prev      telemetry.Snapshot
+	wantMode  quiesce.Mode
+	modeRuns  int
+	growRuns  int
+	flips     atomic.Int64
+	resizes   atomic.Int64
+	lastPriv  atomic.Uint64 // float64 bits: last window's priv rate
+	lastAbort atomic.Uint64
+	lastHit   atomic.Uint64
+}
+
+// Report is the controller's exit summary, folded into workload stats
+// and the bench emitters' adapt columns.
+type Report struct {
+	// Flips is the number of fence-mode switches performed.
+	Flips int64
+	// Resizes is the number of magazine-capacity changes performed.
+	Resizes int64
+	// Mode is the fence mode at Stop.
+	Mode quiesce.Mode
+	// MagCap is the first attached heap's magazine capacity at Stop
+	// (0 when no heap was attached).
+	MagCap int
+	// AbortRate, PrivRate and MagHitRate are the last sampling window's
+	// telemetry-derived rates.
+	AbortRate, PrivRate, MagHitRate float64
+}
+
+// New builds a controller over tm. It does not start sampling; call
+// Start (and Stop when the workload drains).
+func New(tm TM, opts ...Option) *Controller {
+	c := &Controller{tm: tm, board: tm.TelemetryBoard(), interval: DefaultInterval}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// AttachHeap registers a magazine heap for capacity retuning. th is
+// the thread id the controller's resize transactions run on — it must
+// not be used concurrently by any workload thread. Heaps without a
+// magazine layer are ignored. Safe before Start or while running.
+func (c *Controller) AttachHeap(h *stmalloc.Heap, th int) {
+	if h == nil {
+		return
+	}
+	if threads, _ := h.Magazines(); threads == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heaps = append(c.heaps, heapSlot{h, th})
+}
+
+// Start launches the sampling goroutine. Idempotent while running.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.prev = c.board.Snapshot()
+	c.wantMode = c.tm.FenceMode()
+	c.modeRuns, c.growRuns = 0, 0
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.stop, c.done)
+}
+
+// Stop halts sampling, waits for the goroutine to exit, and returns
+// the exit report. Stopping a never-started controller returns a
+// report of the TM's current state.
+func (c *Controller) Stop() Report {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	r := Report{
+		Flips:      c.flips.Load(),
+		Resizes:    c.resizes.Load(),
+		Mode:       c.tm.FenceMode(),
+		AbortRate:  floatFromBits(c.lastAbort.Load()),
+		PrivRate:   floatFromBits(c.lastPriv.Load()),
+		MagHitRate: floatFromBits(c.lastHit.Load()),
+	}
+	c.mu.Lock()
+	if len(c.heaps) > 0 {
+		_, r.MagCap = c.heaps[0].h.Magazines()
+	}
+	c.mu.Unlock()
+	return r
+}
+
+// run is the sampling loop.
+func (c *Controller) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.sample()
+		}
+	}
+}
+
+// sample takes one telemetry delta and applies the policy.
+func (c *Controller) sample() {
+	now := c.board.Snapshot()
+	d := now.Delta(c.prev)
+	c.prev = now
+	if d.Commits+d.Aborts == 0 {
+		// Idle window: nothing to learn, keep levers still.
+		return
+	}
+	abort, priv, hit := d.AbortRate(), d.PrivRate(), d.MagHitRate()
+	c.lastAbort.Store(floatBits(abort))
+	c.lastPriv.Store(floatBits(priv))
+	c.lastHit.Store(floatBits(hit))
+
+	// Fence lever. Desire is computed fresh each window; acting needs
+	// `settle` consecutive windows desiring the same non-current mode.
+	want := DesiredMode(abort, priv)
+	if want != c.wantMode {
+		c.wantMode, c.modeRuns = want, 0
+	}
+	c.modeRuns++
+	if c.modeRuns >= settle && c.tm.FenceMode() != want {
+		c.tm.SetFenceMode(want) // drains deferred work, then flips
+		c.flips.Add(1)
+	}
+
+	// Magazine lever: grow-only doubling on sustained low hit rate.
+	if d.MagHits+d.MagMisses >= MagMinTraffic && hit < MagLowWater {
+		c.growRuns++
+	} else {
+		c.growRuns = 0
+	}
+	if c.growRuns >= settle {
+		c.growRuns = 0
+		c.growMagazines()
+	}
+}
+
+// DesiredMode is the fence-mode policy on one window's rates, exported
+// so tests can assert the controller's decisions without timing.
+func DesiredMode(abortRate, privRate float64) quiesce.Mode {
+	switch {
+	case privRate >= PrivDefer:
+		return quiesce.Defer
+	case privRate >= PrivCombine:
+		if abortRate >= AbortHot {
+			return quiesce.Defer
+		}
+		return quiesce.Combine
+	default:
+		return quiesce.Wait
+	}
+}
+
+// growMagazines doubles every attached heap's capacity (bounded).
+func (c *Controller) growMagazines() {
+	c.mu.Lock()
+	heaps := make([]heapSlot, len(c.heaps))
+	copy(heaps, c.heaps)
+	c.mu.Unlock()
+	for _, hs := range heaps {
+		_, cur := hs.h.Magazines()
+		next := cur * 2
+		if next > MaxMagCap {
+			next = MaxMagCap
+		}
+		if next <= cur {
+			continue
+		}
+		hs.h.SetMagazineCapacity(hs.th, next)
+		c.resizes.Add(1)
+	}
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -31,6 +31,7 @@ import (
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 	"safepriv/internal/stripe"
+	"safepriv/internal/telemetry"
 )
 
 // Option mutates TM construction.
@@ -55,6 +56,7 @@ func WithSink(s record.Sink) Option { return func(c *config) { c.sink = s } }
 type TM struct {
 	table   *stripe.Table
 	qs      *quiesce.Service
+	board   *telemetry.Board
 	sink    record.Sink
 	threads []slot
 }
@@ -79,6 +81,8 @@ func New(regs, threads int, opts ...Option) *TM {
 		sink:    cfg.sink,
 		threads: make([]slot, reclaim+1),
 	}
+	tm.board = telemetry.NewBoard(reclaim)
+	tm.qs.SetBoard(tm.board)
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
 		tm.threads[t].tx.thread = t
@@ -152,6 +156,17 @@ func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) { tm.qs.DeferB
 
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
+
+// TelemetryBoard implements telemetry.Provider: the per-thread counter
+// board core.Atomically and the quiescence service record into.
+func (tm *TM) TelemetryBoard() *telemetry.Board { return tm.board }
+
+// SetFenceMode switches the quiescence service's fence mode live (the
+// adaptive controller's lever); see quiesce.Service.SetMode.
+func (tm *TM) SetFenceMode(m quiesce.Mode) { tm.qs.SetMode(m) }
+
+// FenceMode returns the quiescence service's current fence mode.
+func (tm *TM) FenceMode() quiesce.Mode { return tm.qs.Mode() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {

@@ -18,6 +18,7 @@ import (
 	"safepriv/internal/core"
 	"safepriv/internal/quiesce"
 	"safepriv/internal/record"
+	"safepriv/internal/telemetry"
 )
 
 // Option mutates TM construction.
@@ -32,11 +33,12 @@ func WithFenceMode(m quiesce.Mode) Option { return func(c *config) { c.mode = m 
 
 // TM is a global-lock transactional memory implementing core.TM.
 type TM struct {
-	mu   sync.Mutex
-	regs []int64
-	qs   *quiesce.Service
-	sink record.Sink
-	txns []txn
+	mu    sync.Mutex
+	regs  []int64
+	qs    *quiesce.Service
+	board *telemetry.Board
+	sink  record.Sink
+	txns  []txn
 }
 
 // New returns a global-lock TM with regs registers and thread ids
@@ -54,6 +56,8 @@ func New(regs, threads int, sink record.Sink, opts ...Option) *TM {
 		//lint:ignore SA2001 empty critical section is the grace period
 		tm.mu.Unlock()
 	}, cfg.mode, reclaim)
+	tm.board = telemetry.NewBoard(reclaim)
+	tm.qs.SetBoard(tm.board)
 	for t := range tm.txns {
 		tm.txns[t].tm = tm
 		tm.txns[t].thread = t
@@ -99,6 +103,17 @@ func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) { tm.qs.DeferB
 
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
+
+// TelemetryBoard implements telemetry.Provider: the per-thread counter
+// board core.Atomically and the quiescence service record into.
+func (tm *TM) TelemetryBoard() *telemetry.Board { return tm.board }
+
+// SetFenceMode switches the quiescence service's fence mode live (the
+// adaptive controller's lever); see quiesce.Service.SetMode.
+func (tm *TM) SetFenceMode(m quiesce.Mode) { tm.qs.SetMode(m) }
+
+// FenceMode returns the quiescence service's current fence mode.
+func (tm *TM) FenceMode() quiesce.Mode { return tm.qs.Mode() }
 
 // Load implements core.TM.
 func (tm *TM) Load(thread, x int) int64 {

@@ -16,7 +16,12 @@
 // such as TL2 is strongly atomic.
 package core
 
-import "errors"
+import (
+	"errors"
+	"time"
+
+	"safepriv/internal/telemetry"
+)
 
 // ErrAborted is returned by transactional operations when the TM aborts
 // the transaction. After ErrAborted the transaction is finished; the
@@ -108,19 +113,86 @@ const MaxAttempts = 1_000_000
 // commit after MaxAttempts attempts.
 var ErrContention = errors.New("stm: transaction did not commit after MaxAttempts attempts")
 
+// Contention backoff: after backoffAfter consecutive aborted attempts
+// Atomically stops retrying immediately and sleeps an exponentially
+// growing, jittered, capped delay between attempts. Immediate retry is
+// optimal for one-off validation failures, but under sustained
+// write-write contention it turns the retry loop into a coherence
+// storm where every thread invalidates the others' lines; backing off
+// desynchronizes the herd (the classic CSMA/CD remedy).
+const (
+	// backoffAfter is how many aborted attempts are retried immediately
+	// before backoff engages — transient conflicts stay latency-free.
+	backoffAfter = 3
+	// backoffBase is the first (pre-jitter) backoff delay.
+	backoffBase = time.Microsecond
+	// BackoffCap is the hard ceiling on any single backoff delay,
+	// jitter included.
+	BackoffCap = 100 * time.Microsecond
+)
+
+// BackoffDelay returns the delay Atomically sleeps before retry number
+// `attempt` (0-based) on `thread`: zero for the first backoffAfter
+// attempts, then exponential doubling from backoffBase with
+// deterministic per-(thread,attempt) jitter, clamped to BackoffCap.
+// Deterministic and side-effect free so the policy is table-testable.
+func BackoffDelay(thread, attempt int) time.Duration {
+	if attempt < backoffAfter {
+		return 0
+	}
+	exp := attempt - backoffAfter
+	if exp > 20 {
+		exp = 20 // avoid shifting past the cap (and past 63 bits)
+	}
+	d := backoffBase << uint(exp)
+	if d > BackoffCap {
+		d = BackoffCap
+	}
+	// Jitter in [0, d/2], hashed from (thread, attempt) so threads that
+	// abort in lockstep re-arrive spread out, yet every delay is
+	// reproducible for tests.
+	h := uint64(thread+1)*0x9E3779B97F4A7C15 ^ uint64(attempt+1)*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	d += time.Duration(h % uint64(d/2+1))
+	if d > BackoffCap {
+		d = BackoffCap
+	}
+	return d
+}
+
 // Atomically runs body as a transaction in the given thread, retrying
 // on TM-initiated aborts, and returns the first non-abort error from
 // the body (after aborting the transaction) or nil once a run of the
 // body commits. It is the `l := atomic { C }` construct with the
 // conventional retry-on-abort policy; the final commit/abort verdict of
 // each attempt is what the paper's atomic block returns in l.
+//
+// Repeated aborts trigger the capped exponential backoff above. When
+// the TM carries a telemetry board (telemetry.Provider), commits,
+// aborts and backoff time are recorded into the calling thread's slot.
 func Atomically(tm TM, thread int, body func(Txn) error) error {
+	var slot *telemetry.Slot
+	if p, ok := tm.(telemetry.Provider); ok {
+		slot = p.TelemetryBoard().Slot(thread)
+	}
 	for attempt := 0; attempt < MaxAttempts; attempt++ {
+		if d := BackoffDelay(thread, attempt); d > 0 {
+			time.Sleep(d)
+			if slot != nil {
+				slot.BackoffNs.Add(int64(d))
+			}
+		}
 		tx := tm.Begin(thread)
 		err := body(tx)
 		switch {
 		case err == nil:
 			if cerr := tx.Commit(); cerr == nil {
+				if slot != nil {
+					slot.Commits.Add(1)
+					if attempt > 0 {
+						slot.Aborts.Add(int64(attempt))
+					}
+				}
 				return nil
 			}
 			// TM abort at commit: retry.
@@ -130,6 +202,9 @@ func Atomically(tm TM, thread int, body func(Txn) error) error {
 			tx.Abort()
 			return err
 		}
+	}
+	if slot != nil {
+		slot.Aborts.Add(MaxAttempts)
 	}
 	return ErrContention
 }

@@ -3,6 +3,7 @@ package core_test
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"safepriv/internal/baseline"
 	"safepriv/internal/core"
@@ -96,5 +97,48 @@ func TestNumRegs(t *testing.T) {
 		if tm.NumRegs() != 7 {
 			t.Errorf("%s: NumRegs = %d", name, tm.NumRegs())
 		}
+	}
+}
+
+// TestBackoffDelayCap is the backoff policy table test: no delay for
+// the first attempts, growth after the threshold, and a hard cap no
+// (thread, attempt) pair may exceed.
+func TestBackoffDelayCap(t *testing.T) {
+	cases := []struct {
+		attempt  int
+		wantZero bool
+	}{
+		{0, true}, {1, true}, {2, true}, // immediate retries
+		{3, false}, {4, false}, // backoff engages
+		{10, false}, {20, false},
+		{63, false}, {1000, false}, {core.MaxAttempts - 1, false},
+	}
+	for _, tc := range cases {
+		for thread := 1; thread <= 16; thread++ {
+			d := core.BackoffDelay(thread, tc.attempt)
+			if tc.wantZero && d != 0 {
+				t.Errorf("thread %d attempt %d: delay %v, want 0", thread, tc.attempt, d)
+			}
+			if !tc.wantZero && d <= 0 {
+				t.Errorf("thread %d attempt %d: delay %v, want > 0", thread, tc.attempt, d)
+			}
+			if d > core.BackoffCap {
+				t.Errorf("thread %d attempt %d: delay %v exceeds cap %v",
+					thread, tc.attempt, d, core.BackoffCap)
+			}
+			if d2 := core.BackoffDelay(thread, tc.attempt); d2 != d {
+				t.Errorf("thread %d attempt %d: nondeterministic delay %v vs %v",
+					thread, tc.attempt, d, d2)
+			}
+		}
+	}
+	// Jitter must actually spread threads: at a backoff attempt, not
+	// every thread may land on the same delay.
+	seen := map[time.Duration]bool{}
+	for thread := 1; thread <= 16; thread++ {
+		seen[core.BackoffDelay(thread, 6)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("no per-thread jitter: all 16 threads got the same delay")
 	}
 }

@@ -332,3 +332,68 @@ func TestReclaimAxisFlow(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptAxisFlow: the adapt modifier parses, round-trips, owns the
+// fence and reclaim axes (explicit modifiers conflict in either
+// order), normalizes to a wait-fence batch-reclaim quiesce config, and
+// flows through RunWorkload — an adaptive run carries the controller
+// report and the telemetry snapshot in its stats.
+func TestAdaptAxisFlow(t *testing.T) {
+	cfg, err := Parse("tl2+adapt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Adaptive {
+		t.Fatal("adapt modifier did not set Adaptive")
+	}
+	if got := cfg.Spec(); got != "tl2+adapt" {
+		t.Fatalf("Spec() = %q, want round-trip", got)
+	}
+	cfg.Regs, cfg.Threads = 8, 3
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fence != "wait" || cfg.Alloc != "quiesce" || cfg.Reclaim != "batch" {
+		t.Fatalf("normalized fence=%q alloc=%q reclaim=%q, want wait/quiesce/batch",
+			cfg.Fence, cfg.Alloc, cfg.Reclaim)
+	}
+	if got := cfg.Spec(); got != "tl2+adapt" {
+		t.Fatalf("normalized Spec() = %q, want tl2+adapt (implied axes not re-emitted)", got)
+	}
+	for _, bad := range []string{
+		"tl2+adapt+defer", "tl2+defer+adapt", "tl2+adapt+combine",
+		"tl2+adapt+batch", "tl2+batch+adapt", "tl2+adapt+free",
+		"tl2+adapt+nofence", "tl2+adapt+adapt",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted a conflicting spec", bad)
+		}
+	}
+	if _, err := Parse("tl2+adapt+quiesce"); err != nil {
+		t.Fatalf("adapt+quiesce (explicit implied allocator): %v", err)
+	}
+	if _, err := New(Config{TM: "tl2", Regs: 8, Threads: 2, Adaptive: true, Alloc: "bump"}); err == nil {
+		t.Fatal("adapt over an explicit bump allocator must be rejected")
+	}
+	for _, spec := range []string{"tl2+adapt", "norec+adapt"} {
+		st, err := RunWorkload(spec, "kvstore",
+			workload.Params{Threads: 3, Ops: 300, Seed: 1, PrivatizeEvery: 50})
+		if err != nil {
+			t.Fatalf("%s kvstore: %v", spec, err)
+		}
+		if st.Telemetry.Commits == 0 {
+			t.Fatalf("%s: telemetry snapshot empty: %+v", spec, st.Telemetry)
+		}
+		if st.FinalFence == "" {
+			t.Fatalf("%s: adaptive run reported no final fence mode", spec)
+		}
+		st, err = RunWorkload(spec, "set-churn",
+			workload.Params{Threads: 2, Ops: 200, Seed: 1, LiveSet: 16})
+		if err != nil {
+			t.Fatalf("%s set-churn: %v", spec, err)
+		}
+		if st.Frees == 0 || st.ReclaimBatches == 0 {
+			t.Fatalf("%s set-churn: adaptive run did not reclaim through magazines: %+v", spec, st)
+		}
+	}
+}

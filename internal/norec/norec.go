@@ -34,6 +34,7 @@ import (
 	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
+	"safepriv/internal/telemetry"
 )
 
 // Option mutates NOrec construction.
@@ -59,6 +60,7 @@ type TM struct {
 	_       [56]byte
 	regs    []atomic.Int64
 	qs      *quiesce.Service
+	board   *telemetry.Board
 	sink    record.Sink
 	threads []slot
 }
@@ -89,6 +91,8 @@ func New(regs, threads int, sink record.Sink, opts ...Option) *TM {
 		q = rcu.NewFlags(reclaim)
 	}
 	tm.qs = quiesce.New(q, o.mode, reclaim)
+	tm.board = telemetry.NewBoard(reclaim)
+	tm.qs.SetBoard(tm.board)
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
 		tm.threads[t].tx.thread = t
@@ -139,6 +143,17 @@ func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) { tm.qs.DeferB
 
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
+
+// TelemetryBoard implements telemetry.Provider: the per-thread counter
+// board core.Atomically and the quiescence service record into.
+func (tm *TM) TelemetryBoard() *telemetry.Board { return tm.board }
+
+// SetFenceMode switches the quiescence service's fence mode live (the
+// adaptive controller's lever); see quiesce.Service.SetMode.
+func (tm *TM) SetFenceMode(m quiesce.Mode) { tm.qs.SetMode(m) }
+
+// FenceMode returns the quiescence service's current fence mode.
+func (tm *TM) FenceMode() quiesce.Mode { return tm.qs.Mode() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {

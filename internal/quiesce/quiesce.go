@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"safepriv/internal/rcu"
+	"safepriv/internal/telemetry"
 )
 
 // Mode selects how Fence waits out the grace period.
@@ -110,7 +111,17 @@ type Service struct {
 	q    rcu.Quiescer
 	snap rcu.Snapshotter // non-nil when q supports the split API
 	gp   func()          // fallback blocking grace period
-	mode Mode
+
+	// mode is read unlocked on every fence-path call and flipped live
+	// by SetMode, so it is atomic; smu serializes transitions.
+	mode atomic.Int32
+	smu  sync.Mutex
+
+	// board, when set, receives fence/fence-wait/batch telemetry.
+	// Fences record into the board's shared slot 0: the fence is the
+	// slow path by construction, so one padded shared slot costs
+	// nothing measurable and keeps the hot Fence signature thread-free.
+	board *telemetry.Board
 
 	// reclaimThread is the thread id deferred callbacks run under.
 	reclaimThread int
@@ -138,10 +149,20 @@ type Service struct {
 	// waitPool recycles snapshot buffers across wait-mode fences.
 	waitPool sync.Pool
 
-	fences       atomic.Uint64
-	gracePeriods atomic.Uint64
-	deferredCnt  atomic.Uint64
-	batches      atomic.Uint64
+	// Traffic counters, each on its own cache line: Fence and Defer are
+	// called from different threads concurrently, and four adjacent
+	// atomics would put every bump on one ping-ponging line.
+	fences       padCounter
+	gracePeriods padCounter
+	deferredCnt  padCounter
+	batches      padCounter
+}
+
+// padCounter is an atomic counter padded out to a full cache line so
+// independent counters bumped by different threads never false-share.
+type padCounter struct {
+	atomic.Uint64
+	_ [56]byte
 }
 
 // deferred is one queued callback (fn nil = fence sentinel).
@@ -153,7 +174,8 @@ type deferred struct {
 // reserved thread id handed to deferred callbacks; it must be valid on
 // the owning TM and used by nothing else.
 func New(q rcu.Quiescer, mode Mode, reclaimThread int) *Service {
-	s := &Service{q: q, mode: mode, reclaimThread: reclaimThread}
+	s := &Service{q: q, reclaimThread: reclaimThread}
+	s.mode.Store(int32(mode))
 	if sn, ok := q.(rcu.Snapshotter); ok {
 		s.snap = sn
 	}
@@ -168,14 +190,42 @@ func New(q rcu.Quiescer, mode Mode, reclaimThread int) *Service {
 // baseline's fence is "acquire and release the lock"). Enter, Exit,
 // Active and FenceFiltered must not be used on a NewFunc service.
 func NewFunc(wait func(), mode Mode, reclaimThread int) *Service {
-	s := &Service{gp: wait, mode: mode, reclaimThread: reclaimThread}
+	s := &Service{gp: wait, reclaimThread: reclaimThread}
+	s.mode.Store(int32(mode))
 	s.ccond = sync.NewCond(&s.cmu)
 	s.dcond = sync.NewCond(&s.dmu)
 	return s
 }
 
-// Mode returns the service's fence mode.
-func (s *Service) Mode() Mode { return s.mode }
+// Mode returns the service's current fence mode.
+func (s *Service) Mode() Mode { return Mode(s.mode.Load()) }
+
+// SetMode switches the fence mode live — the adaptive controller's
+// lever. The transition is safe at any time: the new mode takes effect
+// for subsequent Fence/Defer calls, and before SetMode returns it
+// drains every callback already registered with the deferred queue, so
+// after a flip out of Defer no stale callback lingers behind the
+// caller's back (calls racing the flip may still complete through the
+// background reclaimer, which runs until its queue empties regardless
+// of the current mode). Must not be called from a deferred callback.
+func (s *Service) SetMode(m Mode) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if Mode(s.mode.Load()) == m {
+		return
+	}
+	s.mode.Store(int32(m))
+	s.dmu.Lock()
+	for s.executed < s.enqueued {
+		s.dcond.Wait()
+	}
+	s.dmu.Unlock()
+}
+
+// SetBoard attaches a telemetry board; fence counts, fence-wait time
+// and reclaimer batches are recorded into its shared slot. Call before
+// the service sees traffic.
+func (s *Service) SetBoard(b *telemetry.Board) { s.board = b }
 
 // ReclaimThread returns the reserved thread id deferred callbacks run
 // under.
@@ -238,7 +288,12 @@ func (s *Service) awaitQuiesced(g rcu.Gen) {
 // transaction or from a deferred callback.
 func (s *Service) Fence() {
 	s.fences.Add(1)
-	switch s.mode {
+	sl := s.board.Slot(0)
+	var start time.Time
+	if sl != nil {
+		start = time.Now()
+	}
+	switch s.Mode() {
 	case Combine:
 		s.combinedWait()
 	case Defer:
@@ -252,6 +307,10 @@ func (s *Service) Fence() {
 		}
 		s.grace(g)
 		s.waitPool.Put(g)
+	}
+	if sl != nil {
+		sl.Fences.Add(1)
+		sl.FenceWaitNs.Add(time.Since(start).Nanoseconds())
 	}
 }
 
@@ -304,7 +363,7 @@ func (s *Service) combinedWait() {
 // returning. fn must not call Fence, Defer or Barrier on this service.
 func (s *Service) Defer(thread int, fn func(thread int)) {
 	s.deferredCnt.Add(1)
-	if s.mode != Defer {
+	if s.Mode() != Defer {
 		s.Fence()
 		fn(thread)
 		return
@@ -329,7 +388,7 @@ func (s *Service) DeferBatch(thread int, fns []func(thread int)) {
 		return
 	}
 	s.deferredCnt.Add(uint64(len(fns)))
-	if s.mode != Defer {
+	if s.Mode() != Defer {
 		s.Fence()
 		for _, fn := range fns {
 			fn(thread)
@@ -376,12 +435,13 @@ func (b *Batch) Flush(thread int) {
 }
 
 // Barrier blocks until every callback registered by Defer before the
-// call has run. In Wait and Combine modes callbacks ran inline and
-// Barrier returns immediately.
+// call has run. It waits on the queue counters regardless of the
+// current mode: in Wait and Combine modes nothing is ever queued so
+// the counters already match and it returns immediately, but after a
+// live SetMode flip out of Defer there may still be queued callbacks
+// mid-flight through the reclaimer, and a mode test would wrongly skip
+// them.
 func (s *Service) Barrier() {
-	if s.mode != Defer {
-		return
-	}
 	s.dmu.Lock()
 	target := s.enqueued
 	for s.executed < target {
@@ -424,6 +484,9 @@ func (s *Service) reclaim() {
 		s.pending = nil
 		s.dmu.Unlock()
 		s.batches.Add(1)
+		if sl := s.board.Slot(0); sl != nil {
+			sl.ReclaimBatches.Add(1)
+		}
 		s.grace(&s.reclaimBuf)
 		for _, d := range batch {
 			if d.fn != nil {

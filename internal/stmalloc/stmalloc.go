@@ -93,6 +93,7 @@ import (
 	"time"
 
 	"safepriv/internal/core"
+	"safepriv/internal/telemetry"
 )
 
 // ErrOutOfSpace is returned by New when no shard can serve the request
@@ -115,8 +116,17 @@ const (
 	offAllocs = 1
 	offFrees  = 2
 	offLists  = 3
-	shardHdr  = offLists + numClasses
+	// shardHdr rounds the 15 live header registers up to 16 so
+	// consecutive shard headers are 128 bytes apart in the dense
+	// register array (8B per register): two shards' hot counters never
+	// share a cache line. Part of the false-sharing audit; the stripe
+	// and rcu slots were already padded.
+	shardHdr = 16
 )
+
+// shardHdrLive is the number of registers a shard header actually
+// uses; the rest of shardHdr is cache-line padding.
+const shardHdrLive = offLists + numClasses
 
 // HeaderRegs returns the header size of a heap with the given shard
 // count; the usable arena is everything after it (and after the
@@ -137,8 +147,18 @@ const (
 	magFreeHead  = 2
 	magFreeCnt   = 3
 	magClassRegs = 4
-	magHdrRegs   = magClassBase + numClasses*magClassRegs
+	// magHdrRegs rounds the 50 live registers (2 counters + 12
+	// classes × 4) up to 56 — a whole number of cache lines (448B) —
+	// so adjacent threads' magazine headers never share a line. The
+	// per-thread accounting counters are the hottest registers in a
+	// batch-reclaim run; without the pad thread t's counters sat on
+	// the same line as thread t+1's first class slots.
+	magHdrRegs = 56
 )
+
+// magHdrLive is the number of registers a magazine header actually
+// uses; the rest of magHdrRegs is cache-line padding.
+const magHdrLive = magClassBase + numClasses*magClassRegs
 
 // defaultMagCap is the default magazine capacity (blocks per class per
 // side) when WithMagazines is given capacity <= 0.
@@ -209,7 +229,10 @@ func WithLatencyRecorder(r LatencyRecorder) Option { return func(h *Heap) { h.re
 // path. Incompatible with WithTransactionalFree, whose whole point is
 // to never ride the fence the batch retire amortizes.
 func WithMagazines(threads, capacity int) Option {
-	return func(h *Heap) { h.magThreads, h.magCap = threads, capacity }
+	return func(h *Heap) {
+		h.magThreads = threads
+		h.magCap.Store(int64(capacity))
+	}
 }
 
 // ShardStats is one shard's traffic snapshot.
@@ -261,16 +284,45 @@ type Heap struct {
 	shards     int
 	txnFree    bool
 	magThreads int // 0 = no magazine layer
-	magCap     int
 	rec        LatencyRecorder
 
-	// pending counts Frees registered but not yet pushed back.
-	pending atomic.Int64
-	// batches counts batch retires (magazine fills and flushes).
-	batches atomic.Int64
-	// asyncErr holds the first error a deferred reclamation hit;
-	// Drain surfaces it.
-	asyncErr atomic.Pointer[error]
+	// magCap is the magazine capacity (blocks per class per side). It
+	// is atomic because SetMagazineCapacity retunes it live while
+	// allocating threads read it on every magazine fill; chain-walk
+	// cycle guards deliberately do NOT use it (see maxChain) so a
+	// shrink can never livelock a walk over a longer pre-shrink chain.
+	magCap atomic.Int64
+
+	// board, when set, receives magazine hit/miss and batch telemetry.
+	board *telemetry.Board
+
+	// affinity[th] is thread th's last successful refill shard + 1
+	// (0 = none yet): refills and bumps try it first so a thread keeps
+	// drawing from one shard instead of ping-ponging the shard headers
+	// across cores. A hint only — correctness never depends on it.
+	affinity []atomic.Int32
+
+	// pending counts Frees registered but not yet pushed back, and
+	// batches counts batch retires (magazine fills and flushes). Each
+	// sits on its own cache line: they are bumped from different
+	// threads (Free callers vs the reclaimer) and previously shared
+	// one line with each other and asyncErr.
+	pending  padInt64
+	batches  padInt64
+	asyncErr paddedErr
+}
+
+// padInt64 is an atomic counter on its own cache line.
+type padInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// paddedErr holds the first error a deferred reclamation hit (Drain
+// surfaces it), padded off the counters around it.
+type paddedErr struct {
+	atomic.Pointer[error]
+	_ [56]byte
 }
 
 // New builds a heap over tm's registers [first, limit). Register 0
@@ -294,8 +346,8 @@ func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
 		if h.txnFree {
 			return nil, fmt.Errorf("stmalloc: magazines batch reclamation through the fence; they cannot combine with WithTransactionalFree")
 		}
-		if h.magCap <= 0 {
-			h.magCap = defaultMagCap
+		if h.magCap.Load() <= 0 {
+			h.magCap.Store(defaultMagCap)
 		}
 	}
 	// Clamp shards so every chunk holds at least one minimal block.
@@ -322,7 +374,59 @@ func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
 			tm.Store(1, h.magBase(t)+r, 0)
 		}
 	}
+	h.affinity = make([]atomic.Int32, h.magThreads+2)
+	// Auto-attach the TM's telemetry board (all registry TMs carry
+	// one), so magazine hit/miss rates flow without per-site wiring;
+	// SetBoard can still override.
+	if p, ok := tm.(telemetry.Provider); ok {
+		h.board = p.TelemetryBoard()
+	}
 	return h, nil
+}
+
+// maxChain bounds every free-chain walk: no committed chain can hold
+// more blocks than the arena has registers, so a longer walk means a
+// doomed transaction read a cyclic link and must abort. Deliberately
+// capacity-independent — guards once keyed on magCap would livelock
+// after a live capacity shrink left longer (perfectly valid)
+// pre-shrink chains behind.
+func (h *Heap) maxChain() int { return h.limit - h.arena }
+
+// SetBoard attaches a telemetry board: magazine hits/misses and batch
+// retires are recorded into the acting thread's slot. Call before the
+// heap sees traffic.
+func (h *Heap) SetBoard(b *telemetry.Board) { h.board = b }
+
+// SetMagazineCapacity retunes the per-thread magazine capacity live —
+// the adaptive controller's allocator lever. The new capacity applies
+// to subsequent fills immediately; then every thread's magazines are
+// flushed (parked frees retire under one shared grace period, cached
+// alloc-side blocks return to the shard lists) so oversized pre-shrink
+// stock drains promptly rather than lingering until each magazine next
+// fills. th is the calling thread id the flush transactions run under;
+// capacity <= 0 restores the default. No-op on a heap without
+// magazines. Safe to call concurrently with allocation and free
+// traffic: all magazine state moves transactionally, and the exact
+// leak accounting (Allocs-Frees == live blocks after Drain) is
+// unaffected because flushes move blocks between free pools only.
+func (h *Heap) SetMagazineCapacity(th, capacity int) {
+	if h.magThreads == 0 {
+		return
+	}
+	if capacity <= 0 {
+		capacity = defaultMagCap
+	}
+	if h.magCap.Swap(int64(capacity)) == int64(capacity) {
+		return // unchanged: skip the flush churn
+	}
+	var all []retired
+	for t := 1; t <= h.magThreads; t++ {
+		all = append(all, h.unlinkFreeMags(th, t)...)
+		h.flushAllocMags(th, t)
+	}
+	if len(all) > 0 {
+		h.retire(th, all)
+	}
 }
 
 func (h *Heap) hdr(s int) int        { return h.first + s*shardHdr }
@@ -337,7 +441,7 @@ func (h *Heap) hasMagazine(th int) bool { return h.magThreads > 0 && th >= 1 && 
 
 // Magazines reports the magazine geometry: the covered thread count
 // and the per-class per-side capacity (0, 0 without magazines).
-func (h *Heap) Magazines() (threads, capacity int) { return h.magThreads, h.magCap }
+func (h *Heap) Magazines() (threads, capacity int) { return h.magThreads, int(h.magCap.Load()) }
 
 // MaxBlock returns the largest block (registers) this heap can serve:
 // the size-class bound clamped to the chunk size.
@@ -384,10 +488,7 @@ func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 // then bump regions, shard counters.
 func (h *Heap) newShared(tx core.Txn, th, c, n int) (int64, error) {
 	size := int64(1) << c
-	start := th % h.shards
-	if start < 0 {
-		start = 0
-	}
+	start := h.homeShard(th)
 	for i := 0; i < h.shards; i++ {
 		s := (start + i) % h.shards
 		// Free list for the class.
@@ -412,6 +513,7 @@ func (h *Heap) newShared(tx core.Txn, th, c, n int) (int64, error) {
 			if err := h.countAlloc(tx, s); err != nil {
 				return 0, err
 			}
+			h.noteShard(th, s)
 			return head, nil
 		}
 		// Bump region.
@@ -423,6 +525,7 @@ func (h *Heap) newShared(tx core.Txn, th, c, n int) (int64, error) {
 			if err := h.countAlloc(tx, s); err != nil {
 				return 0, err
 			}
+			h.noteShard(th, s)
 			return b, nil
 		}
 	}
@@ -450,28 +553,45 @@ func (h *Heap) bump(tx core.Txn, s int, size int64) (int64, error) {
 
 // newMag is the magazine allocation path, in falling order of
 // preference: the thread's own cache, a batch refill from a shard free
-// list, a bump region, and finally another thread's cache (blocks
-// parked on free-side magazines are never taken — they have not
-// quiesced).
+// list (the thread's affinity shard first, so repeat refills keep
+// drawing from one shard instead of ping-ponging shard headers across
+// cores), a bump region, and finally HALF of another thread's cache
+// (blocks parked on free-side magazines are never taken — they have
+// not quiesced).
 func (h *Heap) newMag(tx core.Txn, th, c, n int) (int64, error) {
 	ptr, err := h.popMag(tx, th, c)
 	if err != nil {
 		return 0, err
 	}
+	if sl := h.board.Slot(th); sl != nil {
+		if ptr != 0 {
+			sl.MagHits.Add(1)
+		} else {
+			sl.MagMisses.Add(1)
+		}
+	}
 	if ptr == 0 {
-		start := th % h.shards
+		start := h.homeShard(th)
 		for i := 0; i < h.shards && ptr == 0; i++ {
-			if ptr, err = h.refill(tx, th, (start+i)%h.shards, c); err != nil {
+			s := (start + i) % h.shards
+			if ptr, err = h.refill(tx, th, s, c); err != nil {
 				return 0, err
+			}
+			if ptr != 0 {
+				h.noteShard(th, s)
 			}
 		}
 	}
 	if ptr == 0 {
 		size := int64(1) << c
-		start := th % h.shards
+		start := h.homeShard(th)
 		for i := 0; i < h.shards && ptr == 0; i++ {
-			if ptr, err = h.bump(tx, (start+i)%h.shards, size); err != nil {
+			s := (start + i) % h.shards
+			if ptr, err = h.bump(tx, s, size); err != nil {
 				return 0, err
+			}
+			if ptr != 0 {
+				h.noteShard(th, s)
 			}
 		}
 	}
@@ -480,7 +600,7 @@ func (h *Heap) newMag(tx core.Txn, th, c, n int) (int64, error) {
 			if t == th {
 				continue
 			}
-			if ptr, err = h.popMag(tx, t, c); err != nil {
+			if ptr, err = h.stealHalf(tx, th, t, c); err != nil {
 				return 0, err
 			}
 		}
@@ -492,6 +612,97 @@ func (h *Heap) newMag(tx core.Txn, th, c, n int) (int64, error) {
 		return 0, err
 	}
 	return ptr, nil
+}
+
+// homeShard is the shard thread th tries first: its sticky refill
+// affinity when one is recorded, else the static th-derived home.
+func (h *Heap) homeShard(th int) int {
+	if th >= 0 && th < len(h.affinity) {
+		if a := h.affinity[th].Load(); a > 0 {
+			return int(a-1) % h.shards
+		}
+	}
+	s := th % h.shards
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// noteShard records a successful refill/bump source as th's affinity.
+// A hint only (plain atomic, racy reads fine): correctness never
+// depends on it.
+func (h *Heap) noteShard(th, s int) {
+	if th >= 0 && th < len(h.affinity) {
+		h.affinity[th].Store(int32(s + 1))
+	}
+}
+
+// stealHalf migrates half of victim's alloc-side class-c cache into
+// thread th's (empty, we just missed on it) cache, returning the first
+// stolen block for the current allocation. The previous exhaustion
+// path stole a single block, so every allocation under exhaustion
+// re-ran the whole miss gauntlet and conflicted with the victim again;
+// taking half amortizes one cross-thread conflict over several future
+// local pops (the work-stealing deque split, applied to magazines).
+func (h *Heap) stealHalf(tx core.Txn, th, victim, c int) (int64, error) {
+	reg := h.magClass(victim, c)
+	head, err := tx.Read(reg + magAllocHead)
+	if err != nil {
+		return 0, err
+	}
+	if head == 0 {
+		return 0, nil
+	}
+	if !h.validPtr(head) {
+		return 0, core.ErrAborted
+	}
+	cnt, err := tx.Read(reg + magAllocCnt)
+	if err != nil {
+		return 0, err
+	}
+	if cnt < 1 {
+		cnt = 1 // committed state keeps head/cnt consistent; stay defensive
+	}
+	take := (cnt + 1) / 2
+	chain := make([]int64, 0, take)
+	cur := head
+	for int64(len(chain)) < take && cur != 0 {
+		if !h.validPtr(cur) || len(chain) > h.maxChain() {
+			return 0, core.ErrAborted
+		}
+		chain = append(chain, cur)
+		nxt, err := tx.Read(int(cur))
+		if err != nil {
+			return 0, err
+		}
+		if nxt != 0 && !h.validPtr(nxt) {
+			return 0, core.ErrAborted
+		}
+		cur = nxt
+	}
+	// Victim keeps the remainder of its chain.
+	if err := tx.Write(reg+magAllocHead, cur); err != nil {
+		return 0, err
+	}
+	if err := tx.Write(reg+magAllocCnt, cnt-int64(len(chain))); err != nil {
+		return 0, err
+	}
+	if len(chain) > 1 {
+		// Install the rest as th's cache: the links from chain[1] on
+		// are already threaded, just cut the new tail.
+		own := h.magClass(th, c)
+		if err := tx.Write(own+magAllocHead, chain[1]); err != nil {
+			return 0, err
+		}
+		if err := tx.Write(own+magAllocCnt, int64(len(chain)-1)); err != nil {
+			return 0, err
+		}
+		if err := tx.Write(int(chain[len(chain)-1]), 0); err != nil {
+			return 0, err
+		}
+	}
+	return chain[0], nil
 }
 
 // popMag pops one block from thread owner's alloc-side cache (0 when
@@ -542,9 +753,10 @@ func (h *Heap) refill(tx core.Txn, th, s, c int) (int64, error) {
 	if !h.validPtr(head) {
 		return 0, core.ErrAborted
 	}
-	take := make([]int64, 1, h.magCap+1)
+	magCap := int(h.magCap.Load())
+	take := make([]int64, 1, magCap+1)
 	take[0] = head
-	for len(take) < h.magCap+1 {
+	for len(take) < magCap+1 {
 		nxt, err := tx.Read(int(take[len(take)-1]))
 		if err != nil {
 			return 0, err
@@ -683,7 +895,7 @@ func (h *Heap) freeMag(th int, ptr int64, c int) {
 		if head != 0 && !h.validPtr(head) {
 			return core.ErrAborted
 		}
-		if cnt < int64(h.magCap) {
+		if cnt < h.magCap.Load() {
 			if err := tx.Write(int(ptr), head); err != nil {
 				return err
 			}
@@ -698,7 +910,7 @@ func (h *Heap) freeMag(th int, ptr int64, c int) {
 		// Full magazine: one transactional unlink of the whole chain,
 		// with this block riding along.
 		for cur := head; cur != 0; {
-			if !h.validPtr(cur) || len(batch) > h.magCap {
+			if !h.validPtr(cur) || len(batch) > h.maxChain() {
 				return core.ErrAborted
 			}
 			batch = append(batch, retired{ptr: cur, class: c})
@@ -722,6 +934,13 @@ func (h *Heap) freeMag(th int, ptr int64, c int) {
 		h.fail(fmt.Errorf("stmalloc: magazine free of %d failed: %w", ptr, err))
 		return
 	}
+	if sl := h.board.Slot(th); sl != nil {
+		if len(batch) > 0 {
+			sl.MagMisses.Add(1) // full magazine: took the shared path
+		} else {
+			sl.MagHits.Add(1) // parked thread-locally
+		}
+	}
 	if len(batch) > 0 {
 		h.retire(th, batch)
 	}
@@ -733,6 +952,9 @@ func (h *Heap) freeMag(th int, ptr int64, c int) {
 // published back to the shard free lists.
 func (h *Heap) retire(th int, batch []retired) {
 	h.batches.Add(1)
+	if sl := h.board.Slot(th); sl != nil {
+		sl.ReclaimBatches.Add(1)
+	}
 	start := time.Now()
 	h.tm.FenceAsync(th, func(cb int) {
 		h.publishBatch(cb, batch, start)
@@ -819,7 +1041,7 @@ func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 			if err != nil {
 				return err
 			}
-			if cnt < int64(h.magCap) {
+			if cnt < h.magCap.Load() {
 				head, err := tx.Read(reg + magAllocHead)
 				if err != nil {
 					return err
@@ -904,7 +1126,7 @@ func (h *Heap) unlinkFreeMags(txTh, owner int) []retired {
 			}
 			n := 0
 			for cur := head; cur != 0; {
-				if !h.validPtr(cur) || n > h.magCap {
+				if !h.validPtr(cur) || n > h.maxChain() {
 					return core.ErrAborted
 				}
 				batch = append(batch, retired{ptr: cur, class: c})
@@ -945,7 +1167,7 @@ func (h *Heap) flushAllocMags(txTh, owner int) {
 			}
 			n := 0
 			for cur := head; cur != 0; {
-				if !h.validPtr(cur) || n > h.magCap {
+				if !h.validPtr(cur) || n > h.maxChain() {
 					return core.ErrAborted
 				}
 				nxt, err := tx.Read(int(cur))

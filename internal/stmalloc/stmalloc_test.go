@@ -632,3 +632,123 @@ func TestBadArena(t *testing.T) {
 		t.Fatal("empty arena accepted")
 	}
 }
+
+// TestStealTakesHalf: exhaustion steals half the victim's cache in one
+// conflict, not one block — the remainder lands in the thief's own
+// cache so the next allocations pop locally.
+func TestStealTakesHalf(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 1024, 3, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(1), stmalloc.WithMagazines(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 drains the arena, then recycles 6 quiesced blocks into
+	// its alloc-side cache.
+	var ptrs []int64
+	for {
+		var p int64
+		err := core.Atomically(tm, 1, func(tx core.Txn) error {
+			var err error
+			p, err = h.New(tx, 1, 4)
+			return err
+		})
+		if errors.Is(err, stmalloc.ErrOutOfSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) < 6 {
+		t.Fatalf("arena too small: %d blocks", len(ptrs))
+	}
+	for _, p := range ptrs[:6] {
+		h.FreeQuiesced(1, p, 4)
+	}
+	if st := h.Stats(); st.MagAlloc != 6 {
+		t.Fatalf("cache = %d, want 6", st.MagAlloc)
+	}
+	// Thread 2's first allocation must move half (3) out of thread 1's
+	// cache: one serves the allocation, two seed thread 2's cache.
+	_ = alloc(t, tm, h, 2, 4)
+	if st := h.Stats(); st.MagAlloc != 5 {
+		t.Fatalf("after steal, cached = %d, want 5 (3 left + 2 seeded)", st.MagAlloc)
+	}
+	// The next two thread-2 allocations hit its own cache: the victim's
+	// remaining 3 cached blocks must not move.
+	_ = alloc(t, tm, h, 2, 4)
+	_ = alloc(t, tm, h, 2, 4)
+	if st := h.Stats(); st.MagAlloc != 3 {
+		t.Fatalf("after local pops, cached = %d, want 3", st.MagAlloc)
+	}
+	if st := h.Stats(); st.Allocs-st.Frees != int64(len(ptrs)-6+3) {
+		t.Fatalf("leak accounting off: %+v", st)
+	}
+}
+
+// TestSetMagazineCapacityLive: resizing under parked frees keeps the
+// exact leak accounting, retires the parked stock, and — the
+// regression this pins — a shrink below the parked-chain length must
+// not livelock the next free's chain walk.
+func TestSetMagazineCapacityLive(t *testing.T) {
+	tm := engine.MustNewSpec("tl2+defer+quiesce+batch", 1<<12, 4, nil)
+	h, err := stmalloc.New(tm, 8, tm.NumRegs(),
+		stmalloc.WithShards(2), stmalloc.WithMagazines(3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, capacity := h.Magazines(); capacity != 8 {
+		t.Fatalf("capacity = %d, want 8", capacity)
+	}
+	// Park 7 frees on thread 1 (one below the fill trigger).
+	var ptrs []int64
+	for i := 0; i < 16; i++ {
+		ptrs = append(ptrs, alloc(t, tm, h, 1, 2))
+	}
+	for _, p := range ptrs[:7] {
+		h.Free(1, p, 2)
+	}
+	// Shrink to 2: parked chain (7) now exceeds the capacity. The
+	// resize flushes it under one grace period.
+	h.SetMagazineCapacity(1, 2)
+	if _, capacity := h.Magazines(); capacity != 2 {
+		t.Fatalf("capacity = %d, want 2", capacity)
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.Live != 9 {
+		t.Fatalf("live = %d, want 9 (16 allocs - 7 frees): %+v", st.Live, st)
+	}
+	if st.MagFree != 0 {
+		t.Fatalf("parked frees survived the resize flush: %+v", st)
+	}
+	// Freeing at the new capacity must behave: caps at 2 parked, then
+	// retires — and must not livelock even though longer chains existed.
+	for _, p := range ptrs[7:] {
+		h.Free(1, p, 2)
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	st = h.Stats()
+	if st.Live != 0 {
+		t.Fatalf("live = %d, want 0: %+v", st.Live, st)
+	}
+	// Growing back is also live.
+	h.SetMagazineCapacity(1, 16)
+	if _, capacity := h.Magazines(); capacity != 16 {
+		t.Fatalf("capacity = %d, want 16", capacity)
+	}
+	p := alloc(t, tm, h, 2, 2)
+	h.Free(2, p, 2)
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.Live != 0 {
+		t.Fatalf("live = %d after grow cycle: %+v", st.Live, st)
+	}
+}

@@ -70,6 +70,7 @@ import (
 
 	"safepriv/internal/core"
 	"safepriv/internal/stmalloc"
+	"safepriv/internal/telemetry"
 )
 
 const (
@@ -155,17 +156,36 @@ type Store struct {
 
 	// pubGate is closed and replaced on every publish, so point
 	// operations waiting out a privatized shard park on it instead of
-	// sleep-polling.
-	pubGate atomic.Pointer[chan struct{}]
+	// sleep-polling. It sits on its own cache line: every parked point
+	// op loads it in a loop, and it previously shared a line with the
+	// maintenance counters below, so every privatization count
+	// invalidated the parkers' line (false-sharing audit).
+	pubGate struct {
+		atomic.Pointer[chan struct{}]
+		_ [56]byte
+	}
 
-	privatizations atomic.Int64
-	grows          atomic.Int64
-	scans          atomic.Int64
-	clears         atomic.Int64
+	// Maintenance counters, padded apart for the same reason: they are
+	// bumped by maintenance threads while readers poll Stats.
+	privatizations padInt64
+	grows          padInt64
+	scans          padInt64
+	clears         padInt64
 
 	// asyncErr holds the first error a deferred maintenance callback
 	// hit (publish contention, heap exhaustion); Drain surfaces it.
 	asyncErr atomic.Pointer[error]
+
+	// board is the TM's telemetry board when the TM carries one;
+	// privatization cycles are recorded per thread alongside the store's
+	// own counter so the adaptive controller sees them.
+	board *telemetry.Board
+}
+
+// padInt64 is an atomic counter on its own cache line.
+type padInt64 struct {
+	atomic.Int64
+	_ [56]byte
 }
 
 // kvHeapShards sizes the table heap's shard count: enough to keep
@@ -234,6 +254,9 @@ func New(tm core.TM, shards, slots int, opts ...Option) (*Store, error) {
 	s := &Store{tm: tm, shards: shards, slots: slots}
 	for _, o := range opts {
 		o(s)
+	}
+	if p, ok := tm.(telemetry.Provider); ok {
+		s.board = p.TelemetryBoard()
 	}
 	gate := make(chan struct{})
 	s.pubGate.Store(&gate)
@@ -335,6 +358,11 @@ func (s *Store) Stats() Stats {
 // Allocs-Frees equals the shard count (one live table block each) —
 // the store-level leak-accounting invariant.
 func (s *Store) HeapStats() stmalloc.Stats { return s.heap.Stats() }
+
+// Heap exposes the table heap itself, so the adaptive controller (and
+// tests) can retune its magazine capacity live; see
+// stmalloc.Heap.SetMagazineCapacity.
+func (s *Store) Heap() *stmalloc.Heap { return s.heap }
 
 // mix64 is the splitmix64 finalizer: the key hash.
 func mix64(x uint64) uint64 {
@@ -857,6 +885,9 @@ func (s *Store) acquirePrivate(th, base int) error {
 		return err
 	}
 	s.privatizations.Add(1)
+	if sl := s.board.Slot(th); sl != nil {
+		sl.Privatizations.Add(1)
+	}
 	return nil
 }
 

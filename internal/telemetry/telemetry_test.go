@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestSlotPadding pins the false-sharing contract: slots are a
+// multiple of 64 bytes (whole cache lines) so adjacent threads'
+// counters never share a line.
+func TestSlotPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(Slot{}); sz%64 != 0 {
+		t.Fatalf("Slot size %d is not a multiple of 64", sz)
+	}
+	b := NewBoard(4)
+	a := uintptr(unsafe.Pointer(b.Slot(1)))
+	c := uintptr(unsafe.Pointer(b.Slot(2)))
+	if c-a < 64 {
+		t.Fatalf("adjacent slots %d bytes apart (< one cache line)", c-a)
+	}
+}
+
+// TestSnapshotAggregates: concurrent per-thread recording sums exactly.
+func TestSnapshotAggregates(t *testing.T) {
+	const threads, per = 4, 1000
+	b := NewBoard(threads)
+	var wg sync.WaitGroup
+	for th := 1; th <= threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			s := b.Slot(th)
+			for i := 0; i < per; i++ {
+				s.Commits.Add(1)
+				if i%4 == 0 {
+					s.Aborts.Add(1)
+				}
+				if i%10 == 0 {
+					s.MagHits.Add(1)
+				} else if i%10 == 1 {
+					s.MagMisses.Add(1)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	s := b.Snapshot()
+	if s.Commits != threads*per {
+		t.Fatalf("Commits = %d, want %d", s.Commits, threads*per)
+	}
+	if s.Aborts != threads*per/4 {
+		t.Fatalf("Aborts = %d, want %d", s.Aborts, threads*per/4)
+	}
+	if s.MagHits != s.MagMisses {
+		t.Fatalf("MagHits %d != MagMisses %d", s.MagHits, s.MagMisses)
+	}
+}
+
+// TestOutOfRangeSharesOverflowSlot: unknown ids record into slot 0
+// rather than panicking, and a nil board is inert.
+func TestOutOfRangeSharesOverflowSlot(t *testing.T) {
+	b := NewBoard(2)
+	b.Slot(99).Commits.Add(3)
+	b.Slot(-1).Commits.Add(2)
+	if got := b.Slot(0).Commits.Load(); got != 5 {
+		t.Fatalf("overflow slot = %d, want 5", got)
+	}
+	var nb *Board
+	if nb.Slot(1) != nil {
+		t.Fatal("nil board should return nil slot")
+	}
+	if s := nb.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil board snapshot = %+v", s)
+	}
+}
+
+// TestRates pins the derived-rate arithmetic and the zero guards.
+func TestRates(t *testing.T) {
+	s := Snapshot{Commits: 75, Aborts: 25, Fences: 150, MagHits: 9, MagMisses: 1}
+	if r := s.AbortRate(); r != 0.25 {
+		t.Fatalf("AbortRate = %v, want 0.25", r)
+	}
+	if r := s.PrivRate(); r != 2.0 {
+		t.Fatalf("PrivRate = %v, want 2.0", r)
+	}
+	if r := s.MagHitRate(); r != 0.9 {
+		t.Fatalf("MagHitRate = %v, want 0.9", r)
+	}
+	var zero Snapshot
+	if zero.AbortRate() != 0 || zero.PrivRate() != 0 || zero.MagHitRate() != 0 {
+		t.Fatal("zero snapshot rates must be 0")
+	}
+}
+
+// TestDelta: windowed differences subtract counter-wise.
+func TestDelta(t *testing.T) {
+	a := Snapshot{Commits: 10, Aborts: 2, MagHits: 5}
+	b := Snapshot{Commits: 25, Aborts: 3, MagHits: 11}
+	d := b.Delta(a)
+	if d.Commits != 15 || d.Aborts != 1 || d.MagHits != 6 {
+		t.Fatalf("delta = %+v", d)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"safepriv/internal/rcu"
 	"safepriv/internal/record"
 	"safepriv/internal/stripe"
+	"safepriv/internal/telemetry"
 	"safepriv/internal/vclock"
 	"sync/atomic"
 )
@@ -167,6 +168,7 @@ type TM struct {
 	table    *stripe.Table
 	clock    vclock.Clock
 	qs       *quiesce.Service
+	board    *telemetry.Board
 	hasWrite []writerFlag // per thread: current txn wrote something
 	threads  []threadState
 }
@@ -198,6 +200,8 @@ func New(regs, threads int, opts ...Option) *TM {
 		q = rcu.NewFlags(reclaim)
 	}
 	tm.qs = quiesce.New(q, cfg.Mode, reclaim)
+	tm.board = telemetry.NewBoard(reclaim)
+	tm.qs.SetBoard(tm.board)
 	for t := range tm.threads {
 		tx := &tm.threads[t].tx
 		tx.tm = tm
@@ -287,6 +291,19 @@ func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
 // QuiesceStats exposes the quiescence service's counters (fences,
 // grace periods, deferred callbacks) for harness reports.
 func (tm *TM) QuiesceStats() quiesce.Stats { return tm.qs.Stats() }
+
+// TelemetryBoard implements telemetry.Provider: the per-thread counter
+// board core.Atomically and the quiescence service record into.
+func (tm *TM) TelemetryBoard() *telemetry.Board { return tm.board }
+
+// SetFenceMode switches the quiescence service's fence mode live (the
+// adaptive controller's lever); see quiesce.Service.SetMode for the
+// drain semantics. The static FenceNoOp and FenceSkipReadOnly policies
+// are not affected.
+func (tm *TM) SetFenceMode(m quiesce.Mode) { tm.qs.SetMode(m) }
+
+// FenceMode returns the quiescence service's current fence mode.
+func (tm *TM) FenceMode() quiesce.Mode { return tm.qs.Mode() }
 
 // Begin implements core.TM (Figure 9 txbegin): set the active flag,
 // then sample the read timestamp.

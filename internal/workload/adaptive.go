@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"safepriv/internal/adapt"
+	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
+	"safepriv/internal/telemetry"
+)
+
+// startAdapt launches the adaptive controller over tm for one workload
+// run when enabled. heap (may be nil) is attached for magazine-capacity
+// retuning; ctlThread is the thread id the controller's resize
+// transactions run on — callers pass a spare id no worker uses. Returns
+// nil when adaptation is off or the TM doesn't expose the adaptive
+// interface (then the run proceeds statically).
+func startAdapt(tm core.TM, heap *stmalloc.Heap, ctlThread int, enabled bool) *adapt.Controller {
+	if !enabled {
+		return nil
+	}
+	atm, ok := tm.(adapt.TM)
+	if !ok {
+		return nil
+	}
+	c := adapt.New(atm)
+	if heap != nil {
+		c.AttachHeap(heap, ctlThread)
+	}
+	c.Start()
+	return c
+}
+
+// finishAdapt stops ctl (nil-safe), folds its exit report into st, and
+// snapshots the TM's telemetry board — so every run's stats carry the
+// abort/privatization/magazine rates whether or not the controller ran.
+func finishAdapt(st *Stats, tm core.TM, ctl *adapt.Controller) {
+	if p, ok := tm.(telemetry.Provider); ok {
+		st.Telemetry = p.TelemetryBoard().Snapshot()
+	}
+	if ctl == nil {
+		return
+	}
+	r := ctl.Stop()
+	st.AdaptFlips, st.AdaptResizes = r.Flips, r.Resizes
+	st.FinalFence = r.Mode.String()
+	st.FinalMagCap = r.MagCap
+}

@@ -111,6 +111,7 @@ func SetChurn(tm core.TM, p Params) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	ctl := startAdapt(tm, heap, threads+1, p.Adapt)
 	set := stmds.NewSet(tm, dsRegHead, alloc)
 	live := p.LiveSet
 	if live <= 0 {
@@ -144,6 +145,7 @@ func SetChurn(tm core.TM, p Params) (Stats, error) {
 	wg.Wait()
 	close(errs)
 	st := c.stats()
+	finishAdapt(&st, tm, ctl)
 	if err := dsFinish(&st, heap, alloc, hist); err != nil {
 		return st, err
 	}
@@ -170,6 +172,7 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	ctl := startAdapt(tm, heap, threads+1, p.Adapt)
 	q := stmds.NewQueue(tm, dsRegQHead, dsRegQTail, alloc)
 	depth := int64(p.LiveSet)
 	if depth <= 0 {
@@ -229,6 +232,7 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 	wg.Wait()
 	close(errs)
 	st := c.stats()
+	finishAdapt(&st, tm, ctl)
 	if err := dsFinish(&st, heap, alloc, hist); err != nil {
 		return st, err
 	}

@@ -42,6 +42,15 @@ type KVConfig struct {
 	// Keyspace is the key range (1..Keyspace); 0 sizes it to half the
 	// store's total slot capacity.
 	Keyspace int64
+	// BatchThreads builds the store's table heap with the stmalloc
+	// magazine layer for thread ids 1..BatchThreads (the spec's batch
+	// reclaim axis; also the magazine lever an adaptive run retunes).
+	BatchThreads int
+	// Adapt runs the internal/adapt controller for the duration of the
+	// workload: fence mode and magazine capacity retune live from the
+	// TM's telemetry. The TM needs one spare thread id beyond
+	// `threads` for the controller's resize transactions.
+	Adapt bool
 }
 
 // KVStore runs a concurrent key-value workload against a fresh
@@ -60,10 +69,15 @@ func KVStore(tm core.TM, threads, ops int, cfg KVConfig, seed int64) (Stats, err
 	if cfg.DeletePct == 0 {
 		cfg.DeletePct = 10
 	}
-	store, err := stmkv.NewForTM(tm, cfg.Shards)
+	var kvOpts []stmkv.Option
+	if cfg.BatchThreads > 0 {
+		kvOpts = append(kvOpts, stmkv.WithBatchReclaim(cfg.BatchThreads))
+	}
+	store, err := stmkv.NewForTM(tm, cfg.Shards, kvOpts...)
 	if err != nil {
 		return Stats{}, err
 	}
+	ctl := startAdapt(tm, store.Heap(), threads+1, cfg.Adapt)
 	if cfg.Keyspace == 0 {
 		cfg.Keyspace = int64(cfg.Shards*store.SlotsPerShard()) / 2
 		if cfg.Keyspace < 8 {
@@ -120,8 +134,11 @@ func KVStore(tm core.TM, threads, ops int, cfg KVConfig, seed int64) (Stats, err
 	close(errs)
 	st := c.stats()
 	st.PrivLatency = lat
-	// Settle any deferred maintenance before reading the privatization
-	// counters (and surface its errors like any worker error).
+	// Stop the controller before the drain so FinalFence/FinalMagCap
+	// are the levers' resting positions, then settle any deferred
+	// maintenance before reading the privatization counters (and
+	// surface its errors like any worker error).
+	finishAdapt(&st, tm, ctl)
 	if err := store.Drain(1); err != nil {
 		return st, err
 	}

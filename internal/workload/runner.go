@@ -51,6 +51,11 @@ type Params struct {
 	// target resident key count for set-churn, the queue-depth bound
 	// for queue-pipe (0 = workload default).
 	LiveSet int
+	// Adapt runs the internal/adapt controller for the duration of the
+	// run: a sampling goroutine retunes the TM's fence mode and the
+	// workload heap's magazine capacity from telemetry.
+	// engine.RunWorkload fills it from the spec's adapt modifier.
+	Adapt bool
 }
 
 // Runner executes a named workload against a TM.
@@ -81,16 +86,28 @@ var runners = map[string]Runner{
 		return Pipeline(tm, p.Threads-1, p.Ops, rounds, p.Mode, p.Seed)
 	},
 	"kvstore": func(tm core.TM, p Params) (Stats, error) {
-		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, 0)}, p.Seed)
+		return KVStore(tm, p.Threads, p.Ops, kvBase(p, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, 0)}), p.Seed)
 	},
 	"kv-scan": func(tm core.TM, p Params) (Stats, error) {
-		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, kvDefaultScanEvery)}, p.Seed)
+		return KVStore(tm, p.Threads, p.Ops, kvBase(p, KVConfig{Shards: p.Shards, ScanEvery: kvScanEvery(p, kvDefaultScanEvery)}), p.Seed)
 	},
 	"kv-zipfian": func(tm core.TM, p Params) (Stats, error) {
-		return KVStore(tm, p.Threads, p.Ops, KVConfig{Shards: p.Shards, ReadPct: 90, DeletePct: 5, Zipfian: true, ScanEvery: kvScanEvery(p, 0)}, p.Seed)
+		return KVStore(tm, p.Threads, p.Ops, kvBase(p, KVConfig{Shards: p.Shards, ReadPct: 90, DeletePct: 5, Zipfian: true, ScanEvery: kvScanEvery(p, 0)}), p.Seed)
 	},
 	"set-churn":  SetChurn,
 	"queue-pipe": QueuePipe,
+}
+
+// kvBase folds the spec-derived Params axes into a KVConfig: a batch
+// reclaim spec gives the store's table heap per-thread magazines for
+// the worker ids (unless the fence is unsafe — no grace period to
+// amortize), and an adapt spec attaches the controller.
+func kvBase(p Params, cfg KVConfig) KVConfig {
+	if p.Reclaim == "batch" && !p.UnsafeFence {
+		cfg.BatchThreads = p.Threads
+	}
+	cfg.Adapt = p.Adapt
+	return cfg
 }
 
 // kvScanEvery resolves Params.PrivatizeEvery against a workload

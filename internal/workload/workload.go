@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"safepriv/internal/core"
+	"safepriv/internal/telemetry"
 )
 
 // FenceMode selects where transactional fences are inserted.
@@ -77,6 +78,19 @@ type Stats struct {
 	// Frees/ReclaimBatches is the amortization the batch reclaim mode
 	// achieved. Zero without the magazine layer.
 	ReclaimBatches int64
+	// Telemetry is the TM's aggregated per-thread counter snapshot at
+	// the end of the run (zero value when the TM carries no board).
+	// Its AbortRate/PrivRate/MagHitRate are the bench emitters'
+	// telemetry-derived columns.
+	Telemetry telemetry.Snapshot
+	// AdaptFlips and AdaptResizes count the adaptive controller's
+	// fence-mode switches and magazine-capacity changes during the run;
+	// FinalFence and FinalMagCap are where its two levers ended. All
+	// zero unless Params.Adapt ran a controller.
+	AdaptFlips   int64
+	AdaptResizes int64
+	FinalFence   string
+	FinalMagCap  int
 }
 
 // counter keeps per-thread tallies on separate cache lines so the

@@ -34,6 +34,7 @@ import (
 	"safepriv/internal/quiesce"
 	"safepriv/internal/rcu"
 	"safepriv/internal/stripe"
+	"safepriv/internal/telemetry"
 	"safepriv/internal/vclock"
 	"safepriv/internal/vlock"
 )
@@ -82,6 +83,7 @@ type TM struct {
 	table   *stripe.Table
 	clock   vclock.Clock
 	qs      *quiesce.Service
+	board   *telemetry.Board
 	threads []slot
 }
 
@@ -116,6 +118,8 @@ func New(regs, threads int, opts ...Option) *TM {
 		q = rcu.NewFlags(reclaim)
 	}
 	tm.qs = quiesce.New(q, cfg.Mode, reclaim)
+	tm.board = telemetry.NewBoard(reclaim)
+	tm.qs.SetBoard(tm.board)
 	for t := range tm.threads {
 		tm.threads[t].tx.tm = tm
 		tm.threads[t].tx.thread = t
@@ -167,6 +171,17 @@ func (tm *TM) FenceAsyncBatch(thread int, fns []func(thread int)) {
 
 // FenceBarrier implements core.TM.
 func (tm *TM) FenceBarrier(thread int) { tm.qs.Barrier() }
+
+// TelemetryBoard implements telemetry.Provider: the per-thread counter
+// board core.Atomically and the quiescence service record into.
+func (tm *TM) TelemetryBoard() *telemetry.Board { return tm.board }
+
+// SetFenceMode switches the quiescence service's fence mode live (the
+// adaptive controller's lever); see quiesce.Service.SetMode.
+func (tm *TM) SetFenceMode(m quiesce.Mode) { tm.qs.SetMode(m) }
+
+// FenceMode returns the quiescence service's current fence mode.
+func (tm *TM) FenceMode() quiesce.Mode { return tm.qs.Mode() }
 
 // Begin implements core.TM.
 func (tm *TM) Begin(thread int) core.Txn {
