@@ -3,6 +3,7 @@ package safepriv_test
 import (
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"safepriv/internal/core"
 	"safepriv/internal/engine"
 	"safepriv/internal/hb"
+	"safepriv/internal/kvserve"
 	"safepriv/internal/litmus"
 	"safepriv/internal/mgc"
 	"safepriv/internal/model"
@@ -1210,4 +1212,163 @@ func BenchmarkDRFCheck(b *testing.B) {
 			b.Fatal("racy")
 		}
 	}
+}
+
+// --- HTTP serve bench: the store behind cmd/kvserver's front-end ---
+
+// TestMain guards the GOMAXPROCS discipline of the procs-swept
+// emitters: every test that changes the setting must restore it
+// (withProcs does, via defer, on success, t.Fatal and panic alike —
+// TestWithProcsRestores pins that). A sweep that leaked its setting
+// would silently re-time every later test in the binary under the
+// wrong parallelism.
+func TestMain(m *testing.M) {
+	before := runtime.GOMAXPROCS(0)
+	code := m.Run()
+	if after := runtime.GOMAXPROCS(0); after != before {
+		fmt.Fprintf(os.Stderr, "FAIL: a test leaked GOMAXPROCS=%d (was %d at start)\n", after, before)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// TestWithProcsRestores pins the restore paths of withProcs: normal
+// return, panic, and runtime.Goexit (what t.Fatal executes) must all
+// put GOMAXPROCS back, because the emitters call t.Fatal inside
+// withProcs bodies.
+func TestWithProcsRestores(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	alt := before + 1 // distinct from the current value, so a leak is visible
+
+	withProcs(alt, func() {
+		if got := runtime.GOMAXPROCS(0); got != alt {
+			t.Fatalf("inside withProcs: GOMAXPROCS = %d, want %d", got, alt)
+		}
+	})
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("after normal return: GOMAXPROCS = %d, want %d", got, before)
+	}
+
+	func() {
+		defer func() { recover() }()
+		withProcs(alt, func() { panic("boom") })
+	}()
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("after panic: GOMAXPROCS = %d, want %d", got, before)
+	}
+
+	// t.Fatal calls runtime.Goexit, which runs deferred calls on its
+	// way out; model it with a bare Goexit on a scratch goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		withProcs(alt, func() { runtime.Goexit() })
+	}()
+	<-done
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("after Goexit: GOMAXPROCS = %d, want %d", got, before)
+	}
+}
+
+// serveBenchRow is one BENCH_serve.json record: one engine spec under
+// one connection count and read ratio, measured through the full HTTP
+// path (listener, handler, thread pool, write coalescer).
+type serveBenchRow struct {
+	Spec      string  `json:"spec"`
+	Conns     int     `json:"conns"`
+	ReadPct   int     `json:"read_pct"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     int64   `json:"p50_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	P999Ns    int64   `json:"p999_ns"`
+	AbortRate float64 `json:"abort_rate"`
+	PrivRate  float64 `json:"priv_rate"`
+}
+
+// TestEmitServeBenchJSON boots a fresh in-process kvserver per row on
+// a loopback listener, drives it with the same load engine cmd/kvload
+// uses, and writes BENCH_serve.json: engine spec × connection count ×
+// read ratio, with end-to-end latency quantiles and the telemetry
+// abort/privatization rates of the measured window. Every row must
+// complete error-free and drain clean — the emitter doubles as the
+// end-to-end regression test for the server.
+func TestEmitServeBenchJSON(t *testing.T) {
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	serveSpecs := []string{"tl2", "tl2+combine", "norec"}
+	connCounts := []int{2, 8}
+	readPcts := []int{50, 95}
+	var rows []serveBenchRow
+	for _, spec := range serveSpecs {
+		for _, conns := range connCounts {
+			for _, readPct := range readPcts {
+				srv, err := kvserve.New(kvserve.Config{
+					Spec: spec, Shards: 8, Slots: 512, Threads: 8, BatchWrites: 8,
+				})
+				if err != nil {
+					t.Fatalf("%s: New: %v", spec, err)
+				}
+				ts := httptest.NewServer(srv.Handler())
+				pre := srv.Telemetry()
+				rep, err := kvserve.RunLoad(kvserve.LoadConfig{
+					BaseURL: ts.URL,
+					Conns:   conns,
+					Ops:     ops,
+					ReadPct: readPct,
+					Keys:    1024,
+					Seed:    int64(conns*100 + readPct),
+				})
+				if err != nil {
+					t.Fatalf("%s/conns-%d/read-%d: %v", spec, conns, readPct, err)
+				}
+				if rep.Errors != 0 {
+					t.Fatalf("%s/conns-%d/read-%d: %d request errors: %s", spec, conns, readPct, rep.Errors, rep)
+				}
+				tel := srv.Telemetry().Delta(pre)
+				ts.Close()
+				if err := srv.Drain(); err != nil {
+					t.Fatalf("%s/conns-%d/read-%d: Drain: %v", spec, conns, readPct, err)
+				}
+				rows = append(rows, serveBenchRow{
+					Spec:      spec,
+					Conns:     conns,
+					ReadPct:   readPct,
+					Ops:       rep.Ops,
+					Errors:    rep.Errors,
+					OpsPerSec: rep.OpsPerSec,
+					P50Ns:     rep.P50.Nanoseconds(),
+					P99Ns:     rep.P99.Nanoseconds(),
+					P999Ns:    rep.P999.Nanoseconds(),
+					AbortRate: tel.AbortRate(),
+					PrivRate:  tel.PrivRate(),
+				})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Spec != rows[j].Spec {
+			return rows[i].Spec < rows[j].Spec
+		}
+		if rows[i].Conns != rows[j].Conns {
+			return rows[i].Conns < rows[j].Conns
+		}
+		return rows[i].ReadPct < rows[j].ReadPct
+	})
+	out, err := json.MarshalIndent(struct {
+		Workload string          `json:"workload"`
+		Results  []serveBenchRow `json:"results"`
+	}{"http-serve", rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_serve.json (%d rows)", len(rows))
 }

@@ -102,6 +102,27 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 	return nil
 }
 
+// adaptFlagConflict rejects flag combinations that -adapt cannot run
+// with, in the vocabulary the user typed. Without it the conflicts
+// still die in engine.Parse, but the message names spec modifiers the
+// user never wrote ("tl2+combine+adapt" from -fence combine -adapt),
+// which reads like an internal bug rather than a usage error.
+func adaptFlagConflict(adapt bool, fence, alloc, reclaim string) error {
+	if !adapt {
+		return nil
+	}
+	if fence != "" {
+		return fmt.Errorf("stress: -adapt conflicts with -fence %s: the adaptive controller owns the fence axis", fence)
+	}
+	if reclaim != "" {
+		return fmt.Errorf("stress: -adapt conflicts with -reclaim %s: the adaptive controller owns the reclaim axis", reclaim)
+	}
+	if alloc != "" && alloc != "quiesce" {
+		return fmt.Errorf("stress: -adapt requires -alloc quiesce, not %s: the controller's magazine layer needs a reclaiming allocator", alloc)
+	}
+	return nil
+}
+
 func main() {
 	iters := flag.Int("iters", 10, "number of independent runs")
 	threads := flag.Int("threads", 4, "worker threads")
@@ -133,6 +154,10 @@ func main() {
 			fmt.Println(s)
 		}
 		return
+	}
+	if err := adaptFlagConflict(*adapt, *fence, *alloc, *reclaim); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if *fence != "" {
 		// Appending keeps the engine's conflict rejection: -fence combine

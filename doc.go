@@ -34,6 +34,13 @@
 //     store whose shard tables are heap blocks; the named workloads of
 //     internal/workload (incl. the set-churn/queue-pipe reclamation
 //     shapes); and the cross-TM differential executor internal/txexec.
+//   - Serving layer: internal/kvserve, the HTTP front-end over the KV
+//     store — a thread-id pool maps goroutine-per-connection serving
+//     onto the TM's fixed thread contract, an optional write coalescer
+//     commits adjacent PUTs as one transaction, and Drain settles all
+//     deferred work on shutdown. cmd/kvserver wraps it as an
+//     env-configured process (Dockerfile included); cmd/kvload is the
+//     closed/open-loop load driver reporting p50/p99/p999.
 //
 // See README.md for the package layout, the engine registry's
 // configuration names, and how to run the examples, litmus tests, and
@@ -41,5 +48,7 @@
 // quantitative experiments (E9, E13, E14 and the checker/model costs)
 // and emit the machine-readable sweeps BENCH_kv.json, BENCH_fence.json
 // and BENCH_ds.json, each swept across the GOMAXPROCS procs axis with
-// telemetry-derived rate columns.
+// telemetry-derived rate columns, plus BENCH_serve.json — the
+// end-to-end HTTP sweep (engine spec × connections × read ratio)
+// measured through a live in-process kvserver.
 package safepriv

@@ -1,0 +1,136 @@
+package kvserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"safepriv/internal/stmkv"
+)
+
+// ErrDraining is returned to writes that arrive after the server began
+// shutting down (mapped to 503 by the handler).
+var ErrDraining = errors.New("kvserve: server is draining")
+
+// putReq is one coalescable write; done receives the batch's commit
+// outcome exactly once.
+type putReq struct {
+	key, val int64
+	done     chan error
+}
+
+// writeBatcher funnels concurrent PUTs through one dedicated TM thread
+// id and commits adjacent requests as one transaction (stmkv.PutBatch):
+// request batching as a lever against per-commit overhead. Arriving
+// writes queue on a channel; the batcher drains whatever is queued (up
+// to max) into each transaction, so batch size adapts to load — a lone
+// writer still commits immediately, a burst amortizes.
+type writeBatcher struct {
+	store *stmkv.Store
+	th    int
+	max   int
+	reqs  chan putReq
+	stop  chan struct{}
+	done  chan struct{}
+
+	// mu serializes enqueueing against shutdown: a put holds the read
+	// side while it sends, so once shutdown's write-lock section has
+	// passed, no new request can slip into the queue after the final
+	// sweep — every accepted request gets exactly one reply.
+	mu      sync.RWMutex
+	stopped bool
+}
+
+func newWriteBatcher(store *stmkv.Store, th, max int) *writeBatcher {
+	b := &writeBatcher{
+		store: store,
+		th:    th,
+		max:   max,
+		reqs:  make(chan putReq, 4*max),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// put enqueues one write and blocks for its batch's commit outcome.
+func (b *writeBatcher) put(ctx context.Context, key, val int64) error {
+	b.mu.RLock()
+	if b.stopped {
+		b.mu.RUnlock()
+		return ErrDraining
+	}
+	req := putReq{key: key, val: val, done: make(chan error, 1)}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return ctx.Err()
+	}
+	return <-req.done
+}
+
+func (b *writeBatcher) run() {
+	defer close(b.done)
+	batch := make([]putReq, 0, b.max)
+	pairs := make([]stmkv.KV, 0, b.max)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		pairs = pairs[:0]
+		for _, r := range batch {
+			pairs = append(pairs, stmkv.KV{Key: r.key, Val: r.val})
+		}
+		err := b.store.PutBatch(b.th, pairs)
+		for _, r := range batch {
+			r.done <- err
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+			// Coalesce everything already queued into this transaction.
+		coalesce:
+			for len(batch) < b.max {
+				select {
+				case r2 := <-b.reqs:
+					batch = append(batch, r2)
+				default:
+					break coalesce
+				}
+			}
+			flush()
+		case <-b.stop:
+			// Shutdown: by the time stop closes, no sender holds the
+			// read lock, so the queue can only shrink — commit what is
+			// left and exit.
+			for {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+					if len(batch) == b.max {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// shutdown stops accepting writes, commits the queued remainder, and
+// waits for the batcher goroutine to exit.
+func (b *writeBatcher) shutdown() {
+	b.mu.Lock()
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}

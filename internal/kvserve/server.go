@@ -1,0 +1,457 @@
+// Package kvserve is the networked front-end over internal/stmkv: the
+// privatize→fence→operate→publish machinery of the paper, pointed
+// outward as an HTTP key-value service (ROADMAP item 1). cmd/kvserver
+// wraps it in a process; cmd/kvload and bench_test.go drive it.
+//
+// The central design problem is the impedance mismatch between Go's
+// goroutine-per-connection servers and the TM's fixed 1-based thread
+// ids (each usable by at most one goroutine at a time). The server
+// resolves it with a stmkv.ThreadPool: a handler acquires a thread id
+// for the duration of one store operation and releases it, so at most
+// Config.Threads store operations run concurrently and the TM's
+// threading contract holds under any number of connections — the pool
+// doubles as admission control. Optionally (Config.BatchWrites > 0) a
+// write coalescer funnels concurrent PUTs through one dedicated thread
+// id and commits adjacent requests as ONE transaction via
+// stmkv.PutBatch, trading conflict-window width for per-commit
+// overhead.
+//
+// Endpoints (values are decimal int64 text; /scan and /stats are JSON):
+//
+//	GET    /kv/{key}   value, or 404 if absent
+//	PUT    /kv/{key}   body = value; 204 on commit
+//	DELETE /kv/{key}   204 if removed, 404 if absent
+//	GET    /scan       [{"key":k,"val":v}, ...] (per-shard snapshots)
+//	GET    /stats      store + heap + telemetry counters and rates
+//	GET    /healthz    200 once serving, 503 while starting or draining
+//
+// Shutdown protocol: the owner first drains in-flight HTTP requests
+// (http.Server.Shutdown), then calls Server.Drain, which stops the
+// write coalescer and the adaptive controller, settles every deferred
+// privatization and reclamation (stmkv.Store.Drain), and surfaces any
+// async error — the ordering cmd/kvserver implements on SIGTERM.
+package kvserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"safepriv/internal/adapt"
+	"safepriv/internal/core"
+	"safepriv/internal/engine"
+	"safepriv/internal/stmkv"
+	"safepriv/internal/telemetry"
+)
+
+// Config sizes a Server. The zero value of every field selects the
+// documented default.
+type Config struct {
+	// Spec is the engine specification of the TM the store runs on
+	// (default "tl2"). Adaptive specs ("tl2+adapt") wire the
+	// internal/adapt controller to the server's store for its lifetime.
+	Spec string
+	// Shards is the store's shard count (default 16).
+	Shards int
+	// Slots is the per-shard slot arena (default 512).
+	Slots int
+	// Threads is the request worker pool size: the number of store
+	// operations that may run concurrently (default 8). The TM is
+	// sized with three extra ids: the write coalescer, the drain/stats
+	// admin thread, and the adaptive controller.
+	Threads int
+	// BatchWrites > 0 coalesces up to that many adjacent PUTs into one
+	// transaction through a dedicated writer thread (0 = every PUT is
+	// its own transaction on a pooled thread id).
+	BatchWrites int
+	// Logger receives the server's structured log (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.Spec == "" {
+		c.Spec = "tl2"
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Slots == 0 {
+		c.Slots = 512
+	}
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// Server is the HTTP front-end over one stmkv.Store.
+type Server struct {
+	cfg   Config
+	tm    core.TM
+	store *stmkv.Store
+	pool  *stmkv.ThreadPool
+	wb    *writeBatcher
+	ctl   *adapt.Controller
+	board *telemetry.Board
+	log   *slog.Logger
+
+	adminTh int
+	start   time.Time
+	ready   atomic.Bool
+	drained atomic.Bool
+}
+
+// New builds the TM described by cfg.Spec, a store over it, and the
+// thread-id pool. Construction is synchronous: when New returns, the
+// server is ready (healthz reports 200).
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	parsed, err := engine.Parse(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Thread budget: ids 1..Threads for request workers, +1 the write
+	// coalescer, +2 the admin (drain/stats) thread, +3 the adaptive
+	// controller's resize transactions.
+	workers := cfg.Threads
+	batcherTh := workers + 1
+	adminTh := workers + 2
+	ctlTh := workers + 3
+	batch := parsed.Reclaim == "batch" || parsed.Adaptive
+	var kvOpts []stmkv.Option
+	magThreads := 0
+	if batch && !parsed.UnsafeFence() {
+		// Magazines for every thread that can rehash a table: the
+		// request workers and the coalescer.
+		magThreads = batcherTh
+		kvOpts = append(kvOpts, stmkv.WithBatchReclaim(magThreads))
+	}
+	regs := stmkv.RegsNeededBatch(cfg.Shards, cfg.Slots, magThreads)
+	if regs == 0 {
+		return nil, fmt.Errorf("kvserve: unallocatable geometry shards=%d slots=%d", cfg.Shards, cfg.Slots)
+	}
+	tm, err := engine.NewSpec(cfg.Spec, regs, ctlTh, nil)
+	if err != nil {
+		return nil, err
+	}
+	store, err := stmkv.New(tm, cfg.Shards, cfg.Slots, kvOpts...)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := stmkv.NewThreadPool(1, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		tm:      tm,
+		store:   store,
+		pool:    pool,
+		log:     cfg.Logger,
+		adminTh: adminTh,
+		start:   time.Now(),
+	}
+	if p, ok := tm.(telemetry.Provider); ok {
+		s.board = p.TelemetryBoard()
+	}
+	if cfg.BatchWrites > 0 {
+		s.wb = newWriteBatcher(store, batcherTh, cfg.BatchWrites)
+	}
+	if parsed.Adaptive {
+		if atm, ok := tm.(adapt.TM); ok {
+			s.ctl = adapt.New(atm)
+			s.ctl.AttachHeap(store.Heap(), ctlTh)
+			s.ctl.Start()
+		}
+	}
+	s.ready.Store(true)
+	s.log.Info("kvserve ready",
+		"spec", cfg.Spec, "shards", cfg.Shards, "slots", cfg.Slots,
+		"threads", workers, "batch_writes", cfg.BatchWrites, "regs", regs)
+	return s, nil
+}
+
+// Store exposes the underlying store (tests and the bench emitter).
+func (s *Server) Store() *stmkv.Store { return s.store }
+
+// Telemetry snapshots the TM's telemetry board (zero when the TM
+// carries none) — the bench emitter's abort/privatization rate source.
+func (s *Server) Telemetry() telemetry.Snapshot {
+	if s.board == nil {
+		return telemetry.Snapshot{}
+	}
+	return s.board.Snapshot()
+}
+
+// Drain finishes the server's asynchronous work: it stops accepting
+// coalesced writes, stops the adaptive controller, settles every
+// deferred privatization and reclamation, and returns the first async
+// error any of them hit. Call it after the HTTP listener has drained
+// its in-flight requests; Drain is idempotent (a second call only
+// re-drains the store, which reports errors registered since).
+func (s *Server) Drain() error {
+	s.ready.Store(false)
+	if s.drained.CompareAndSwap(false, true) {
+		if s.wb != nil {
+			s.wb.shutdown()
+		}
+		if s.ctl != nil {
+			r := s.ctl.Stop()
+			s.log.Info("adapt controller stopped",
+				"fence", r.Mode.String(), "magcap", r.MagCap,
+				"flips", r.Flips, "resizes", r.Resizes)
+		}
+	}
+	return s.store.Drain(s.adminTh)
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /kv/{key}", s.handleGet)
+	mux.HandleFunc("PUT /kv/{key}", s.handlePut)
+	mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
+	mux.HandleFunc("GET /scan", s.handleScan)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// errStatus maps a store error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, stmkv.ErrBadKey):
+		return http.StatusBadRequest
+	case errors.Is(err, stmkv.ErrFull):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	status := errStatus(err)
+	if status >= 500 {
+		s.log.Error("request failed", "method", r.Method, "path", r.URL.Path, "err", err)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// key parses the {key} path value. The store's domain (positive int64)
+// is enforced by the store itself; here only the syntax is.
+func reqKey(r *http.Request) (int64, error) {
+	k, err := strconv.ParseInt(r.PathValue("key"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q is not an integer key", stmkv.ErrBadKey, r.PathValue("key"))
+	}
+	return k, nil
+}
+
+// withThread runs op on a pooled thread id, bounded by the request
+// context (a client that gave up stops queueing for the store).
+func (s *Server) withThread(r *http.Request, op func(th int) error) error {
+	th, err := s.pool.AcquireCtx(r.Context())
+	if err != nil {
+		return err
+	}
+	defer s.pool.Release(th)
+	return op(th)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key, err := reqKey(r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	var v int64
+	var ok bool
+	err = s.withThread(r, func(th int) error {
+		var err error
+		v, ok, err = s.store.Get(th, key)
+		return err
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = io.WriteString(w, strconv.FormatInt(v, 10)+"\n")
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, err := reqKey(r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	val, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
+	if err != nil {
+		http.Error(w, "body must be a decimal int64 value", http.StatusBadRequest)
+		return
+	}
+	if s.wb != nil {
+		err = s.wb.put(r.Context(), key, val)
+	} else {
+		err = s.withThread(r, func(th int) error { return s.store.Put(th, key, val) })
+	}
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key, err := reqKey(r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	var removed bool
+	err = s.withThread(r, func(th int) error {
+		var err error
+		removed, err = s.store.Delete(th, key)
+		return err
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if !removed {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// kvJSON is one /scan element.
+type kvJSON struct {
+	Key int64 `json:"key"`
+	Val int64 `json:"val"`
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	var kvs []stmkv.KV
+	err := s.withThread(r, func(th int) error {
+		var err error
+		kvs, err = s.store.Scan(th)
+		return err
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	out := make([]kvJSON, len(kvs))
+	for i, kv := range kvs {
+		out[i] = kvJSON{Key: kv.Key, Val: kv.Val}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// StatsReply is the /stats document.
+type StatsReply struct {
+	Spec        string  `json:"spec"`
+	Shards      int     `json:"shards"`
+	Slots       int     `json:"slots"`
+	Threads     int     `json:"threads"`
+	BatchWrites int     `json:"batch_writes"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	Store       struct {
+		Keys           int64 `json:"keys"`
+		Privatizations int64 `json:"privatizations"`
+		Grows          int64 `json:"grows"`
+		Scans          int64 `json:"scans"`
+		Clears         int64 `json:"clears"`
+	} `json:"store"`
+	Heap struct {
+		Allocs       int64 `json:"allocs"`
+		Frees        int64 `json:"frees"`
+		Live         int64 `json:"live"`
+		Regs         int64 `json:"regs"`
+		PendingFrees int64 `json:"pending_frees"`
+	} `json:"heap"`
+	Telemetry struct {
+		Commits        int64   `json:"commits"`
+		Aborts         int64   `json:"aborts"`
+		Fences         int64   `json:"fences"`
+		Privatizations int64   `json:"privatizations"`
+		AbortRate      float64 `json:"abort_rate"`
+		PrivRate       float64 `json:"priv_rate"`
+		MagHitRate     float64 `json:"mag_hit_rate"`
+	} `json:"telemetry"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var reply StatsReply
+	reply.Spec = s.cfg.Spec
+	reply.Shards = s.cfg.Shards
+	reply.Slots = s.cfg.Slots
+	reply.Threads = s.cfg.Threads
+	reply.BatchWrites = s.cfg.BatchWrites
+	reply.UptimeSec = time.Since(s.start).Seconds()
+	err := s.withThread(r, func(th int) error {
+		var err error
+		reply.Store.Keys, err = s.store.Len(th)
+		return err
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	st := s.store.Stats()
+	reply.Store.Privatizations = st.Privatizations
+	reply.Store.Grows = st.Grows
+	reply.Store.Scans = st.Scans
+	reply.Store.Clears = st.Clears
+	hs := s.store.HeapStats()
+	reply.Heap.Allocs = hs.Allocs
+	reply.Heap.Frees = hs.Frees
+	reply.Heap.Live = hs.Live
+	reply.Heap.Regs = hs.BumpRegs
+	reply.Heap.PendingFrees = hs.PendingFrees
+	tel := s.Telemetry()
+	reply.Telemetry.Commits = tel.Commits
+	reply.Telemetry.Aborts = tel.Aborts
+	reply.Telemetry.Fences = tel.Fences
+	reply.Telemetry.Privatizations = tel.Privatizations
+	reply.Telemetry.AbortRate = tel.AbortRate()
+	reply.Telemetry.PrivRate = tel.PrivRate()
+	reply.Telemetry.MagHitRate = tel.MagHitRate()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}

@@ -1,0 +1,273 @@
+package kvserve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"safepriv/internal/kvserve"
+)
+
+func newTestServer(t *testing.T, cfg kvserve.Config) (*kvserve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := kvserve.New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Drain(); err != nil {
+			t.Errorf("cleanup Drain: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func do(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	for _, spec := range []string{"tl2", "tl2+combine", "norec"} {
+		t.Run(spec, func(t *testing.T) {
+			_, ts := newTestServer(t, kvserve.Config{Spec: spec, Shards: 4, Slots: 64, Threads: 4})
+
+			if st, _ := do(t, http.MethodGet, ts.URL+"/healthz", ""); st != http.StatusOK {
+				t.Fatalf("healthz = %d, want 200", st)
+			}
+			if st, _ := do(t, http.MethodGet, ts.URL+"/kv/7", ""); st != http.StatusNotFound {
+				t.Fatalf("GET absent key = %d, want 404", st)
+			}
+			if st, body := do(t, http.MethodPut, ts.URL+"/kv/7", "42\n"); st != http.StatusNoContent {
+				t.Fatalf("PUT = %d (%s), want 204", st, body)
+			}
+			if st, body := do(t, http.MethodGet, ts.URL+"/kv/7", ""); st != http.StatusOK || strings.TrimSpace(body) != "42" {
+				t.Fatalf("GET = %d %q, want 200 \"42\"", st, body)
+			}
+
+			// Bad requests map to 400, not 500.
+			if st, _ := do(t, http.MethodPut, ts.URL+"/kv/abc", "1"); st != http.StatusBadRequest {
+				t.Fatalf("PUT non-integer key = %d, want 400", st)
+			}
+			if st, _ := do(t, http.MethodPut, ts.URL+"/kv/-3", "1"); st != http.StatusBadRequest {
+				t.Fatalf("PUT negative key = %d, want 400", st)
+			}
+			if st, _ := do(t, http.MethodPut, ts.URL+"/kv/8", "not-a-number"); st != http.StatusBadRequest {
+				t.Fatalf("PUT bad body = %d, want 400", st)
+			}
+
+			if st, _ := do(t, http.MethodDelete, ts.URL+"/kv/7", ""); st != http.StatusNoContent {
+				t.Fatalf("DELETE = %d, want 204", st)
+			}
+			if st, _ := do(t, http.MethodDelete, ts.URL+"/kv/7", ""); st != http.StatusNotFound {
+				t.Fatalf("DELETE absent = %d, want 404", st)
+			}
+
+			// Populate and check /scan and /stats agree on the key count.
+			const n = 20
+			for k := 1; k <= n; k++ {
+				if st, _ := do(t, http.MethodPut, fmt.Sprintf("%s/kv/%d", ts.URL, k), fmt.Sprint(k*10)); st != http.StatusNoContent {
+					t.Fatalf("PUT %d failed: %d", k, st)
+				}
+			}
+			var kvs []struct {
+				Key int64 `json:"key"`
+				Val int64 `json:"val"`
+			}
+			_, scanBody := do(t, http.MethodGet, ts.URL+"/scan", "")
+			if err := json.Unmarshal([]byte(scanBody), &kvs); err != nil {
+				t.Fatalf("scan JSON: %v (%s)", err, scanBody)
+			}
+			if len(kvs) != n {
+				t.Fatalf("scan returned %d pairs, want %d", len(kvs), n)
+			}
+			for _, kv := range kvs {
+				if kv.Val != kv.Key*10 {
+					t.Fatalf("scan pair %+v, want val=%d", kv, kv.Key*10)
+				}
+			}
+			var stats kvserve.StatsReply
+			_, statsBody := do(t, http.MethodGet, ts.URL+"/stats", "")
+			if err := json.Unmarshal([]byte(statsBody), &stats); err != nil {
+				t.Fatalf("stats JSON: %v (%s)", err, statsBody)
+			}
+			if stats.Store.Keys != n {
+				t.Fatalf("stats keys = %d, want %d", stats.Store.Keys, n)
+			}
+			if stats.Spec != spec {
+				t.Fatalf("stats spec = %q, want %q", stats.Spec, spec)
+			}
+			if stats.Telemetry.Commits == 0 {
+				t.Fatalf("stats telemetry commits = 0, want > 0 after %d PUTs", n)
+			}
+		})
+	}
+}
+
+func TestServerConcurrentMixedLoad(t *testing.T) {
+	for _, cfg := range []kvserve.Config{
+		{Spec: "tl2", Shards: 4, Slots: 256, Threads: 4},
+		{Spec: "tl2", Shards: 4, Slots: 256, Threads: 4, BatchWrites: 8},
+	} {
+		name := "direct"
+		if cfg.BatchWrites > 0 {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			srv, ts := newTestServer(t, cfg)
+			const workers, opsPer = 8, 50
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c := &http.Client{Timeout: 30 * time.Second}
+					for i := 0; i < opsPer; i++ {
+						key := int64(w*opsPer + i + 1)
+						url := fmt.Sprintf("%s/kv/%d", ts.URL, key)
+						req, _ := http.NewRequest(http.MethodPut, url, strings.NewReader(fmt.Sprint(key*3)))
+						resp, err := c.Do(req)
+						if err != nil {
+							errc <- err
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusNoContent {
+							errc <- fmt.Errorf("PUT %d: status %d", key, resp.StatusCode)
+							return
+						}
+						resp, err = c.Get(url)
+						if err != nil {
+							errc <- err
+							return
+						}
+						b, _ := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if got := strings.TrimSpace(string(b)); got != fmt.Sprint(key*3) {
+							errc <- fmt.Errorf("GET %d = %q, want %d", key, got, key*3)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			var stats kvserve.StatsReply
+			_, body := do(t, http.MethodGet, ts.URL+"/stats", "")
+			if err := json.Unmarshal([]byte(body), &stats); err != nil {
+				t.Fatalf("stats JSON: %v", err)
+			}
+			if want := int64(workers * opsPer); stats.Store.Keys != want {
+				t.Fatalf("keys = %d, want %d", stats.Store.Keys, want)
+			}
+			if err := srv.Drain(); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		})
+	}
+}
+
+// TestServerDrainRejectsBatchedWrites pins the shutdown ordering: after
+// Drain, coalesced writes get 503 (ErrDraining) rather than hanging or
+// panicking, and healthz flips to 503.
+func TestServerDrainRejectsBatchedWrites(t *testing.T) {
+	srv, err := kvserve.New(kvserve.Config{Spec: "tl2", Shards: 4, Slots: 64, Threads: 2, BatchWrites: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if st, _ := do(t, http.MethodPut, ts.URL+"/kv/1", "1"); st != http.StatusNoContent {
+		t.Fatalf("PUT before drain = %d, want 204", st)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st, _ := do(t, http.MethodPut, ts.URL+"/kv/2", "2"); st != http.StatusServiceUnavailable {
+		t.Fatalf("PUT after drain = %d, want 503", st)
+	}
+	if st, _ := do(t, http.MethodGet, ts.URL+"/healthz", ""); st != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain = %d, want 503", st)
+	}
+	// Drain is idempotent.
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestServerAdaptiveSpec(t *testing.T) {
+	srv, ts := newTestServer(t, kvserve.Config{Spec: "tl2+adapt", Shards: 4, Slots: 64, Threads: 4})
+	for k := 1; k <= 32; k++ {
+		if st, _ := do(t, http.MethodPut, fmt.Sprintf("%s/kv/%d", ts.URL, k), fmt.Sprint(k)); st != http.StatusNoContent {
+			t.Fatalf("PUT %d failed", k)
+		}
+	}
+	if st, _ := do(t, http.MethodGet, ts.URL+"/stats", ""); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("Drain with adaptive controller: %v", err)
+	}
+}
+
+// TestRunLoad exercises the load driver against a live in-process
+// server: the run must complete with zero errors in both closed-loop
+// and open-loop (paced) modes.
+func TestRunLoad(t *testing.T) {
+	_, ts := newTestServer(t, kvserve.Config{Spec: "tl2", Shards: 4, Slots: 128, Threads: 4, BatchWrites: 8})
+	for name, cfg := range map[string]kvserve.LoadConfig{
+		"closed":  {BaseURL: ts.URL, Conns: 4, Ops: 400, ReadPct: 60, DeletePct: 10, Keys: 256},
+		"open":    {BaseURL: ts.URL, Conns: 4, Ops: 200, QPS: 2000, ReadPct: 60, DeletePct: 10, Keys: 256},
+		"zipfian": {BaseURL: ts.URL, Conns: 4, Ops: 400, Zipfian: true, Keys: 256},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, err := kvserve.RunLoad(cfg)
+			if err != nil {
+				t.Fatalf("RunLoad: %v", err)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("load run had %d errors: %s", rep.Errors, rep)
+			}
+			if rep.Ops != int64(cfg.Ops) {
+				t.Fatalf("completed %d ops, want %d", rep.Ops, cfg.Ops)
+			}
+			if rep.P50 <= 0 || rep.P99 < rep.P50 {
+				t.Fatalf("implausible quantiles: %s", rep)
+			}
+		})
+	}
+}
+
+func TestRunLoadUnreachable(t *testing.T) {
+	_, err := kvserve.RunLoad(kvserve.LoadConfig{BaseURL: "http://127.0.0.1:1", Ops: 10})
+	if err == nil {
+		t.Fatal("RunLoad against a dead address: want error, got nil")
+	}
+}

@@ -1,0 +1,5 @@
+package stmalloc
+
+// InjectAsyncErr records err as if a deferred reclamation had failed —
+// the test hook behind Drain's surface-once regression test.
+func (h *Heap) InjectAsyncErr(err error) { h.fail(err) }

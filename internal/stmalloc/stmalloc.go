@@ -1266,6 +1266,10 @@ func (h *Heap) fail(err error) {
 // magazine have not been registered with the fence yet), leaving the
 // alloc-side caches in place. th must be a valid thread id not
 // currently inside a transaction.
+//
+// Each async error is surfaced exactly once: the Drain that returns it
+// clears it, so periodic drains in a long-running process report
+// recovery as nil instead of repeating the first failure forever.
 func (h *Heap) Drain(th int) error {
 	if h.magThreads > 0 {
 		var all []retired
@@ -1277,7 +1281,7 @@ func (h *Heap) Drain(th int) error {
 		}
 	}
 	h.tm.FenceBarrier(th)
-	if e := h.asyncErr.Load(); e != nil {
+	if e := h.asyncErr.Swap(nil); e != nil {
 		return *e
 	}
 	return nil

@@ -752,3 +752,29 @@ func TestSetMagazineCapacityLive(t *testing.T) {
 		t.Fatalf("live = %d after grow cycle: %+v", st.Live, st)
 	}
 }
+
+// TestHeapDrainSurfacesAsyncErrorOnce mirrors the stmkv regression: an
+// async reclamation failure is returned by exactly one Drain and then
+// cleared, so periodic drains in a long-lived process report recovery.
+func TestHeapDrainSurfacesAsyncErrorOnce(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", 1+stmalloc.HeaderRegs(1)+256, 3, nil)
+	h, err := stmalloc.New(tm, 1, tm.NumRegs(), stmalloc.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected reclamation failure")
+	h.InjectAsyncErr(injected)
+	if err := h.Drain(1); !errors.Is(err, injected) {
+		t.Fatalf("first Drain = %v, want the injected error", err)
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatalf("second Drain after recovery = %v, want nil (stale error resurfaced)", err)
+	}
+	h.InjectAsyncErr(injected)
+	if err := h.Drain(1); !errors.Is(err, injected) {
+		t.Fatalf("Drain after re-injection = %v, want the injected error", err)
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatalf("final Drain = %v, want nil", err)
+	}
+}

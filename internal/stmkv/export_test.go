@@ -1,0 +1,5 @@
+package stmkv
+
+// InjectAsyncErr records err as if a deferred maintenance callback had
+// failed — the test hook behind Drain's surface-once regression test.
+func (s *Store) InjectAsyncErr(err error) { s.fail(err) }

@@ -173,7 +173,8 @@ type Store struct {
 	clears         padInt64
 
 	// asyncErr holds the first error a deferred maintenance callback
-	// hit (publish contention, heap exhaustion); Drain surfaces it.
+	// hit (publish contention, heap exhaustion) since the last Drain;
+	// Drain surfaces it once and clears it.
 	asyncErr atomic.Pointer[error]
 
 	// board is the TM's telemetry board when the TM carries one;
@@ -462,6 +463,85 @@ func (s *Store) Get(th int, key int64) (v int64, ok bool, err error) {
 	return v, ok, err
 }
 
+// putInTx is the body of one Put inside a running transaction: the
+// shared() guard, the probe, and the insert/update writes. It returns
+// errNeedGrow when the shard is over the load factor (the caller
+// privatizes, grows, and retries). Both Put and PutBatch build on it;
+// the read-own-writes guarantee of every registry TM means a batch may
+// put the same key twice in one transaction (the second probe finds
+// the first insert in the write set and takes the update path).
+func (s *Store) putInTx(tx core.Txn, base int, key, val int64) error {
+	if err := shared(tx, base); err != nil {
+		return err
+	}
+	tab, cap, err := s.table(tx, base)
+	if err != nil {
+		return err
+	}
+	count, err := tx.Read(base + offCount)
+	if err != nil {
+		return err
+	}
+	tombs, err := tx.Read(base + offTombs)
+	if err != nil {
+		return err
+	}
+	i := slotStart(key, cap)
+	firstTomb := -1
+	for j := int64(0); j < cap; j++ {
+		k, err := tx.Read(keyReg(tab, i))
+		if err != nil {
+			return err
+		}
+		if k == key {
+			return tx.Write(valReg(tab, i), val)
+		}
+		if k == keyTomb && firstTomb < 0 {
+			firstTomb = i
+		}
+		if k == keyEmpty {
+			// Inserting into a fresh slot raises count+tombs;
+			// keep the table under the load factor so probe
+			// chains stay short — unless the shard is already at
+			// its arena limit, where filling up beats looping.
+			if firstTomb < 0 && cap < int64(s.slots) &&
+				(count+tombs+1)*maxLoadDen > cap*maxLoadNum {
+				return errNeedGrow
+			}
+			at := i
+			if firstTomb >= 0 {
+				at = firstTomb
+				if err := tx.Write(base+offTombs, tombs-1); err != nil {
+					return err
+				}
+			}
+			if err := tx.Write(keyReg(tab, at), key); err != nil {
+				return err
+			}
+			if err := tx.Write(valReg(tab, at), val); err != nil {
+				return err
+			}
+			return tx.Write(base+offCount, count+1)
+		}
+		if i++; i == int(cap) {
+			i = 0
+		}
+	}
+	if firstTomb >= 0 {
+		if err := tx.Write(keyReg(tab, firstTomb), key); err != nil {
+			return err
+		}
+		if err := tx.Write(valReg(tab, firstTomb), val); err != nil {
+			return err
+		}
+		if err := tx.Write(base+offTombs, tombs-1); err != nil {
+			return err
+		}
+		return tx.Write(base+offCount, count+1)
+	}
+	return errNeedGrow
+}
+
 // Put inserts or updates key↦val. When the shard crosses the load
 // factor (or is out of free slots), Put privatizes it, grows/compacts
 // the table, and retries; ErrFull is returned only when the shard's
@@ -474,81 +554,68 @@ func (s *Store) Put(th int, key, val int64) error {
 	base := s.base(shard)
 	for {
 		err := s.retryShared(th, func(tx core.Txn) error {
-			if err := shared(tx, base); err != nil {
-				return err
-			}
-			tab, cap, err := s.table(tx, base)
-			if err != nil {
-				return err
-			}
-			count, err := tx.Read(base + offCount)
-			if err != nil {
-				return err
-			}
-			tombs, err := tx.Read(base + offTombs)
-			if err != nil {
-				return err
-			}
-			i := slotStart(key, cap)
-			firstTomb := -1
-			for j := int64(0); j < cap; j++ {
-				k, err := tx.Read(keyReg(tab, i))
-				if err != nil {
-					return err
-				}
-				if k == key {
-					return tx.Write(valReg(tab, i), val)
-				}
-				if k == keyTomb && firstTomb < 0 {
-					firstTomb = i
-				}
-				if k == keyEmpty {
-					// Inserting into a fresh slot raises count+tombs;
-					// keep the table under the load factor so probe
-					// chains stay short — unless the shard is already at
-					// its arena limit, where filling up beats looping.
-					if firstTomb < 0 && cap < int64(s.slots) &&
-						(count+tombs+1)*maxLoadDen > cap*maxLoadNum {
-						return errNeedGrow
-					}
-					at := i
-					if firstTomb >= 0 {
-						at = firstTomb
-						if err := tx.Write(base+offTombs, tombs-1); err != nil {
-							return err
-						}
-					}
-					if err := tx.Write(keyReg(tab, at), key); err != nil {
-						return err
-					}
-					if err := tx.Write(valReg(tab, at), val); err != nil {
-						return err
-					}
-					return tx.Write(base+offCount, count+1)
-				}
-				if i++; i == int(cap) {
-					i = 0
-				}
-			}
-			if firstTomb >= 0 {
-				if err := tx.Write(keyReg(tab, firstTomb), key); err != nil {
-					return err
-				}
-				if err := tx.Write(valReg(tab, firstTomb), val); err != nil {
-					return err
-				}
-				if err := tx.Write(base+offTombs, tombs-1); err != nil {
-					return err
-				}
-				return tx.Write(base+offCount, count+1)
-			}
-			return errNeedGrow
+			return s.putInTx(tx, base, key, val)
 		})
 		if err == nil {
 			return nil
 		}
 		if errors.Is(err, errNeedGrow) {
-			if err := s.grow(th, shard); err != nil {
+			if err := s.grow(th, shard, 1); err != nil {
+				return err
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// PutBatch commits every pair in one transaction: the write-coalescing
+// primitive behind cmd/kvserver's request batching. The pairs may span
+// shards (the transaction reads each touched shard's flag, so the DRF
+// guard of Theorem 5.3 still holds per shard) and may repeat keys
+// (later writes win — the probe reads its own earlier writes). The
+// whole batch commits or none of it does; a shard over the load factor
+// is grown and the batch retried. Larger batches amortize commit cost
+// but widen the conflict window, so callers should bound them.
+func (s *Store) PutBatch(th int, pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	for _, kv := range pairs {
+		if kv.Key <= 0 {
+			return ErrBadKey
+		}
+	}
+	for {
+		needGrow := -1
+		err := s.retryShared(th, func(tx core.Txn) error {
+			needGrow = -1
+			for _, kv := range pairs {
+				sh := s.shardOf(kv.Key)
+				if err := s.putInTx(tx, s.base(sh), kv.Key, kv.Val); err != nil {
+					if errors.Is(err, errNeedGrow) {
+						needGrow = sh
+					}
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errNeedGrow) && needGrow >= 0 {
+			// Size the growth to the whole batch's demand on that
+			// shard — the committed header alone cannot see the
+			// aborted transactional inserts (distinct keys only:
+			// in-transaction duplicates update, they don't insert).
+			distinct := make(map[int64]struct{})
+			for _, kv := range pairs {
+				if s.shardOf(kv.Key) == needGrow {
+					distinct[kv.Key] = struct{}{}
+				}
+			}
+			if err := s.grow(th, needGrow, int64(len(distinct))); err != nil {
 				return err
 			}
 			continue
@@ -761,9 +828,15 @@ func (s *Store) Resize(th, slots int) error {
 // call has completed and returns the first error any of them — or the
 // table heap's reclamations — hit. On TMs whose fence mode is not
 // deferred the maintenance ran inline and Drain only collects errors.
+//
+// Each async error is surfaced exactly once: the Drain that returns it
+// also clears it, so a later Drain reports only failures registered
+// since. A long-running caller (cmd/kvserver drains on every shutdown
+// and liveness probe) therefore sees recovery as a nil Drain instead
+// of the first failure repeated forever.
 func (s *Store) Drain(th int) error {
 	s.tm.FenceBarrier(th)
-	if e := s.asyncErr.Load(); e != nil {
+	if e := s.asyncErr.Swap(nil); e != nil {
 		return *e
 	}
 	return s.heap.Drain(th)
@@ -773,10 +846,18 @@ func (s *Store) fail(err error) {
 	s.asyncErr.CompareAndSwap(nil, &err)
 }
 
-// grow doubles a shard's active capacity (up to the arena) after Put
-// hit the load factor; at the arena limit it compacts tombstones
-// instead. ErrFull when the arena is exhausted by live keys.
-func (s *Store) grow(th, shard int) error {
+// grow makes room in a shard for `need` more inserts after a put hit
+// the load factor: it doubles the active capacity (repeatedly, for
+// batch demand, up to the arena) or compacts tombstones at the arena
+// limit. `need` matters because a failed PutBatch aborts, discarding
+// its transactional inserts — the committed header alone would say no
+// growth is due and the retry would fail identically, forever. Put
+// passes 1; PutBatch passes the shard's share of the batch. ErrFull
+// when even a full-arena tombstone-free table cannot absorb the
+// demand (conservative for batches whose pairs update existing keys —
+// those need no slot — but a put only reports errNeedGrow when its
+// probe actually found no room).
+func (s *Store) grow(th, shard int, need int64) error {
 	base := s.base(shard)
 	if err := s.privatize(th, base); err != nil {
 		return err
@@ -786,11 +867,16 @@ func (s *Store) grow(th, shard int) error {
 	count := tm.Load(th, base+offCount)
 	tombs := tm.Load(th, base+offTombs)
 	// Re-check under privatization: a concurrent grower may have run
-	// between our failed Put and our privatizing transaction, in which
-	// case no further doubling is due.
+	// between our failed put and our privatizing transaction, in which
+	// case no further doubling is due and the retry will succeed as is.
+	due := (count+tombs+need)*maxLoadDen > cap*maxLoadNum
+	// A rehash drops tombstones, so the rebuilt table only needs
+	// headroom for the live keys plus the pending inserts.
 	newCap := cap
-	if cap < int64(s.slots) && (count+tombs+1)*maxLoadDen > cap*maxLoadNum {
-		newCap = cap * 2
+	if due {
+		for newCap < int64(s.slots) && (count+need)*maxLoadDen > newCap*maxLoadNum {
+			newCap *= 2
+		}
 		if newCap > int64(s.slots) {
 			newCap = int64(s.slots)
 		}
@@ -802,13 +888,17 @@ func (s *Store) grow(th, shard int) error {
 			return err
 		}
 		s.grows.Add(1)
-	case tombs > 0:
+	case due && tombs > 0:
 		// Compaction: rebuild at the same capacity, dropping tombstones.
 		if err := s.rehashTo(th, base, cap); err != nil {
 			_ = s.publish(th, base)
 			return err
 		}
-	case count >= cap && cap == int64(s.slots):
+	case due && count+need > cap:
+		// Cannot double (at the arena), nothing to compact, and the
+		// demand exceeds the slots themselves: it will never fit. (At
+		// the arena limit puts waive the load factor and fill the
+		// table completely, so count+need <= cap still succeeds.)
 		err := s.publish(th, base)
 		if err == nil {
 			err = ErrFull

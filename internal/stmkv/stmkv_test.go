@@ -1,6 +1,7 @@
 package stmkv_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -761,4 +762,210 @@ func TestKVLiveRetuningChurnRace(t *testing.T) {
 			t.Fatalf("key %d holds %d, want %d or %d", k, v, k, k*10)
 		}
 	}
+}
+
+// TestDrainSurfacesAsyncErrorOnce is the long-running-server regression
+// test: an async maintenance failure must be returned by exactly one
+// Drain, not by every Drain for the rest of the process's life. The
+// second Drain after the injected deferred failure reports recovery
+// (nil), and the store keeps serving.
+func TestDrainSurfacesAsyncErrorOnce(t *testing.T) {
+	for _, spec := range []string{"tl2", "tl2+defer"} {
+		t.Run(spec, func(t *testing.T) {
+			tm := engine.MustNewSpec(spec, stmkv.RegsNeeded(2, 64), 3, nil)
+			s, err := stmkv.New(tm, 2, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := errors.New("injected deferred failure")
+			s.InjectAsyncErr(injected)
+			if err := s.Drain(1); !errors.Is(err, injected) {
+				t.Fatalf("first Drain = %v, want the injected error", err)
+			}
+			if err := s.Drain(1); err != nil {
+				t.Fatalf("second Drain after recovery = %v, want nil (stale error resurfaced)", err)
+			}
+			// The store still works, and a fresh failure surfaces again
+			// (once).
+			if err := s.Put(1, 7, 70); err != nil {
+				t.Fatal(err)
+			}
+			s.InjectAsyncErr(injected)
+			if err := s.Drain(1); !errors.Is(err, injected) {
+				t.Fatalf("Drain after second injection = %v, want the injected error", err)
+			}
+			if err := s.Drain(1); err != nil {
+				t.Fatalf("final Drain = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestPutBatch: the write-coalescing primitive commits many pairs in
+// one transaction — across shards, through growth, with duplicate keys
+// resolving to the last write.
+func TestPutBatch(t *testing.T) {
+	for _, spec := range allSpecs {
+		t.Run(spec, func(t *testing.T) {
+			tm := engine.MustNewSpec(spec, stmkv.RegsNeeded(4, 128), 3, nil)
+			s, err := stmkv.New(tm, 4, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutBatch(1, nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+			if err := s.PutBatch(1, []stmkv.KV{{Key: 0, Val: 1}}); !errors.Is(err, stmkv.ErrBadKey) {
+				t.Fatalf("bad key in batch = %v, want ErrBadKey", err)
+			}
+			// A batch big enough to force growth in several shards, with
+			// a duplicate key whose later value must win.
+			var batch []stmkv.KV
+			for k := int64(1); k <= 60; k++ {
+				batch = append(batch, stmkv.KV{Key: k, Val: k * 2})
+			}
+			batch = append(batch, stmkv.KV{Key: 30, Val: 999})
+			if err := s.PutBatch(1, batch); err != nil {
+				t.Fatal(err)
+			}
+			n, err := s.Len(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 60 {
+				t.Fatalf("Len = %d, want 60", n)
+			}
+			for k := int64(1); k <= 60; k++ {
+				v, ok, err := s.Get(1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := k * 2
+				if k == 30 {
+					want = 999
+				}
+				if !ok || v != want {
+					t.Fatalf("key %d = (%d,%v), want (%d,true)", k, v, ok, want)
+				}
+			}
+			if err := s.Drain(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPutBatchConcurrent hammers PutBatch from several goroutines over
+// disjoint key ranges while a reader scans — the kvserver batcher's
+// shape, run under -race in CI.
+func TestPutBatchConcurrent(t *testing.T) {
+	tm := engine.MustNewSpec("tl2", stmkv.RegsNeeded(4, 256), 5, nil)
+	s, err := stmkv.New(tm, 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches, batchLen = 3, 20, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := w + 1
+			for b := 0; b < batches; b++ {
+				batch := make([]stmkv.KV, batchLen)
+				for i := range batch {
+					k := int64(w*batches*batchLen + b*batchLen + i + 1)
+					batch[i] = stmkv.KV{Key: k, Val: k * 10}
+				}
+				if err := s.PutBatch(th, batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := s.Scan(writers + 1); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, err := s.Len(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(writers * batches * batchLen); n != want {
+		t.Fatalf("Len = %d, want %d", n, want)
+	}
+	if err := s.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadPool: ids hand out exactly once, context-bounded acquire
+// fails when the pool is empty, misuse panics.
+func TestThreadPool(t *testing.T) {
+	if _, err := stmkv.NewThreadPool(0, 4); err == nil {
+		t.Fatal("first=0 accepted (thread ids are 1-based)")
+	}
+	if _, err := stmkv.NewThreadPool(1, 0); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+	p, err := stmkv.NewThreadPool(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		id := p.Acquire()
+		if id < 2 || id > 4 {
+			t.Fatalf("id %d outside [2,4]", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d handed out twice", id)
+		}
+		seen[id] = true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.AcquireCtx(ctx); err == nil {
+		t.Fatal("AcquireCtx on an empty pool returned an id")
+	}
+	p.Release(3)
+	if id, err := p.AcquireCtx(context.Background()); err != nil || id != 3 {
+		t.Fatalf("AcquireCtx = (%d, %v), want (3, nil)", id, err)
+	}
+	p.Release(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Release did not panic")
+			}
+		}()
+		p.Release(2)
+		p.Release(3)
+		p.Release(4)
+		p.Release(2) // pool already full: must panic
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range Release did not panic")
+			}
+		}()
+		p.Release(99)
+	}()
 }
