@@ -1007,7 +1007,34 @@ func BenchmarkQueuePipe(b *testing.B) {
 	}
 }
 
-// dsBenchRow is one BENCH_ds.json record.
+// BenchmarkMapChurn is the ordered-map contrast as a plain benchmark:
+// list vs skiplist at the sizes where the asymptotics separate, on the
+// per-free and the batch (magazine) reclaim axes. The reported ns/op
+// includes the prefill (benchmarks can't subtract it); the JSON
+// emitter's rows time the churn phase alone.
+func BenchmarkMapChurn(b *testing.B) {
+	threads := kvBenchThreads()
+	const ops = 400
+	for _, spec := range []string{"tl2+quiesce", "tl2+defer+quiesce+batch"} {
+		for _, size := range []int{256, 4096} {
+			for _, ds := range []string{"map", "skip"} {
+				b.Run(fmt.Sprintf("%s/%s-%d", spec, ds, size), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := engine.RunWorkload(spec, "map-churn",
+							workload.Params{Threads: threads, Ops: ops, Seed: 1, LiveSet: size, DS: ds}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// dsBenchRow is one BENCH_ds.json record. DS and LiveSet are the
+// map-churn axes (the ordered-map implementation and the resident pair
+// count); set-churn rows carry DS "set" and their fixed live set.
+// AbortRate is the TM's telemetry abort share over the whole run.
 type dsBenchRow struct {
 	Spec           string  `json:"spec"`
 	TM             string  `json:"tm"`
@@ -1015,11 +1042,14 @@ type dsBenchRow struct {
 	Fence          string  `json:"fence"`
 	Reclaim        string  `json:"reclaim"`
 	Workload       string  `json:"workload"`
+	DS             string  `json:"ds"`
+	LiveSet        int     `json:"live_set"`
 	Threads        int     `json:"threads"`
 	Procs          int     `json:"procs"`
 	Ops            int64   `json:"ops"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
+	AbortRate      float64 `json:"abort_rate"`
 	HeapRegs       int64   `json:"heap_regs"`
 	Allocs         int64   `json:"allocs"`
 	Frees          int64   `json:"frees"`
@@ -1028,17 +1058,23 @@ type dsBenchRow struct {
 	ReclaimP99     int64   `json:"reclaim_p99_ns"`
 }
 
-// TestEmitDSBenchJSON measures the set-churn sweep — every TM × the
-// bump/quiesce allocator axis, the per-free vs batch (magazine)
-// reclaim axis on TL2 and NOrec, the batched-fence quiesce variants on
-// TL2, and the adaptive controller — each under the benchProcs
-// GOMAXPROCS axis, and writes BENCH_ds.json: ops/sec and the
-// steady-state register footprint per row. The quiesce rows prove the
-// reclamation story (frees keep up with allocs, footprint bounded);
-// the bump rows are the leaking contrast whose footprint scales with
-// the op count; the batch rows must show real amortization (fewer
-// grace-period registrations than frees). Row order is deterministic
-// (sorted tm, alloc, reclaim, fence, procs keys).
+// TestEmitDSBenchJSON measures the data-structure sweeps and writes
+// BENCH_ds.json. set-churn: every TM × the bump/quiesce allocator
+// axis, the per-free vs batch (magazine) reclaim axis on TL2 and
+// NOrec, the batched-fence quiesce variants on TL2, and the adaptive
+// controller. map-churn: the ordered-map contrast — the O(n) sorted
+// list vs the O(log n) skiplist at 256 and 4096 resident pairs on the
+// per-free and batch reclaim axes, timed over the churn phase only.
+// Both sweeps run under the benchProcs GOMAXPROCS axis, and every row
+// carries the telemetry abort rate next to its throughput. The quiesce
+// rows prove the reclamation story (frees keep up with allocs,
+// footprint bounded); the bump rows are the leaking contrast whose
+// footprint scales with the op count; the batch rows must show real
+// amortization (fewer grace-period registrations than frees); the
+// map-churn rows must show the skiplist >=3x faster than the list at
+// 4096 pairs with no worse an abort rate under real parallelism. Row
+// order is deterministic (sorted workload, tm, alloc, reclaim, fence,
+// ds, live-set, procs keys).
 func TestEmitDSBenchJSON(t *testing.T) {
 	threads := benchWorkers()
 	ops := 1200
@@ -1088,9 +1124,11 @@ func TestEmitDSBenchJSON(t *testing.T) {
 				total := int64(threads) * int64(ops)
 				row := dsBenchRow{
 					Spec: spec, TM: cfg.TM, Alloc: alloc, Fence: fence, Reclaim: reclaim,
-					Workload: "set-churn", Threads: threads, Procs: procs, Ops: total,
+					Workload: "set-churn", DS: "set", LiveSet: 128,
+					Threads: threads, Procs: procs, Ops: total,
 					NsPerOp:   float64(dur.Nanoseconds()) / float64(total),
 					OpsPerSec: float64(total) / dur.Seconds(),
+					AbortRate: st.Telemetry.AbortRate(),
 					HeapRegs:  st.HeapRegs,
 					Allocs:    st.Allocs, Frees: st.Frees,
 					ReclaimBatches: st.ReclaimBatches,
@@ -1125,8 +1163,110 @@ func TestEmitDSBenchJSON(t *testing.T) {
 	if len(batchTMs) < 2 {
 		t.Fatalf("batch rows cover %d TMs, want >= 2", len(batchTMs))
 	}
+
+	// map-churn: the ordered-map contrast. The same churn traffic on
+	// the O(n) sorted list and the O(log n) skiplist, across the sizes
+	// where the asymptotics separate, on the reclaim axes that exercise
+	// single- vs multi-size-class reclamation. Only the churn phase is
+	// timed (Stats.Elapsed): the list's O(n²) prefill would otherwise
+	// bury the per-op contrast the sweep exists to show.
+	mcOps := 400
+	if testing.Short() {
+		mcOps = 150
+	}
+	mcSpecs := []string{"tl2+quiesce", "norec+quiesce", "tl2+defer+quiesce+batch"}
+	mcSizes := []int{256, 4096}
+	for _, procs := range benchProcs {
+		for _, spec := range mcSpecs {
+			for _, size := range mcSizes {
+				for _, ds := range []string{"map", "skip"} {
+					withProcs(procs, func() {
+						cfg, err := engine.Parse(spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						fence, reclaim := cfg.Fence, cfg.Reclaim
+						if fence == "" {
+							fence = "wait"
+						}
+						if reclaim == "" {
+							reclaim = "free"
+						}
+						st, err := engine.RunWorkload(spec, "map-churn",
+							workload.Params{Threads: threads, Ops: mcOps, Seed: 1, LiveSet: size, DS: ds})
+						if err != nil {
+							t.Fatalf("%s/%s/%d procs-%d: %v", spec, ds, size, procs, err)
+						}
+						if st.Elapsed <= 0 {
+							t.Fatalf("%s/%s/%d: churn phase not timed", spec, ds, size)
+						}
+						if st.Frees == 0 {
+							t.Fatalf("%s/%s/%d: quiesce run reclaimed nothing", spec, ds, size)
+						}
+						total := int64(threads) * int64(mcOps)
+						row := dsBenchRow{
+							Spec: spec, TM: cfg.TM, Alloc: "quiesce", Fence: fence, Reclaim: reclaim,
+							Workload: "map-churn", DS: ds, LiveSet: size,
+							Threads: threads, Procs: procs, Ops: total,
+							NsPerOp:   float64(st.Elapsed.Nanoseconds()) / float64(total),
+							OpsPerSec: float64(total) / st.Elapsed.Seconds(),
+							AbortRate: st.Telemetry.AbortRate(),
+							HeapRegs:  st.HeapRegs,
+							Allocs:    st.Allocs, Frees: st.Frees,
+							ReclaimBatches: st.ReclaimBatches,
+						}
+						if h := st.ReclaimLatency; h != nil && h.Count() > 0 {
+							row.ReclaimP50 = h.Quantile(0.50).Nanoseconds()
+							row.ReclaimP99 = h.Quantile(0.99).Nanoseconds()
+						}
+						rows = append(rows, row)
+					})
+				}
+			}
+		}
+	}
+	// The headline claims, checked from the emitted rows themselves. At
+	// 4096 resident pairs the skiplist's O(log n) traversals must beat
+	// the list by at least 3× throughput on tl2+quiesce at every procs
+	// setting — the asymptotic gap is orders of magnitude, so 3× is a
+	// floor, not a tuning target. The abort contrast (shorter read sets
+	// ⇒ fewer validation failures) is asserted only above a noise floor:
+	// on a lightly contended host both configurations abort rarely and
+	// the ratio is meaningless.
+	mcRate := func(procs int, ds string, size int) (float64, float64) {
+		for _, r := range rows {
+			if r.Workload == "map-churn" && r.Spec == "tl2+quiesce" &&
+				r.Procs == procs && r.DS == ds && r.LiveSet == size {
+				return r.OpsPerSec, r.AbortRate
+			}
+		}
+		t.Fatalf("missing map-churn row tl2+quiesce/%s/%d/procs-%d", ds, size, procs)
+		return 0, 0
+	}
+	for _, procs := range benchProcs {
+		listOps, listAbort := mcRate(procs, "map", 4096)
+		skipOps, skipAbort := mcRate(procs, "skip", 4096)
+		t.Logf("map-churn 4096 procs=%d: skip=%.0f ops/sec (abort %.4f) vs list=%.0f ops/sec (abort %.4f), speedup %.1fx",
+			procs, skipOps, skipAbort, listOps, listAbort, skipOps/listOps)
+		if skipOps < 3*listOps {
+			t.Errorf("map-churn 4096 procs=%d: skiplist %.0f ops/sec is not >=3x the list's %.0f",
+				procs, skipOps, listOps)
+		}
+		if procs == 4 {
+			if listAbort < 0.005 {
+				t.Logf("map-churn 4096 procs=4: list abort rate %.4f below noise floor; skipping the abort contrast", listAbort)
+			} else if skipAbort > listAbort {
+				t.Errorf("map-churn 4096 procs=4: skiplist abort rate %.4f exceeds the list's %.4f",
+					skipAbort, listAbort)
+			}
+		}
+	}
+
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
 		if a.TM != b.TM {
 			return a.TM < b.TM
 		}
@@ -1139,6 +1279,12 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		if a.Fence != b.Fence {
 			return a.Fence < b.Fence
 		}
+		if a.DS != b.DS {
+			return a.DS < b.DS
+		}
+		if a.LiveSet != b.LiveSet {
+			return a.LiveSet < b.LiveSet
+		}
 		return a.Procs < b.Procs
 	})
 	// The adaptive controller's set-churn throughput should track the
@@ -1147,7 +1293,7 @@ func TestEmitDSBenchJSON(t *testing.T) {
 	for _, procs := range benchProcs {
 		var best, bestSpec, adaptive = 0.0, "", 0.0
 		for _, r := range rows {
-			if r.TM != "tl2" || r.Procs != procs || r.Alloc != "quiesce" {
+			if r.Workload != "set-churn" || r.TM != "tl2" || r.Procs != procs || r.Alloc != "quiesce" {
 				continue
 			}
 			if r.Fence == "adapt" {
@@ -1164,9 +1310,9 @@ func TestEmitDSBenchJSON(t *testing.T) {
 		}
 	}
 	out, err := json.MarshalIndent(struct {
-		Workload string       `json:"workload"`
-		Results  []dsBenchRow `json:"results"`
-	}{"set-churn", rows}, "", "  ")
+		Workloads []string     `json:"workloads"`
+		Results   []dsBenchRow `json:"results"`
+	}{[]string{"set-churn", "map-churn"}, rows}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,8 @@
 // bug, most-general-client strong-opacity checking on the real TL2
 // runtime, the fence-overhead table (after Yoo et al. [42]), the
 // TL2-vs-global-lock scalability sweep, and the fence-implementation
-// ablation.
+// ablation, and the data-structure tables (E17 reclamation, E18 the
+// list-vs-skiplist ordered-map contrast).
 //
 // Usage:
 //
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6,e9..e17) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6,e9..e18) or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 	run("e15", func() { norecTable() })
 	run("e16", func() { wtstmTable() })
 	run("e17", func() { reclaimTable(*seed) })
+	run("e18", func() { orderedMapTable(*seed) })
 }
 
 func verdict(b bool) string {
@@ -402,6 +404,50 @@ func reclaimTable(seed int64) {
 	fmt.Println("expected shape: bump's footprint grows with ops (until EXHAUSTED on long")
 	fmt.Println("runs); quiesce stays bounded near the live set; batch matches that bound")
 	fmt.Println("with far fewer grace periods than frees (one per magazine, not per Free)")
+}
+
+// orderedMapTable is E18: the ordered-map contrast over the reclaiming
+// heap — the same map-churn traffic on the O(n) sorted list and the
+// O(log n) skiplist, per TM and live-set size. Each cell is churn-phase
+// ns/op with the run's telemetry abort rate; prefill is untimed (the
+// list's O(n²) prefill would bury the per-op numbers). The skiplist's
+// shorter read sets pay off twice: fewer register reads per operation
+// AND fewer validation aborts under concurrent churn.
+func orderedMapTable(seed int64) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 8 {
+		threads = 8
+	}
+	if threads < 4 {
+		threads = 4
+	}
+	const ops = 400
+	fmt.Printf("map-churn ns/op (abort rate), %d threads, %d ops/thread, quiesce heap\n", threads, ops)
+	fmt.Printf("%-10s %-6s", "tm", "size")
+	for _, ds := range []string{"list", "skiplist"} {
+		fmt.Printf(" %-22s", ds)
+	}
+	fmt.Println(" speedup")
+	for _, tmName := range engine.TMs() {
+		for _, size := range []int{256, 1024, 4096} {
+			fmt.Printf("%-10s %-6d", tmName, size)
+			var nsPerOp [2]float64
+			for i, ds := range []string{"map", "skip"} {
+				st, err := engine.RunWorkload(tmName+"+quiesce", "map-churn",
+					workload.Params{Threads: threads, Ops: ops, Seed: seed, LiveSet: size, DS: ds})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					return
+				}
+				total := float64(threads) * float64(ops)
+				nsPerOp[i] = float64(st.Elapsed.Nanoseconds()) / total
+				fmt.Printf(" %-22s", fmt.Sprintf("%.0f (%.4f)", nsPerOp[i], st.Telemetry.AbortRate()))
+			}
+			fmt.Printf(" %.1fx\n", nsPerOp[0]/nsPerOp[1])
+		}
+	}
+	fmt.Println("expected shape: near parity at 256, the skiplist pulling far ahead as the")
+	fmt.Println("size grows (O(log n) vs O(n) traversals), with no worse an abort rate")
 }
 
 // norecTable is E15: fence-free privatization safety on NOrec.

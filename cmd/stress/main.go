@@ -21,15 +21,19 @@
 //	stress -tm tl2+quiesce -ds set -churn 256 -wops 50000
 //	stress -tm tl2 -fence defer -alloc quiesce -ds queue
 //	stress -tm tl2 -alloc quiesce -reclaim batch -ds set
+//	stress -tm tl2 -alloc quiesce -ds skip -churn 4096
+//	stress -tm norec -alloc quiesce -reclaim batch -ds map
 //	stress -tm tl2 -adapt -workload kvstore -procs 4
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
 //
 // -fence, -alloc and -reclaim append the fence-mode (wait, combine,
 // defer), allocator (bump, quiesce) and reclaim-granularity (free,
-// batch) modifiers to the -tm spec. -ds set|queue is shorthand for the
-// set-churn/queue-pipe data-structure workloads and -churn sets their
-// live-set-size knob; on a quiesce spec the report includes the
+// batch) modifiers to the -tm spec. -ds set|queue|map|skip is
+// shorthand for the data-structure workloads (set-churn, queue-pipe,
+// and map-churn on the sorted-list Map or the skiplist SkipMap) and
+// -churn sets their live-set-size knob; on a quiesce spec the report
+// includes the
 // reclaim-latency quantiles and the steady-state register footprint
 // (on a bump spec the footprint line shows the leak), and on a batch
 // spec a magazine summary: how many grace periods the batched retires
@@ -59,7 +63,7 @@ import (
 )
 
 // runWorkload is the -workload mode: one named workload on one TM.
-func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet int, seed int64) error {
+func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet int, dsImpl string, seed int64) error {
 	p := workload.Params{
 		Threads:        threads,
 		Ops:            ops,
@@ -68,6 +72,7 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 		Shards:         shards,
 		PrivatizeEvery: privEvery,
 		LiveSet:        liveSet,
+		DS:             dsImpl,
 	}
 	start := time.Now()
 	st, err := engine.RunWorkload(tmSpec, name, p)
@@ -100,6 +105,35 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 			tel.AbortRate(), tel.PrivRate(), tel.MagHitRate())
 	}
 	return nil
+}
+
+// dsWorkload maps the -ds shorthand onto its workload name and — for
+// the ordered-map values — the map-implementation axis (Params.DS).
+func dsWorkload(ds string) (name, impl string, err error) {
+	switch ds {
+	case "":
+		return "", "", nil
+	case "set":
+		return "set-churn", "", nil
+	case "queue":
+		return "queue-pipe", "", nil
+	case "map":
+		return "map-churn", "map", nil
+	case "skip":
+		return "map-churn", "skip", nil
+	}
+	return "", "", fmt.Errorf("stress: unknown -ds %q (want set, queue, map or skip)", ds)
+}
+
+// dsFlagConflict rejects -ds alongside an explicit -workload, in the
+// vocabulary the user typed: -ds IS a workload selection (set-churn,
+// queue-pipe, map-churn), so combining the two would silently discard
+// one of them.
+func dsFlagConflict(ds, workloadName string) error {
+	if ds == "" || workloadName == "" || workloadName == "list" {
+		return nil
+	}
+	return fmt.Errorf("stress: -ds %s conflicts with -workload %s: -ds already selects the workload", ds, workloadName)
 }
 
 // adaptFlagConflict rejects flag combinations that -adapt cannot run
@@ -136,7 +170,7 @@ func main() {
 	alloc := flag.String("alloc", "", "allocator modifier appended to -tm: bump or quiesce")
 	reclaim := flag.String("reclaim", "", "reclaim-granularity modifier appended to -tm: free or batch")
 	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
-	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn) or queue (queue-pipe)")
+	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn), queue (queue-pipe), map or skip (map-churn on the sorted list / the skiplist)")
 	churn := flag.Int("churn", 0, "live-set-size knob for the -ds workloads (0 = default)")
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
@@ -179,18 +213,20 @@ func main() {
 		}
 		return
 	}
-	switch *ds {
-	case "":
-	case "set":
-		*wl = "set-churn"
-	case "queue":
-		*wl = "queue-pipe"
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -ds %q (want set or queue)\n", *ds)
+	if err := dsFlagConflict(*ds, *wl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	dsName, dsImpl, err := dsWorkload(*ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if dsName != "" {
+		*wl = dsName
+	}
 	if *wl != "" {
-		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *churn, *seed); err != nil {
+		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *churn, dsImpl, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

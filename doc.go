@@ -25,15 +25,23 @@
 //     abort, privatization and magazine-hit rates.
 //   - Heap layer: internal/stmalloc, the quiescence-based safe memory
 //     reclamation allocator (unlink transactionally, ride the fence,
-//     reuse), with the typed ErrOutOfSpace exhaustion contract and a
+//     reuse), with the typed ErrOutOfSpace exhaustion contract, a
 //     per-thread magazine layer (the engine's batch reclaim axis) that
-//     amortizes one grace period over a whole magazine of frees.
+//     amortizes one grace period over a whole magazine of frees, and
+//     RegsForDemand, which sizes arenas from multi-size-class
+//     ClassDemand profiles.
 //   - Application layer: internal/stmds dynamic structures (sorted set,
-//     sorted map, FIFO queue) that free removed nodes through the
-//     allocator; internal/stmkv, the sharded privatization-safe KV
-//     store whose shard tables are heap blocks; the named workloads of
-//     internal/workload (incl. the set-churn/queue-pipe reclamation
-//     shapes); and the cross-TM differential executor internal/txexec.
+//     sorted map, FIFO queue, and the O(log n) SkipMap whose
+//     variable-height towers span four heap size classes and whose
+//     Delete retires a whole tower under one grace period) that free
+//     removed nodes through the allocator; internal/stmkv, the sharded
+//     privatization-safe KV store whose shard tables are heap blocks;
+//     the named workloads of internal/workload (incl. the
+//     set-churn/queue-pipe/map-churn reclamation shapes); and the
+//     cross-TM differential executor internal/txexec, whose windowed
+//     data-structure mode interleaves scripted map operations
+//     mid-transaction and replays the recorded order against plain Go
+//     maps as the oracle.
 //   - Serving layer: internal/kvserve, the HTTP front-end over the KV
 //     store — a thread-id pool maps goroutine-per-connection serving
 //     onto the TM's fixed thread contract, an optional write coalescer

@@ -197,6 +197,63 @@ func classOf(n int) (int, bool) {
 	return c, true
 }
 
+// ClassDemand is one entry of a block-demand profile: Count live
+// blocks serving requests of Regs registers each. A profile with one
+// entry per size class a client touches describes its steady-state
+// heap geometry (stmkv's tables are single-class; a stmds.SkipMap
+// spans four classes, one per tower-height band).
+type ClassDemand struct {
+	Regs  int // request size in registers (rounded up to its class)
+	Count int // live blocks of this class the arena must hold at once
+}
+
+// RegsForDemand returns the total register budget (headers included) a
+// heap needs to keep the given demand profile live: pass the result as
+// `limit-first` to New. It generalizes the single-class geometry of
+// stmkv.RegsNeededBatch to multi-size-class clients:
+//
+//   - every demanded block at its size-class roundup, plus
+//   - one max-class block of slack per shard, because a block cannot
+//     straddle shard chunks, so each chunk's bump tail can strand up
+//     to one block of fragmentation, plus
+//   - when magazines are enabled (magThreads > 0, capacity magCap or
+//     the default), a full magazine on BOTH sides of every demanded
+//     class for every thread — blocks parked there are neither live
+//     nor on a shard free list, so they are pure extra footprint.
+//
+// Returns 0 if any entry is unallocatable (Regs out of range or a
+// negative Count) — the same convention as BlockRegs.
+func RegsForDemand(shards, magThreads, magCap int, demand []ClassDemand) int {
+	if shards < 1 {
+		shards = 1
+	}
+	if magCap <= 0 {
+		magCap = defaultMagCap
+	}
+	classes := make(map[int]bool)
+	arena, maxBlock := 0, 0
+	for _, d := range demand {
+		b := BlockRegs(d.Regs)
+		if b == 0 || d.Count < 0 {
+			return 0
+		}
+		arena += d.Count * b
+		classes[b] = true
+		if b > maxBlock {
+			maxBlock = b
+		}
+	}
+	if magThreads > 0 {
+		stock := 0
+		for b := range classes {
+			stock += 2 * magCap * b
+		}
+		arena += magThreads * stock
+	}
+	arena += shards * maxBlock
+	return HeaderRegs(shards) + MagazineRegs(magThreads) + arena
+}
+
 // LatencyRecorder receives one sample per reclaimed block: the time
 // from the Free call to the block re-entering the free list.
 // *workload.Hist satisfies it.

@@ -778,3 +778,73 @@ func TestHeapDrainSurfacesAsyncErrorOnce(t *testing.T) {
 		t.Fatalf("final Drain = %v, want nil", err)
 	}
 }
+
+// TestRegsForDemand pins the multi-size-class sizing arithmetic and
+// its error convention, then proves the estimate is sufficient: a heap
+// given exactly the returned budget must hold every demanded block
+// live at once — with magazines parking their full stock — without
+// ErrOutOfSpace.
+func TestRegsForDemand(t *testing.T) {
+	// Arithmetic, no magazines: blocks at their class roundup plus one
+	// max-class slack block per shard, plus the shard headers.
+	demand := []stmalloc.ClassDemand{{Regs: 3, Count: 10}, {Regs: 7, Count: 4}}
+	got := stmalloc.RegsForDemand(2, 0, 0, demand)
+	want := stmalloc.HeaderRegs(2) + 10*4 + 4*8 + 2*8
+	if got != want {
+		t.Fatalf("RegsForDemand = %d, want %d", got, want)
+	}
+	// Magazines add 2×cap blocks per demanded class per thread, plus
+	// the magazine headers.
+	got = stmalloc.RegsForDemand(2, 3, 2, demand)
+	want += stmalloc.MagazineRegs(3) + 3*(2*2*4+2*2*8)
+	if got != want {
+		t.Fatalf("with magazines: RegsForDemand = %d, want %d", got, want)
+	}
+	// Unallocatable entries return 0, the BlockRegs convention.
+	for name, bad := range map[string][]stmalloc.ClassDemand{
+		"zero regs":      {{Regs: 0, Count: 1}},
+		"oversize":       {{Regs: stmalloc.MaxBlockRegs + 1, Count: 1}},
+		"negative count": {{Regs: 4, Count: -1}},
+	} {
+		if n := stmalloc.RegsForDemand(1, 0, 0, bad); n != 0 {
+			t.Fatalf("%s: RegsForDemand = %d, want 0", name, n)
+		}
+	}
+	// Sufficiency: a SkipMap-shaped demand profile, magazines on, heap
+	// sized to the estimate exactly. Every demanded block must
+	// allocate; frees then park in magazines without starving a
+	// subsequent refill.
+	const threads, magCap = 2, 2
+	profile := []stmalloc.ClassDemand{
+		{Regs: 4, Count: 12}, {Regs: 8, Count: 12}, {Regs: 16, Count: 6}, {Regs: 32, Count: 3},
+	}
+	budget := stmalloc.RegsForDemand(2, threads, magCap, profile)
+	tm := engine.MustNewSpec("tl2", 1+budget, threads+2, nil)
+	h, err := stmalloc.New(tm, 1, tm.NumRegs(),
+		stmalloc.WithShards(2), stmalloc.WithMagazines(threads, magCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []struct {
+		ptr int64
+		n   int
+	}
+	for _, d := range profile {
+		for i := 0; i < d.Count; i++ {
+			th := 1 + i%threads
+			live = append(live, struct {
+				ptr int64
+				n   int
+			}{alloc(t, tm, h, th, d.Regs), d.Regs})
+		}
+	}
+	for i, b := range live {
+		h.Free(1+i%threads, b.ptr, b.n)
+	}
+	if err := h.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.Live != 0 {
+		t.Fatalf("live = %d after freeing the whole profile: %+v", st.Live, st)
+	}
+}

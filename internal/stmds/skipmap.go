@@ -1,0 +1,395 @@
+package stmds
+
+import (
+	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
+)
+
+// MapDemand is the stmalloc demand profile of a sorted-list Map (or
+// Set: same class) holding up to `nodes` live entries — single-class,
+// like stmkv's tables.
+func MapDemand(nodes int) []stmalloc.ClassDemand {
+	return []stmalloc.ClassDemand{{Regs: mapNodeRegs, Count: nodes}}
+}
+
+// SkipMapDemand is the stmalloc demand profile of a SkipMap holding up
+// to `nodes` live towers under the geometric(1/2) level generator.
+// Tower heights split across four block classes — TowerRegs(h) = 3+h
+// rounds to 4, 8, 16, 32 registers for h = 1, 2–5, 6–13, 14–16 — with
+// expected shares 1/2, 15/32, ~1/32, ~2^-13 of the towers. Counts
+// carry slack above the expectation so a run at the stated size does
+// not die of per-class variance: churn tests treat ErrOutOfSpace as a
+// sizing bug, not a retry.
+func SkipMapDemand(nodes int) []stmalloc.ClassDemand {
+	return []stmalloc.ClassDemand{
+		{Regs: TowerRegs(1), Count: nodes*60/100 + 8}, // height 1        → 4-reg blocks
+		{Regs: TowerRegs(5), Count: nodes*55/100 + 8}, // heights 2..5    → 8-reg blocks
+		{Regs: TowerRegs(13), Count: nodes*8/100 + 8}, // heights 6..13   → 16-reg blocks
+		{Regs: TowerRegs(16), Count: nodes*2/100 + 4}, // heights 14..16  → 32-reg blocks
+	}
+}
+
+// SkipMap is a transactional skiplist map from int64 keys to int64
+// values: the O(log n) ordered map that replaces Map's O(n) list walk
+// for large key sets. Layout over TM registers:
+//
+//   - The head block is SkipHeadRegs consecutive registers starting at
+//     `head`: head+l holds the level-l list head pointer (nilPtr when
+//     that level is empty).
+//   - A node of tower height h occupies TowerRegs(h) = 3+h registers:
+//     node+0 = key, node+1 = value, node+2 = height, node+3+l = the
+//     level-l successor pointer for l in [0, h).
+//
+// Towers are variable-height, so a SkipMap is a multi-size-class heap
+// client: heights 1..16 land in the 4/8/16/32-register stmalloc block
+// classes (one class per height band — see SkipMapDemand). Delete
+// unlinks the whole tower in ONE transaction and hands the node back to
+// the allocator only after that transaction commits, which on stmalloc
+// is the paper's Fig. 7 idiom: the unlink is the privatization, the
+// allocator rides the fence (or a magazine batch retire) before the
+// registers are wiped and reused.
+//
+// Tower heights come from a deterministic per-thread xorshift64
+// generator (Level), so a given schedule allocates the same towers on
+// every TM — the property the differential suites rely on. Put draws
+// the height once per call, outside the retry loop, so TM-dependent
+// abort counts cannot skew the geometry.
+//
+// Like Map, SkipMap needs no pointer-validity guards against reclaimed
+// nodes: traversals only follow pointers read inside the transaction,
+// and on an opaque TM a doomed reader aborts before it can observe the
+// registers of a block that was unlinked, grace-period-settled, and
+// wiped (the guards in stmalloc protect its own uninstrumented-phase
+// metadata, which bypasses that argument). The one defensive check is
+// DeleteTx's height-range guard, which turns an impossible on-disk
+// height into core.ErrAborted instead of an out-of-bounds walk.
+type SkipMap struct {
+	tm    core.TM
+	head  int
+	alloc Allocator
+	rng   []uint64 // per-thread level-generator state, indexed by thread id
+}
+
+// SkipMaxLevel is the fixed number of skiplist levels. 2^16 towers keep
+// the expected traversal O(log n) far past any arena this repo sizes.
+const SkipMaxLevel = 16
+
+// SkipHeadRegs is the register footprint of a SkipMap head block: one
+// head pointer per level, consecutive from `head`.
+const SkipHeadRegs = SkipMaxLevel
+
+// skipNodeHdr is the per-node header (key, value, height) preceding the
+// next-pointer tower.
+const skipNodeHdr = 3
+
+// TowerRegs returns the register footprint of a node with tower height
+// h.
+func TowerRegs(height int) int { return skipNodeHdr + height }
+
+// NewSkipMap returns a skiplist map whose head block occupies registers
+// [head, head+SkipHeadRegs) and whose nodes come from alloc. threads is
+// the highest thread id that will call Put (level-generator state is
+// per thread so concurrent Puts stay deterministic per thread). The
+// head registers must start zeroed (VInit), which reads as "all levels
+// empty".
+func NewSkipMap(tm core.TM, head, threads int, alloc Allocator) *SkipMap {
+	s := &SkipMap{tm: tm, head: head, alloc: alloc, rng: make([]uint64, threads+1)}
+	for th := range s.rng {
+		s.rng[th] = splitmix64(uint64(th))
+	}
+	return s
+}
+
+// splitmix64 seeds the per-thread xorshift states far apart even though
+// thread ids are consecutive small integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		return 0x2545F4914F6CDD1D // xorshift state must be nonzero
+	}
+	return x
+}
+
+// Level draws the next tower height for thread th: a geometric(1/2)
+// variable clamped to [1, SkipMaxLevel], from th's private xorshift64
+// stream. Deterministic: the i-th call for a given th returns the same
+// height in every run and on every TM. Not transactional state — a
+// retried Put must NOT redraw (Put draws once per call; the windowed
+// executor memoizes the draw across attempt reruns).
+func (s *SkipMap) Level(th int) int {
+	if th < 0 || th >= len(s.rng) {
+		th = 0
+	}
+	x := s.rng[th]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng[th] = x
+	h := 1
+	for x&1 == 1 && h < SkipMaxLevel {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// nextReg returns the register holding the level-l successor pointer of
+// node, with node==nilPtr standing for the head block.
+func (s *SkipMap) nextReg(node int64, level int) int {
+	if node == nilPtr {
+		return s.head + level
+	}
+	return int(node) + skipNodeHdr + level
+}
+
+// findTx descends the tower: for every level l, update[l] is the
+// register holding the pointer to the first node with key >= k on the
+// level-l list (a head register or a next field). cand is that node at
+// level 0 (nilPtr if every key is < k). One transactional read set of
+// O(log n) expected size — the structural reason SkipMap aborts less
+// than Map under the same churn.
+func (s *SkipMap) findTx(tx core.Txn, k int64) (update [SkipMaxLevel]int, cand int64, err error) {
+	prev := nilPtr // nilPtr marks "still at the head block"
+	for level := SkipMaxLevel - 1; level >= 0; level-- {
+		for {
+			cur, err := tx.Read(s.nextReg(prev, level))
+			if err != nil {
+				return update, 0, err
+			}
+			if cur == nilPtr {
+				break
+			}
+			key, err := tx.Read(int(cur))
+			if err != nil {
+				return update, 0, err
+			}
+			if key >= k {
+				break
+			}
+			prev = cur
+		}
+		update[level] = s.nextReg(prev, level)
+	}
+	cand, err = tx.Read(update[0])
+	return update, cand, err
+}
+
+// GetTx is Get inside a caller-owned transaction.
+func (s *SkipMap) GetTx(tx core.Txn, k int64) (v int64, ok bool, err error) {
+	_, cand, err := s.findTx(tx, k)
+	if err != nil || cand == nilPtr {
+		return 0, false, err
+	}
+	key, err := tx.Read(int(cand))
+	if err != nil || key != k {
+		return 0, false, err
+	}
+	if v, err = tx.Read(int(cand) + 1); err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// PutTx is Put inside a caller-owned transaction, with the tower height
+// supplied by the caller (clamped to [1, SkipMaxLevel]). Passing the
+// height in keeps the level draw outside the transaction so retries and
+// cross-TM runs insert identical towers. Reports whether k was absent.
+func (s *SkipMap) PutTx(tx core.Txn, th int, k, v int64, height int) (bool, error) {
+	if height < 1 {
+		height = 1
+	}
+	if height > SkipMaxLevel {
+		height = SkipMaxLevel
+	}
+	update, cand, err := s.findTx(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cand != nilPtr {
+		key, err := tx.Read(int(cand))
+		if err != nil {
+			return false, err
+		}
+		if key == k {
+			return false, tx.Write(int(cand)+1, v) // update in place
+		}
+	}
+	node, err := s.alloc.New(tx, th, TowerRegs(height))
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node), k); err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node)+1, v); err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node)+2, int64(height)); err != nil {
+		return false, err
+	}
+	for l := 0; l < height; l++ {
+		nxt, err := tx.Read(update[l])
+		if err != nil {
+			return false, err
+		}
+		if err := tx.Write(int(node)+skipNodeHdr+l, nxt); err != nil {
+			return false, err
+		}
+		if err := tx.Write(update[l], node); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// DeleteTx is Delete inside a caller-owned transaction: it unlinks the
+// whole tower (every level it appears on) in this one transaction and
+// returns the node for the caller to free AFTER the transaction
+// commits — never before, or the fence would not cover the unlink.
+// victimRegs is the block size to pass to Allocator.Free.
+func (s *SkipMap) DeleteTx(tx core.Txn, k int64) (removed bool, victim int64, victimRegs int, err error) {
+	update, cand, err := s.findTx(tx, k)
+	if err != nil || cand == nilPtr {
+		return false, 0, 0, err
+	}
+	key, err := tx.Read(int(cand))
+	if err != nil || key != k {
+		return false, 0, 0, err
+	}
+	hgt, err := tx.Read(int(cand) + 2)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if hgt < 1 || int(hgt) > SkipMaxLevel {
+		// No committed state stores an out-of-range height; a doomed
+		// transaction may have read a node already wiped by the
+		// allocator's uninstrumented phase. Abort and retry rather than
+		// walk a bogus tower.
+		return false, 0, 0, core.ErrAborted
+	}
+	for l := 0; l < int(hgt); l++ {
+		// In committed state update[l] points at cand on every level the
+		// tower spans (keys are unique, so cand is the first key >= k
+		// wherever it appears); re-check defensively all the same.
+		ptr, err := tx.Read(update[l])
+		if err != nil {
+			return false, 0, 0, err
+		}
+		if ptr != cand {
+			continue
+		}
+		nxt, err := tx.Read(int(cand) + skipNodeHdr + l)
+		if err != nil {
+			return false, 0, 0, err
+		}
+		if err := tx.Write(update[l], nxt); err != nil {
+			return false, 0, 0, err
+		}
+	}
+	return true, cand, TowerRegs(int(hgt)), nil
+}
+
+// SnapshotTx walks level 0 inside a caller-owned transaction, returning
+// the pairs in key order.
+func (s *SkipMap) SnapshotTx(tx core.Txn) ([]KV, error) {
+	var out []KV
+	cur, err := tx.Read(s.head)
+	if err != nil {
+		return nil, err
+	}
+	for cur != nilPtr {
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return nil, err
+		}
+		val, err := tx.Read(int(cur) + 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KV{key, val})
+		if cur, err = tx.Read(int(cur) + skipNodeHdr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// LenTx counts the pairs by walking level 0 inside a caller-owned
+// transaction.
+func (s *SkipMap) LenTx(tx core.Txn) (int, error) {
+	n := 0
+	cur, err := tx.Read(s.head)
+	if err != nil {
+		return 0, err
+	}
+	for cur != nilPtr {
+		n++
+		if cur, err = tx.Read(int(cur) + skipNodeHdr); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// Get returns the value stored under k; ok reports presence.
+func (s *SkipMap) Get(th int, k int64) (v int64, ok bool, err error) {
+	err = core.Atomically(s.tm, th, func(tx core.Txn) error {
+		v, ok, err = s.GetTx(tx, k)
+		return err
+	})
+	return v, ok, err
+}
+
+// Put inserts or updates k↦v, reporting whether k was absent. The tower
+// height is drawn once per call (not per attempt), so aborted attempts
+// retry the same insertion.
+func (s *SkipMap) Put(th int, k, v int64) (bool, error) {
+	height := s.Level(th)
+	var added bool
+	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+		added, err = s.PutTx(tx, th, k, v, height)
+		return err
+	})
+	return added, err
+}
+
+// Delete removes k, reporting whether it was present. The unlinked
+// tower goes back to the allocator after the removing transaction
+// commits — the Fig. 7 privatization cycle, with one grace period (or
+// one magazine slot) covering all 3+h registers at once.
+func (s *SkipMap) Delete(th int, k int64) (bool, error) {
+	var removed bool
+	var victim int64
+	var victimRegs int
+	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+		removed, victim, victimRegs, err = s.DeleteTx(tx, k)
+		return err
+	})
+	if err == nil && removed {
+		s.alloc.Free(th, victim, victimRegs)
+	}
+	return removed, err
+}
+
+// Snapshot returns the pairs in key order, read in one transaction.
+func (s *SkipMap) Snapshot(th int) ([]KV, error) {
+	var out []KV
+	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+		out, err = s.SnapshotTx(tx)
+		return err
+	})
+	return out, err
+}
+
+// Len returns the pair count, read in one transaction.
+func (s *SkipMap) Len(th int) (int, error) {
+	n := 0
+	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+		n, err = s.LenTx(tx)
+		return err
+	})
+	return n, err
+}

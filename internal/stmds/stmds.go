@@ -4,9 +4,11 @@
 // nodes, and every operation is one atomic block.
 //
 // Provided structures: a sorted linked-list set (the classic STM
-// microbenchmark), a sorted-list map, and a FIFO queue. All work on
-// any core.TM (TL2, NOrec, wtstm, the 2PL runtime, global-lock) and
-// are exercised by cross-implementation tests and benchmarks.
+// microbenchmark), a sorted-list map, an O(log n) skiplist map
+// (SkipMap, the multi-size-class heap client), and a FIFO queue. All
+// work on any core.TM (TL2, NOrec, wtstm, the 2PL runtime,
+// global-lock) and are exercised by cross-implementation tests and
+// benchmarks.
 //
 // Allocation goes through the Allocator interface. Two implementations
 // exist: the append-only bump Alloc in this package (removals leak —
@@ -316,29 +318,127 @@ func (m *Map) find(tx core.Txn, k int64) (int, int64, error) {
 	return prevReg, cur, nil
 }
 
+// GetTx is Get inside a caller-owned transaction (the windowed
+// executor drives these Tx-level methods under its own Begin/Commit;
+// the th-less wrappers below stay the application API).
+func (m *Map) GetTx(tx core.Txn, k int64) (v int64, ok bool, err error) {
+	_, cur, err := m.find(tx, k)
+	if err != nil || cur == nilPtr {
+		return 0, false, err
+	}
+	key, err := tx.Read(int(cur))
+	if err != nil || key != k {
+		return 0, false, err
+	}
+	if v, err = tx.Read(int(cur) + 1); err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// PutTx is Put inside a caller-owned transaction. Reports whether k was
+// absent.
+func (m *Map) PutTx(tx core.Txn, th int, k, v int64) (bool, error) {
+	prevReg, cur, err := m.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur != nilPtr {
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return false, err
+		}
+		if key == k {
+			return false, tx.Write(int(cur)+1, v) // update in place
+		}
+	}
+	node, err := m.alloc.New(tx, th, mapNodeRegs)
+	if err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node), k); err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node)+1, v); err != nil {
+		return false, err
+	}
+	if err := tx.Write(int(node)+2, cur); err != nil {
+		return false, err
+	}
+	if err := tx.Write(prevReg, node); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DeleteTx is Delete inside a caller-owned transaction: it unlinks the
+// node and returns it for the caller to free AFTER the transaction
+// commits. victimRegs is the block size to pass to Allocator.Free.
+func (m *Map) DeleteTx(tx core.Txn, k int64) (removed bool, victim int64, victimRegs int, err error) {
+	prevReg, cur, err := m.find(tx, k)
+	if err != nil || cur == nilPtr {
+		return false, 0, 0, err
+	}
+	key, err := tx.Read(int(cur))
+	if err != nil || key != k {
+		return false, 0, 0, err
+	}
+	next, err := tx.Read(int(cur) + 2)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if err := tx.Write(prevReg, next); err != nil {
+		return false, 0, 0, err
+	}
+	return true, cur, mapNodeRegs, nil
+}
+
+// SnapshotTx returns the pairs in key order inside a caller-owned
+// transaction.
+func (m *Map) SnapshotTx(tx core.Txn) ([]KV, error) {
+	var out []KV
+	cur, err := tx.Read(m.head)
+	if err != nil {
+		return nil, err
+	}
+	for cur != nilPtr {
+		key, err := tx.Read(int(cur))
+		if err != nil {
+			return nil, err
+		}
+		val, err := tx.Read(int(cur) + 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KV{key, val})
+		if cur, err = tx.Read(int(cur) + 2); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// LenTx counts the pairs inside a caller-owned transaction.
+func (m *Map) LenTx(tx core.Txn) (int, error) {
+	n := 0
+	cur, err := tx.Read(m.head)
+	if err != nil {
+		return 0, err
+	}
+	for cur != nilPtr {
+		n++
+		if cur, err = tx.Read(int(cur) + 2); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
 // Get returns the value stored under k; ok reports presence.
 func (m *Map) Get(th int, k int64) (v int64, ok bool, err error) {
 	err = core.Atomically(m.tm, th, func(tx core.Txn) error {
-		v, ok = 0, false
-		_, cur, err := m.find(tx, k)
-		if err != nil {
-			return err
-		}
-		if cur == nilPtr {
-			return nil
-		}
-		key, err := tx.Read(int(cur))
-		if err != nil {
-			return err
-		}
-		if key != k {
-			return nil
-		}
-		if v, err = tx.Read(int(cur) + 1); err != nil {
-			return err
-		}
-		ok = true
-		return nil
+		v, ok, err = m.GetTx(tx, k)
+		return err
 	})
 	return v, ok, err
 }
@@ -346,39 +446,9 @@ func (m *Map) Get(th int, k int64) (v int64, ok bool, err error) {
 // Put inserts or updates k↦v, reporting whether k was absent.
 func (m *Map) Put(th int, k, v int64) (bool, error) {
 	var added bool
-	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
-		added = false
-		prevReg, cur, err := m.find(tx, k)
-		if err != nil {
-			return err
-		}
-		if cur != nilPtr {
-			key, err := tx.Read(int(cur))
-			if err != nil {
-				return err
-			}
-			if key == k {
-				return tx.Write(int(cur)+1, v) // update in place
-			}
-		}
-		node, err := m.alloc.New(tx, th, mapNodeRegs)
-		if err != nil {
-			return err
-		}
-		if err := tx.Write(int(node), k); err != nil {
-			return err
-		}
-		if err := tx.Write(int(node)+1, v); err != nil {
-			return err
-		}
-		if err := tx.Write(int(node)+2, cur); err != nil {
-			return err
-		}
-		if err := tx.Write(prevReg, node); err != nil {
-			return err
-		}
-		added = true
-		return nil
+	err := core.Atomically(m.tm, th, func(tx core.Txn) (err error) {
+		added, err = m.PutTx(tx, th, k, v)
+		return err
 	})
 	return added, err
 }
@@ -388,35 +458,13 @@ func (m *Map) Put(th int, k, v int64) (bool, error) {
 func (m *Map) Delete(th int, k int64) (bool, error) {
 	var removed bool
 	var victim int64
-	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
-		removed = false
-		prevReg, cur, err := m.find(tx, k)
-		if err != nil {
-			return err
-		}
-		if cur == nilPtr {
-			return nil
-		}
-		key, err := tx.Read(int(cur))
-		if err != nil {
-			return err
-		}
-		if key != k {
-			return nil
-		}
-		next, err := tx.Read(int(cur) + 2)
-		if err != nil {
-			return err
-		}
-		if err := tx.Write(prevReg, next); err != nil {
-			return err
-		}
-		removed = true
-		victim = cur
-		return nil
+	var victimRegs int
+	err := core.Atomically(m.tm, th, func(tx core.Txn) (err error) {
+		removed, victim, victimRegs, err = m.DeleteTx(tx, k)
+		return err
 	})
 	if err == nil && removed {
-		m.alloc.Free(th, victim, mapNodeRegs)
+		m.alloc.Free(th, victim, victimRegs)
 	}
 	return removed, err
 }
@@ -424,27 +472,9 @@ func (m *Map) Delete(th int, k int64) (bool, error) {
 // Snapshot returns the pairs in key order, read in one transaction.
 func (m *Map) Snapshot(th int) ([]KV, error) {
 	var out []KV
-	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
-		out = out[:0]
-		cur, err := tx.Read(m.head)
-		if err != nil {
-			return err
-		}
-		for cur != nilPtr {
-			key, err := tx.Read(int(cur))
-			if err != nil {
-				return err
-			}
-			val, err := tx.Read(int(cur) + 1)
-			if err != nil {
-				return err
-			}
-			out = append(out, KV{key, val})
-			if cur, err = tx.Read(int(cur) + 2); err != nil {
-				return err
-			}
-		}
-		return nil
+	err := core.Atomically(m.tm, th, func(tx core.Txn) (err error) {
+		out, err = m.SnapshotTx(tx)
+		return err
 	})
 	return out, err
 }
@@ -452,22 +482,29 @@ func (m *Map) Snapshot(th int) ([]KV, error) {
 // Len returns the pair count, read in one transaction.
 func (m *Map) Len(th int) (int, error) {
 	n := 0
-	err := core.Atomically(m.tm, th, func(tx core.Txn) error {
-		n = 0
-		cur, err := tx.Read(m.head)
-		if err != nil {
-			return err
-		}
-		for cur != nilPtr {
-			n++
-			if cur, err = tx.Read(int(cur) + 2); err != nil {
-				return err
-			}
-		}
-		return nil
+	err := core.Atomically(m.tm, th, func(tx core.Txn) (err error) {
+		n, err = m.LenTx(tx)
+		return err
 	})
 	return n, err
 }
+
+// OrderedMap is the interface both ordered-map implementations (the
+// sorted-list Map and the skiplist SkipMap) satisfy: what workloads and
+// property tests need to run the same script against either, or against
+// a plain map[int64]int64 oracle.
+type OrderedMap interface {
+	Get(th int, k int64) (v int64, ok bool, err error)
+	Put(th int, k, v int64) (added bool, err error)
+	Delete(th int, k int64) (removed bool, err error)
+	Snapshot(th int) ([]KV, error)
+	Len(th int) (int, error)
+}
+
+var (
+	_ OrderedMap = (*Map)(nil)
+	_ OrderedMap = (*SkipMap)(nil)
+)
 
 // Queue is a FIFO queue of int64 values: register head points at the
 // oldest node, tail at the newest; each node is (value, next).

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"safepriv/internal/core"
 	"safepriv/internal/stmalloc"
@@ -21,11 +22,16 @@ const (
 	dsRegQHead = 2 // queue head
 	dsRegQTail = 3 // queue tail
 	dsRegBump  = 4 // bump allocator counter
-	dsArena    = 8 // first arena register
+	dsArena    = 8 // first arena register (set-churn, queue-pipe)
+	// map-churn layout: the skiplist head block needs SkipHeadRegs
+	// consecutive registers, so its arena starts after them (rounded to
+	// a cache line of registers).
+	dsSkipHead = 8  // skiplist head block: [8, 8+stmds.SkipHeadRegs)
+	dsMapArena = 32 // first arena register for map-churn
 )
 
 // dsAllocator builds the allocator selected by Params.Alloc over tm's
-// registers [dsArena, NumRegs): the stmds bump allocator ("", "bump"),
+// registers [arena, NumRegs): the stmds bump allocator ("", "bump"),
 // or the stmalloc reclaiming heap ("quiesce"). On quiesce the returned
 // heap is non-nil; reclaim latency lands in hist. Params.Reclaim =
 // "batch" adds the per-thread magazine layer (thread-local caches,
@@ -34,10 +40,10 @@ const (
 // transactional reclamation (the fallback for nofence/skipro TMs,
 // whose FenceAsync gives no grace period) and disables magazines —
 // there is no grace period for a batch to amortize.
-func dsAllocator(tm core.TM, p Params, hist *Hist) (stmds.Allocator, *stmalloc.Heap, error) {
+func dsAllocator(tm core.TM, p Params, hist *Hist, arena int) (stmds.Allocator, *stmalloc.Heap, error) {
 	switch p.Alloc {
 	case "", "bump":
-		return stmds.NewAlloc(tm, dsRegBump, dsArena, tm.NumRegs()), nil, nil
+		return stmds.NewAlloc(tm, dsRegBump, arena, tm.NumRegs()), nil, nil
 	case "quiesce":
 		shards := p.Threads
 		if shards > 8 {
@@ -62,7 +68,7 @@ func dsAllocator(tm core.TM, p Params, hist *Hist) (stmds.Allocator, *stmalloc.H
 		if p.UnsafeFence {
 			opts = append(opts, stmalloc.WithTransactionalFree())
 		}
-		heap, err := stmalloc.New(tm, dsArena, tm.NumRegs(), opts...)
+		heap, err := stmalloc.New(tm, arena, tm.NumRegs(), opts...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -107,7 +113,7 @@ func dsFinish(st *Stats, heap *stmalloc.Heap, alloc stmds.Allocator, hist *Hist)
 func SetChurn(tm core.TM, p Params) (Stats, error) {
 	threads, ops := p.Threads, p.Ops
 	hist := new(Hist)
-	alloc, heap, err := dsAllocator(tm, p, hist)
+	alloc, heap, err := dsAllocator(tm, p, hist, dsArena)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -168,7 +174,7 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 		return Stats{}, fmt.Errorf("workload: queue-pipe needs ≥2 threads (half produce, half consume)")
 	}
 	hist := new(Hist)
-	alloc, heap, err := dsAllocator(tm, p, hist)
+	alloc, heap, err := dsAllocator(tm, p, hist, dsArena)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -232,6 +238,88 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 	wg.Wait()
 	close(errs)
 	st := c.stats()
+	finishAdapt(&st, tm, ctl)
+	if err := dsFinish(&st, heap, alloc, hist); err != nil {
+		return st, err
+	}
+	for err := range errs {
+		return st, err
+	}
+	return st, nil
+}
+
+// MapChurn runs the ordered-map churn workload: p.Threads workers each
+// perform p.Ops get/put/delete operations (20/40/40) against ONE
+// ordered map — the sorted-list Map or the skiplist SkipMap, selected
+// by Params.DS — drawing keys from a window of twice the target live
+// size (p.LiveSet). Values follow the k↦k convention so concurrent
+// readers can assert consistency. The map is prefilled to the target
+// size (even keys) on thread 1 before the workers start, and only the
+// churn phase is timed (Stats.Elapsed): prefilling an O(n) list is
+// O(n²) work that would otherwise bury the per-op contrast the
+// list-vs-skiplist benchmarks exist to show. On a reclaiming allocator
+// every delete retires a whole node — for SkipMap a whole tower, 4 to
+// 32 registers under one grace period or magazine slot.
+func MapChurn(tm core.TM, p Params) (Stats, error) {
+	threads, ops := p.Threads, p.Ops
+	hist := new(Hist)
+	alloc, heap, err := dsAllocator(tm, p, hist, dsMapArena)
+	if err != nil {
+		return Stats{}, err
+	}
+	ctl := startAdapt(tm, heap, threads+1, p.Adapt)
+	var m stmds.OrderedMap
+	switch p.DS {
+	case "", "skip":
+		m = stmds.NewSkipMap(tm, dsSkipHead, threads, alloc)
+	case "map":
+		m = stmds.NewMap(tm, dsRegHead, alloc)
+	default:
+		return Stats{}, fmt.Errorf("workload: unknown map implementation %q (want map or skip)", p.DS)
+	}
+	live := p.LiveSet
+	if live <= 0 {
+		live = 256
+	}
+	keyspace := int64(2 * live)
+	for k := int64(2); k <= keyspace; k += 2 {
+		if _, err := m.Put(1, k, k); err != nil {
+			return Stats{}, fmt.Errorf("map-churn prefill key %d: %w", k, err)
+		}
+	}
+	c := newCounter(threads)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	start := time.Now()
+	for th := 1; th <= threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(p.Seed + int64(th)*2399))
+			for i := 0; i < ops; i++ {
+				k := 1 + r.Int63n(keyspace)
+				var err error
+				switch d := r.Intn(100); {
+				case d < 20:
+					_, _, err = m.Get(th, k)
+				case d < 60:
+					_, err = m.Put(th, k, k)
+				default:
+					_, err = m.Delete(th, k)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("map-churn worker %d op %d: %w", th, i, err)
+					return
+				}
+				c.slots[th].commits++
+			}
+		}(th)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	st := c.stats()
+	st.Elapsed = elapsed
 	finishAdapt(&st, tm, ctl)
 	if err := dsFinish(&st, heap, alloc, hist); err != nil {
 		return st, err

@@ -51,6 +51,66 @@ func TestSetChurnAllTMs(t *testing.T) {
 	}
 }
 
+// TestMapChurnAllTMs smokes the map-churn workload through the
+// registry on both ordered-map implementations (the sorted-list Map
+// and the skiplist SkipMap) over the reclaiming allocator: every TM ×
+// ds × reclaim axis must complete with full commit counts, a timed
+// churn phase, and real reclamation — for the skiplist that means
+// whole towers (multi-size-class blocks) cycling through the heap.
+func TestMapChurnAllTMs(t *testing.T) {
+	ops := 300
+	if testing.Short() {
+		ops = 100
+	}
+	for _, tmName := range engine.TMs() {
+		for _, alloc := range []string{"quiesce", "quiesce+batch"} {
+			for _, ds := range []string{"map", "skip"} {
+				spec := tmName + "+" + alloc
+				t.Run(spec+"/ds="+ds, func(t *testing.T) {
+					st, err := engine.RunWorkload(spec, "map-churn",
+						workload.Params{Threads: 4, Ops: ops, Seed: 7, LiveSet: 64, DS: ds})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Commits != int64(4*ops) {
+						t.Fatalf("commits %d, want %d", st.Commits, 4*ops)
+					}
+					if st.Elapsed <= 0 {
+						t.Fatalf("churn phase not timed: %+v", st.Elapsed)
+					}
+					if st.Frees == 0 {
+						t.Fatalf("quiesce run reclaimed nothing: %+v", st)
+					}
+					if st.Allocs <= st.Frees-1 {
+						t.Fatalf("counters inverted: allocs %d, frees %d", st.Allocs, st.Frees)
+					}
+					if alloc == "quiesce+batch" && st.ReclaimBatches == 0 {
+						t.Fatalf("batch run retired no magazines: %+v", st)
+					}
+				})
+			}
+		}
+	}
+	// The bump contrast completes at this size (and leaks by design).
+	st, err := engine.RunWorkload("tl2+bump", "map-churn",
+		workload.Params{Threads: 2, Ops: 100, Seed: 7, LiveSet: 64, DS: "skip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frees != 0 || st.HeapRegs == 0 {
+		t.Fatalf("bump run should leak into a growing footprint: %+v", st)
+	}
+}
+
+// TestMapChurnRejectsUnknownDS pins the DS-axis vocabulary error.
+func TestMapChurnRejectsUnknownDS(t *testing.T) {
+	_, err := engine.RunWorkload("tl2+quiesce", "map-churn",
+		workload.Params{Threads: 1, Ops: 1, DS: "btree"})
+	if err == nil {
+		t.Fatal("unknown DS value accepted")
+	}
+}
+
 // TestQueuePipeAllTMs smokes queue-pipe: all values stream through,
 // and on quiesce the drained queue holds no live blocks.
 func TestQueuePipeAllTMs(t *testing.T) {

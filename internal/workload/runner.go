@@ -4,8 +4,15 @@ import (
 	"sort"
 
 	"safepriv/internal/core"
+	"safepriv/internal/stmalloc"
+	"safepriv/internal/stmds"
 	"safepriv/internal/stmkv"
 )
+
+// mapChurnMaxLive is the largest map-churn live-set size the bench
+// harnesses sweep; RegsFor sizes the heap for it so one register count
+// serves the whole sweep.
+const mapChurnMaxLive = 4096
 
 // Params sizes a named workload run. Workload-specific knobs (scan
 // width, read percentage, pipeline rounds) take the defaults the
@@ -48,9 +55,14 @@ type Params struct {
 	// falls back to the fully transactional path.
 	UnsafeFence bool
 	// LiveSet is the data-structure workloads' live-set-size knob: the
-	// target resident key count for set-churn, the queue-depth bound
-	// for queue-pipe (0 = workload default).
+	// target resident key count for set-churn and map-churn, the
+	// queue-depth bound for queue-pipe (0 = workload default).
 	LiveSet int
+	// DS selects the ordered-map implementation for map-churn: "" or
+	// "skip" (the O(log n) stmds.SkipMap), or "map" (the O(n)
+	// sorted-list stmds.Map — the contrast configuration). cmd/stress
+	// fills it from the -ds flag.
+	DS string
 	// Adapt runs the internal/adapt controller for the duration of the
 	// run: a sampling goroutine retunes the TM's fence mode and the
 	// workload heap's magazine capacity from telemetry.
@@ -96,6 +108,7 @@ var runners = map[string]Runner{
 	},
 	"set-churn":  SetChurn,
 	"queue-pipe": QueuePipe,
+	"map-churn":  MapChurn,
 }
 
 // kvBase folds the spec-derived Params axes into a KVConfig: a batch
@@ -140,6 +153,17 @@ func RegsFor(name string, threads int) int {
 		// ever allocated, so the default op counts must fit; the
 		// reclaiming allocator uses a small bounded prefix of it.
 		return 1 << 16
+	case "map-churn":
+		// Demand-sized from the multi-size-class geometry at the largest
+		// live set the harnesses sweep (4096 pairs, either
+		// implementation), with a floor wide enough for the
+		// bump-allocator contrast, whose prefill+churn never reclaims.
+		demand := append(stmds.MapDemand(mapChurnMaxLive), stmds.SkipMapDemand(mapChurnMaxLive)...)
+		regs := dsMapArena + stmalloc.RegsForDemand(8, threads, 0, demand)
+		if regs < 1<<17 {
+			regs = 1 << 17
+		}
+		return regs
 	default: // shorttxn, bank: one cache line of registers per thread
 		if threads < 8 {
 			return 64

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"safepriv/internal/core"
 	"safepriv/internal/telemetry"
@@ -83,6 +84,13 @@ type Stats struct {
 	// Its AbortRate/PrivRate/MagHitRate are the bench emitters'
 	// telemetry-derived columns.
 	Telemetry telemetry.Snapshot
+	// Elapsed is the wall-clock duration of the workload's timed phase.
+	// Workloads with a prefill stage (map-churn) time only the churn
+	// after it — an O(n) list prefill is O(n²) work that would otherwise
+	// drown the per-op numbers the bench emitters derive. Zero for
+	// workloads that don't record it (callers fall back to their own
+	// clocks).
+	Elapsed time.Duration
 	// AdaptFlips and AdaptResizes count the adaptive controller's
 	// fence-mode switches and magazine-capacity changes during the run;
 	// FinalFence and FinalMagCap are where its two levers ended. All
