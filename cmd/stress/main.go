@@ -23,6 +23,7 @@
 //	stress -tm tl2 -alloc quiesce -reclaim batch -ds set
 //	stress -tm tl2 -alloc quiesce -ds skip -churn 4096
 //	stress -tm norec -alloc quiesce -reclaim batch -ds map
+//	stress -tm tl2+quiesce -workload scan-churn -churn 4096 -scan window
 //	stress -tm tl2 -adapt -workload kvstore -procs 4
 //	stress -tm list          # print the registered configurations
 //	stress -workload list    # print the registered workloads
@@ -40,6 +41,12 @@
 // actually paid for the run's frees, and the blocks left cached in the
 // per-thread magazines. KV workload reports include a p50/p99
 // privatization-latency line.
+//
+// -workload scan-churn runs one scanning thread against churners;
+// -scan window|snapshot picks its strategy (the SkipMap privatized
+// window iterator vs one read-only transaction per scan) and the
+// report gains a scan summary line (scans, windows, pairs streamed,
+// and the churner-only abort rate).
 //
 // -adapt appends the adapt modifier: the internal/adapt controller
 // retunes the fence mode and magazine capacity live from telemetry,
@@ -63,7 +70,7 @@ import (
 )
 
 // runWorkload is the -workload mode: one named workload on one TM.
-func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet int, dsImpl string, seed int64) error {
+func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet int, dsImpl, scanMode string, seed int64) error {
 	p := workload.Params{
 		Threads:        threads,
 		Ops:            ops,
@@ -73,6 +80,7 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 		PrivatizeEvery: privEvery,
 		LiveSet:        liveSet,
 		DS:             dsImpl,
+		Scan:           scanMode,
 	}
 	start := time.Now()
 	st, err := engine.RunWorkload(tmSpec, name, p)
@@ -93,6 +101,10 @@ func runWorkload(name, tmSpec string, threads, ops, shards, privEvery, liveSet i
 			h.Quantile(0.50), h.Quantile(0.99), st.Frees, st.Allocs, st.HeapRegs)
 	} else if st.HeapRegs > 0 {
 		fmt.Printf("allocator footprint: %d regs (bump: removed nodes leak)\n", st.HeapRegs)
+	}
+	if st.ScanOps > 0 {
+		fmt.Printf("scans: %d full scans (%d windows, %d pairs streamed), writer abort rate %.4f\n",
+			st.ScanOps, st.ScanWindows, st.ScanPairs, st.WriterAbortRate)
 	}
 	if st.ReclaimBatches > 0 {
 		fmt.Printf("magazines: %d frees in %d batch retires (%.1f frees/grace period), %d blocks still cached\n",
@@ -175,6 +187,7 @@ func main() {
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")
 	privEvery := flag.Int("privevery", 0, "KV privatization cadence: scan every N ops (0 = workload default, <0 = never)")
+	scanMode := flag.String("scan", "", "scan-churn scanner strategy: window (privatized windows, the default) or snapshot (one read-only transaction)")
 	procs := flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
 	adapt := flag.Bool("adapt", false, "append the adapt modifier to -tm: the runtime controller retunes fence mode and magazine capacity")
 	flag.Parse()
@@ -225,8 +238,12 @@ func main() {
 	if dsName != "" {
 		*wl = dsName
 	}
+	if *scanMode != "" && *wl != "scan-churn" {
+		fmt.Fprintf(os.Stderr, "stress: -scan %s only applies to -workload scan-churn\n", *scanMode)
+		os.Exit(2)
+	}
 	if *wl != "" {
-		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *churn, dsImpl, *seed); err != nil {
+		if err := runWorkload(*wl, *tmSpec, *threads, *wops, *shards, *privEvery, *churn, dsImpl, *scanMode, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

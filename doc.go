@@ -32,12 +32,19 @@
 //     ClassDemand profiles.
 //   - Application layer: internal/stmds dynamic structures (sorted set,
 //     sorted map, FIFO queue, and the O(log n) SkipMap whose
-//     variable-height towers span four heap size classes and whose
-//     Delete retires a whole tower under one grace period) that free
-//     removed nodes through the allocator; internal/stmkv, the sharded
-//     privatization-safe KV store whose shard tables are heap blocks;
-//     the named workloads of internal/workload (incl. the
-//     set-churn/queue-pipe/map-churn reclamation shapes); and the
+//     variable-height towers span four heap size classes, whose
+//     Delete retires a whole tower under one grace period, and whose
+//     Range/RangeWindows stream bounded key windows through the
+//     Figure 7 cycle — privatize a window, one fence, walk level 0
+//     uninstrumented, publish — instead of one long read-only
+//     snapshot transaction) that free removed nodes through the
+//     allocator; internal/stmkv, the sharded privatization-safe KV
+//     store whose shard tables are heap blocks and whose ScanPage
+//     paginates privatized scans behind an opaque resumable cursor
+//     with O(limit) buffering; the named workloads of
+//     internal/workload (incl. the set-churn/queue-pipe/map-churn
+//     reclamation shapes and scan-churn, the scan-vs-churn contrast
+//     that measures the snapshot scan's grace-period hazard); and the
 //     cross-TM differential executor internal/txexec, whose windowed
 //     data-structure mode interleaves scripted map operations
 //     mid-transaction and replays the recorded order against plain Go
@@ -45,18 +52,23 @@
 //   - Serving layer: internal/kvserve, the HTTP front-end over the KV
 //     store — a thread-id pool maps goroutine-per-connection serving
 //     onto the TM's fixed thread contract, an optional write coalescer
-//     commits adjacent PUTs as one transaction, and Drain settles all
-//     deferred work on shutdown. cmd/kvserver wraps it as an
-//     env-configured process (Dockerfile included); cmd/kvload is the
-//     closed/open-loop load driver reporting p50/p99/p999.
+//     commits adjacent PUTs as one transaction, GET /scan streams
+//     ScanPage's paginated privatized windows as chunked JSON with a
+//     resumable cursor, and Drain settles all deferred work on
+//     shutdown. cmd/kvserver wraps it as an env-configured process
+//     (Dockerfile included); cmd/kvload is the closed/open-loop load
+//     driver reporting p50/p99/p999, with -scan mixing paginated
+//     scans into the load under their own latency quantiles.
 //
 // See README.md for the package layout, the engine registry's
 // configuration names, and how to run the examples, litmus tests, and
 // benchmarks. The benchmarks in bench_test.go regenerate the
 // quantitative experiments (E9, E13, E14 and the checker/model costs)
 // and emit the machine-readable sweeps BENCH_kv.json, BENCH_fence.json
-// and BENCH_ds.json, each swept across the GOMAXPROCS procs axis with
-// telemetry-derived rate columns, plus BENCH_serve.json — the
-// end-to-end HTTP sweep (engine spec × connections × read ratio)
+// and BENCH_ds.json (whose scan-churn rows carry the mean-fence-wait
+// column contrasting snapshot and windowed scanning), each swept
+// across the GOMAXPROCS procs axis with telemetry-derived rate
+// columns, plus BENCH_serve.json — the end-to-end HTTP sweep (engine
+// spec × connections × read ratio, plus a scan-mix row per spec)
 // measured through a live in-process kvserver.
 package safepriv

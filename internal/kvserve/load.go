@@ -1,10 +1,12 @@
 package kvserve
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -36,6 +38,16 @@ type LoadConfig struct {
 	// percentage of DELETEs (default 5); the rest are PUTs.
 	ReadPct   int
 	DeletePct int
+	// ScanPct is the percentage of paginated scan requests (default 0).
+	// Each scan op fetches ONE page (GET /scan?limit=&cursor=); the
+	// worker carries its cursor across ops, so a scanning worker walks
+	// the whole store page by page and restarts. The fraction comes out
+	// of the PUT share. A response that is not a well-formed scan page
+	// counts as an error and as a BadScans, which cmd/kvload turns into
+	// a nonzero exit.
+	ScanPct int
+	// ScanLimit is the page size scan ops request (default 64).
+	ScanLimit int
 	// Zipfian draws keys from a Zipf(1.2) distribution instead of
 	// uniform — the contended-hot-key shape.
 	Zipfian bool
@@ -64,6 +76,9 @@ func (c *LoadConfig) fill() {
 	if c.Keys == 0 {
 		c.Keys = 4096
 	}
+	if c.ScanLimit == 0 {
+		c.ScanLimit = 64
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -87,14 +102,36 @@ type LoadReport struct {
 	P50       time.Duration
 	P99       time.Duration
 	P999      time.Duration
-	// Hist is the full latency histogram behind the quantiles.
+	// Hist is the full latency histogram behind the quantiles (point
+	// ops only; scan pages have their own histogram below).
 	Hist *workload.Hist
+
+	// ScanOps counts scan-page requests; their latency quantiles come
+	// from ScanHist, kept apart from the point ops so a page fetch
+	// cannot smear the point-op tail. BadScans counts responses that
+	// were not well-formed scan pages (malformed cursor, broken JSON) —
+	// each also counts as an error.
+	ScanOps  int64
+	BadScans int64
+	ScanP50  time.Duration
+	ScanP99  time.Duration
+	ScanHist *workload.Hist
 }
 
 // String renders the report as the one-line summary cmd/kvload prints.
 func (r LoadReport) String() string {
 	return fmt.Sprintf("%d ops in %v (%.0f ops/sec), %d errors, p50=%v p99=%v p999=%v",
 		r.Ops, r.Duration.Round(time.Millisecond), r.OpsPerSec, r.Errors, r.P50, r.P99, r.P999)
+}
+
+// ScanString renders the scan mix's own summary line ("" when the run
+// had no scan ops).
+func (r LoadReport) ScanString() string {
+	if r.ScanOps == 0 {
+		return ""
+	}
+	return fmt.Sprintf("scans: %d pages, %d malformed, p50=%v p99=%v",
+		r.ScanOps, r.BadScans, r.ScanP50, r.ScanP99)
 }
 
 // RunLoad drives the configured mix against the server and reports
@@ -119,7 +156,9 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	}
 
 	hist := new(workload.Hist)
+	scanHist := new(workload.Hist)
 	var done, errs atomic.Int64
+	var scanOps, badScans atomic.Int64
 	var deadline time.Time
 	if cfg.Duration > 0 {
 		deadline = time.Now().Add(cfg.Duration)
@@ -166,6 +205,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 			if cfg.Zipfian {
 				zipf = rand.NewZipf(r, 1.2, 1, uint64(cfg.Keys-1))
 			}
+			scanCursor := "" // this worker's paginated-scan resume point
 			for {
 				if done.Add(1) > int64(cfg.Ops) {
 					done.Add(-1)
@@ -188,10 +228,27 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 				opStart := time.Now()
 				var status int
 				var err error
+				if p < cfg.ScanPct {
+					var next string
+					next, status, err = doScanPage(cfg.Client, base, cfg.ScanLimit, scanCursor)
+					scanHist.Add(time.Since(opStart))
+					scanOps.Add(1)
+					if err != nil && status == http.StatusOK {
+						// 200 with an unusable body: the malformed-page case.
+						badScans.Add(1)
+					}
+					if err != nil || status >= 300 {
+						errs.Add(1)
+						scanCursor = ""
+					} else {
+						scanCursor = next // "" when the walk wrapped around
+					}
+					continue
+				}
 				switch {
-				case p < cfg.ReadPct:
+				case p < cfg.ScanPct+cfg.ReadPct:
 					status, err = doReq(cfg.Client, http.MethodGet, base+"/kv/"+strconv.FormatInt(key, 10), "")
-				case p < cfg.ReadPct+cfg.DeletePct:
+				case p < cfg.ScanPct+cfg.ReadPct+cfg.DeletePct:
 					status, err = doReq(cfg.Client, http.MethodDelete, base+"/kv/"+strconv.FormatInt(key, 10), "")
 				default:
 					status, err = doReq(cfg.Client, http.MethodPut, base+"/kv/"+strconv.FormatInt(key, 10), strconv.FormatInt(int64(w)+1, 10))
@@ -217,11 +274,44 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		P99:      hist.Quantile(0.99),
 		P999:     hist.Quantile(0.999),
 		Hist:     hist,
+		ScanOps:  scanOps.Load(),
+		BadScans: badScans.Load(),
+		ScanP50:  scanHist.Quantile(0.50),
+		ScanP99:  scanHist.Quantile(0.99),
+		ScanHist: scanHist,
 	}
 	if dur > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / dur.Seconds()
 	}
 	return rep, nil
+}
+
+// doScanPage fetches one /scan page and validates its shape. A non-OK
+// status is reported through status (err stays nil, like doReq); a 200
+// whose body is not a well-formed scan page returns an error with
+// status 200 — the caller counts that as a malformed page.
+func doScanPage(c *http.Client, base string, limit int, cursor string) (next string, status int, err error) {
+	u := base + "/scan?limit=" + strconv.Itoa(limit)
+	if cursor != "" {
+		u += "&cursor=" + url.QueryEscape(cursor)
+	}
+	resp, err := c.Get(u)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", resp.StatusCode, nil
+	}
+	var page ScanPageReply
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return "", resp.StatusCode, fmt.Errorf("kvload: scan page: %w", err)
+	}
+	if page.More != (page.Cursor != "") {
+		return "", resp.StatusCode, fmt.Errorf("kvload: scan page: more=%v but cursor=%q", page.More, page.Cursor)
+	}
+	return page.Cursor, resp.StatusCode, nil
 }
 
 func doReq(c *http.Client, method, url, body string) (int, error) {

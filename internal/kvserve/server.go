@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -100,6 +101,7 @@ type Server struct {
 	cfg   Config
 	tm    core.TM
 	store *stmkv.Store
+	scan  scanner // s.store, unless a test injected a failing source
 	pool  *stmkv.ThreadPool
 	wb    *writeBatcher
 	ctl   *adapt.Controller
@@ -157,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		tm:      tm,
 		store:   store,
+		scan:    store,
 		pool:    pool,
 		log:     cfg.Logger,
 		adminTh: adminTh,
@@ -232,6 +235,8 @@ func (s *Server) Handler() http.Handler {
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, stmkv.ErrBadKey):
+		return http.StatusBadRequest
+	case errors.Is(err, stmkv.ErrBadCursor):
 		return http.StatusBadRequest
 	case errors.Is(err, stmkv.ErrFull):
 		return http.StatusInsufficientStorage
@@ -364,23 +369,150 @@ type kvJSON struct {
 	Val int64 `json:"val"`
 }
 
+// ScanPageReply is the /scan response in paginated mode (limit or
+// cursor present in the query).
+type ScanPageReply struct {
+	Pairs  []kvJSON `json:"pairs"`
+	Cursor string   `json:"cursor,omitempty"`
+	More   bool     `json:"more"`
+}
+
+// scanStreamPage is the internal page size of a cursorless streaming
+// /scan: the server holds at most this many pairs in memory at a time,
+// however large the store is.
+const scanStreamPage = 256
+
+// scanner is the slice of the store the scan handlers depend on; tests
+// substitute a failing implementation to pin the error paths.
+type scanner interface {
+	ScanPage(th int, cursor string, limit int) ([]stmkv.KV, string, error)
+}
+
+// handleScan serves GET /scan in two modes, both built on the store's
+// privatized pagination (stmkv.ScanPage) so server-side buffering is
+// O(page) regardless of store size:
+//
+//   - ?limit= and/or ?cursor= → ONE page as a JSON object
+//     {"pairs":[...],"cursor":"...","more":bool}; walk cursors until
+//     more is false. A malformed cursor is a 400.
+//   - neither → the whole store streamed as one JSON array, fetched
+//     page by page and flushed as it goes.
+//
+// ?from= / ?to= (inclusive key bounds) filter either mode server-side.
+// In paginated mode the limit bounds the page read from the store, so a
+// narrow filter may return fewer than limit pairs per page; keep
+// walking the cursor.
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
-	var kvs []stmkv.KV
-	err := s.withThread(r, func(th int) error {
+	q := r.URL.Query()
+	from, to := int64(math.MinInt64), int64(math.MaxInt64)
+	if v := q.Get("from"); v != "" {
+		f, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "from must be a decimal int64", http.StatusBadRequest)
+			return
+		}
+		from = f
+	}
+	if v := q.Get("to"); v != "" {
+		t, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "to must be a decimal int64", http.StatusBadRequest)
+			return
+		}
+		to = t
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		l, err := strconv.Atoi(v)
+		if err != nil || l <= 0 {
+			http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = l
+	}
+	if limit > 0 || q.Get("cursor") != "" {
+		s.scanPaged(w, r, q.Get("cursor"), limit, from, to)
+		return
+	}
+	s.scanStream(w, r, from, to)
+}
+
+// scanPage runs one store page on a pooled thread id.
+func (s *Server) scanPage(r *http.Request, cursor string, limit int) (pairs []stmkv.KV, next string, err error) {
+	err = s.withThread(r, func(th int) error {
 		var err error
-		kvs, err = s.store.Scan(th)
+		pairs, next, err = s.scan.ScanPage(th, cursor, limit)
 		return err
 	})
+	return pairs, next, err
+}
+
+func filterRange(pairs []stmkv.KV, from, to int64) []kvJSON {
+	out := make([]kvJSON, 0, len(pairs))
+	for _, kv := range pairs {
+		if kv.Key >= from && kv.Key <= to {
+			out = append(out, kvJSON{Key: kv.Key, Val: kv.Val})
+		}
+	}
+	return out
+}
+
+func (s *Server) scanPaged(w http.ResponseWriter, r *http.Request, cursor string, limit int, from, to int64) {
+	pairs, next, err := s.scanPage(r, cursor, limit)
 	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
-	out := make([]kvJSON, len(kvs))
-	for i, kv := range kvs {
-		out[i] = kvJSON{Key: kv.Key, Val: kv.Val}
+	reply := ScanPageReply{Pairs: filterRange(pairs, from, to), Cursor: next, More: next != ""}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+// scanStream writes the whole store as one JSON array without ever
+// materializing it: pages come from the privatized cursor walk and go
+// straight out. The FIRST page is fetched before the header is written,
+// so a store that fails up front still gets a real error status (the
+// old handler's all-at-once Scan had the same property by accident; the
+// streaming rewrite keeps it deliberately). A failure after the header
+// has been committed cannot change the status anymore — the handler
+// logs it and aborts the connection mid-body (http.ErrAbortHandler), so
+// the client sees a truncated response instead of a silently complete
+// short one.
+func (s *Server) scanStream(w http.ResponseWriter, r *http.Request, from, to int64) {
+	pairs, next, err := s.scanPage(r, "", scanStreamPage)
+	if err != nil {
+		s.fail(w, r, err)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	flusher, _ := w.(http.Flusher)
+	wrote := 0
+	writePage := func(pairs []stmkv.KV) {
+		for _, kv := range filterRange(pairs, from, to) {
+			sep := ","
+			if wrote == 0 {
+				sep = "["
+			}
+			fmt.Fprintf(w, "%s{\"key\":%d,\"val\":%d}", sep, kv.Key, kv.Val)
+			wrote++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writePage(pairs)
+	for next != "" {
+		pairs, next, err = s.scanPage(r, next, scanStreamPage)
+		if err != nil {
+			s.log.Error("scan stream failed mid-body", "err", err)
+			panic(http.ErrAbortHandler)
+		}
+		writePage(pairs)
+	}
+	if wrote == 0 {
+		io.WriteString(w, "[")
+	}
+	io.WriteString(w, "]\n")
 }
 
 // StatsReply is the /stats document.

@@ -246,6 +246,7 @@ func TestRunLoad(t *testing.T) {
 		"closed":  {BaseURL: ts.URL, Conns: 4, Ops: 400, ReadPct: 60, DeletePct: 10, Keys: 256},
 		"open":    {BaseURL: ts.URL, Conns: 4, Ops: 200, QPS: 2000, ReadPct: 60, DeletePct: 10, Keys: 256},
 		"zipfian": {BaseURL: ts.URL, Conns: 4, Ops: 400, Zipfian: true, Keys: 256},
+		"scans":   {BaseURL: ts.URL, Conns: 4, Ops: 400, ReadPct: 50, DeletePct: 5, ScanPct: 20, ScanLimit: 32, Keys: 256},
 	} {
 		t.Run(name, func(t *testing.T) {
 			rep, err := kvserve.RunLoad(cfg)
@@ -260,6 +261,14 @@ func TestRunLoad(t *testing.T) {
 			}
 			if rep.P50 <= 0 || rep.P99 < rep.P50 {
 				t.Fatalf("implausible quantiles: %s", rep)
+			}
+			if cfg.ScanPct > 0 {
+				if rep.ScanOps == 0 || rep.BadScans != 0 {
+					t.Fatalf("scan mix: %d scan ops, %d malformed (%s)", rep.ScanOps, rep.BadScans, rep.ScanString())
+				}
+				if rep.ScanString() == "" {
+					t.Fatal("scan mix produced no scan summary line")
+				}
 			}
 		})
 	}

@@ -1,8 +1,16 @@
 package stmds
 
 import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
 	"safepriv/internal/core"
 	"safepriv/internal/stmalloc"
+	"safepriv/internal/telemetry"
 )
 
 // MapDemand is the stmalloc demand profile of a sorted-list Map (or
@@ -63,11 +71,48 @@ func SkipMapDemand(nodes int) []stmalloc.ClassDemand {
 // metadata, which bypasses that argument). The one defensive check is
 // DeleteTx's height-range guard, which turns an impossible on-disk
 // height into core.ErrAborted instead of an out-of-bounds walk.
+//
+// # Range scans and the per-window atomicity contract
+//
+// Range and RangeWindows read the map with the paper's privatization
+// idiom instead of one big read-only transaction: the scan privatizes a
+// bounded KEY WINDOW at a time — a transaction flips the head block's
+// guard register odd and records the window bounds, one transactional
+// Fence quiesces every transaction that saw the guard even, the level-0
+// chain is walked with uninstrumented Loads to the window boundary, and
+// a publishing transaction flips the guard back even. Writers (Put and
+// Delete) read the guard first; while a window is private, only writes
+// that could touch a register the walker reads stall (key >= lo and
+// level-0 predecessor key <= hi — everything else proceeds), parking on
+// the map's publish gate exactly like stmkv's point operations.
+//
+// The atomicity contract is PER WINDOW, not per scan: each window's
+// pairs are a consistent frozen snapshot of the chain as of that
+// window's fence, keys are strictly increasing across the whole scan
+// (the cursor only moves forward), and every returned pair was live at
+// its window's fence instant — but pairs from different windows come
+// from different instants, so a scan concurrent with churn is not a
+// serializable whole-map snapshot. Use Snapshot when the caller needs
+// one (small maps, or quiesced phases); use Range when the map is large
+// and churned — the scan costs O(n) plain reads plus O(windows) fences
+// instead of O(n) transactional reads, and cannot abort-storm.
 type SkipMap struct {
 	tm    core.TM
 	head  int
 	alloc Allocator
 	rng   []uint64 // per-thread level-generator state, indexed by thread id
+
+	// pubGate is closed and replaced on every window publish so stalled
+	// writers park instead of sleep-polling, on its own cache line for
+	// the same false-sharing reason as stmkv's gate.
+	pubGate struct {
+		atomic.Pointer[chan struct{}]
+		_ [56]byte
+	}
+
+	// board is the TM's telemetry board when it carries one; scans and
+	// scan windows are recorded per thread.
+	board *telemetry.Board
 }
 
 // SkipMaxLevel is the fixed number of skiplist levels. 2^16 towers keep
@@ -75,8 +120,25 @@ type SkipMap struct {
 const SkipMaxLevel = 16
 
 // SkipHeadRegs is the register footprint of a SkipMap head block: one
-// head pointer per level, consecutive from `head`.
-const SkipHeadRegs = SkipMaxLevel
+// head pointer per level, consecutive from `head`, followed by the
+// three scan-guard registers.
+const SkipHeadRegs = SkipMaxLevel + 3
+
+// Scan-guard register offsets within the head block. The guard is the
+// skiplist analogue of stmkv's shard flag, scoped to a key window:
+// while gFlag is odd, the registers of every node with key in
+// [gLo, gHi] — and the level-0 successor pointer leading into that
+// range — are private to the scanning thread.
+const (
+	skipGFlag = SkipMaxLevel     // scan epoch: even = shared, odd = window private
+	skipGLo   = SkipMaxLevel + 1 // active window's lower key bound (inclusive)
+	skipGHi   = SkipMaxLevel + 2 // active window's upper key bound (inclusive)
+)
+
+// errWindowPrivate aborts a write that would touch the privatized scan
+// window (or a scan that found another scan in progress); the caller
+// parks on the publish gate and retries.
+var errWindowPrivate = errors.New("stmds: skipmap scan window is privatized")
 
 // skipNodeHdr is the per-node header (key, value, height) preceding the
 // next-pointer tower.
@@ -96,6 +158,11 @@ func NewSkipMap(tm core.TM, head, threads int, alloc Allocator) *SkipMap {
 	s := &SkipMap{tm: tm, head: head, alloc: alloc, rng: make([]uint64, threads+1)}
 	for th := range s.rng {
 		s.rng[th] = splitmix64(uint64(th))
+	}
+	gate := make(chan struct{})
+	s.pubGate.Store(&gate)
+	if p, ok := tm.(telemetry.Provider); ok {
+		s.board = p.TelemetryBoard()
 	}
 	return s
 }
@@ -148,38 +215,76 @@ func (s *SkipMap) nextReg(node int64, level int) int {
 // findTx descends the tower: for every level l, update[l] is the
 // register holding the pointer to the first node with key >= k on the
 // level-l list (a head register or a next field). cand is that node at
-// level 0 (nilPtr if every key is < k). One transactional read set of
-// O(log n) expected size — the structural reason SkipMap aborts less
-// than Map under the same churn.
-func (s *SkipMap) findTx(tx core.Txn, k int64) (update [SkipMaxLevel]int, cand int64, err error) {
+// level 0 (nilPtr if every key is < k), and prevKey is the key of the
+// level-0 predecessor owning update[0] (math.MinInt64 when that is the
+// head block) — the write paths compare it against an active scan
+// window's bounds. One transactional read set of O(log n) expected
+// size — the structural reason SkipMap aborts less than Map under the
+// same churn.
+func (s *SkipMap) findTx(tx core.Txn, k int64) (update [SkipMaxLevel]int, cand, prevKey int64, err error) {
 	prev := nilPtr // nilPtr marks "still at the head block"
+	prevKey = math.MinInt64
 	for level := SkipMaxLevel - 1; level >= 0; level-- {
 		for {
 			cur, err := tx.Read(s.nextReg(prev, level))
 			if err != nil {
-				return update, 0, err
+				return update, 0, prevKey, err
 			}
 			if cur == nilPtr {
 				break
 			}
 			key, err := tx.Read(int(cur))
 			if err != nil {
-				return update, 0, err
+				return update, 0, prevKey, err
 			}
 			if key >= k {
 				break
 			}
-			prev = cur
+			// prev only ever advances, so after the level-0 loop it IS
+			// the level-0 predecessor and prevKey its key.
+			prev, prevKey = cur, key
 		}
 		update[level] = s.nextReg(prev, level)
 	}
 	cand, err = tx.Read(update[0])
-	return update, cand, err
+	return update, cand, prevKey, err
 }
 
-// GetTx is Get inside a caller-owned transaction.
+// guardCheck implements the writer side of the scan-window protocol:
+// called with the guard epoch gf (which the caller read BEFORE any
+// write — wtstm writes in place, so the guard read must come first)
+// and the write's key k plus its level-0 predecessor key. When a
+// window is private and the write could touch a register the
+// uninstrumented walker reads — its key lands at or past the window
+// start AND it splices at a node whose level-0 successor chain the
+// walker follows (predecessor key <= hi) — the write must stall.
+// Writes strictly below the window, or splicing strictly past it,
+// proceed: the walker never reads their registers (it only follows
+// level-0 pointers of nodes with keys in [lo, hi], plus the boundary
+// node's key).
+func (s *SkipMap) guardCheck(tx core.Txn, gf, k, prevKey int64) error {
+	if gf&1 == 0 {
+		return nil
+	}
+	lo, err := tx.Read(s.head + skipGLo)
+	if err != nil {
+		return err
+	}
+	hi, err := tx.Read(s.head + skipGHi)
+	if err != nil {
+		return err
+	}
+	if k >= lo && prevKey <= hi {
+		return errWindowPrivate
+	}
+	return nil
+}
+
+// GetTx is Get inside a caller-owned transaction. Reads never consult
+// the scan guard: a private window is only ever read by its scanner,
+// so transactional reads racing the walk are read-read and race-free.
 func (s *SkipMap) GetTx(tx core.Txn, k int64) (v int64, ok bool, err error) {
-	_, cand, err := s.findTx(tx, k)
+	_, cand, _, err := s.findTx(tx, k)
 	if err != nil || cand == nilPtr {
 		return 0, false, err
 	}
@@ -197,6 +302,9 @@ func (s *SkipMap) GetTx(tx core.Txn, k int64) (v int64, ok bool, err error) {
 // supplied by the caller (clamped to [1, SkipMaxLevel]). Passing the
 // height in keeps the level draw outside the transaction so retries and
 // cross-TM runs insert identical towers. Reports whether k was absent.
+// Returns errWindowPrivate (without writing anything) when the write
+// would touch an active scan window; Put parks and retries, callers
+// driving PutTx directly must do the same.
 func (s *SkipMap) PutTx(tx core.Txn, th int, k, v int64, height int) (bool, error) {
 	if height < 1 {
 		height = 1
@@ -204,8 +312,15 @@ func (s *SkipMap) PutTx(tx core.Txn, th int, k, v int64, height int) (bool, erro
 	if height > SkipMaxLevel {
 		height = SkipMaxLevel
 	}
-	update, cand, err := s.findTx(tx, k)
+	gf, err := tx.Read(s.head + skipGFlag)
 	if err != nil {
+		return false, err
+	}
+	update, cand, prevKey, err := s.findTx(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if err := s.guardCheck(tx, gf, k, prevKey); err != nil {
 		return false, err
 	}
 	if cand != nilPtr {
@@ -249,10 +364,19 @@ func (s *SkipMap) PutTx(tx core.Txn, th int, k, v int64, height int) (bool, erro
 // whole tower (every level it appears on) in this one transaction and
 // returns the node for the caller to free AFTER the transaction
 // commits — never before, or the fence would not cover the unlink.
-// victimRegs is the block size to pass to Allocator.Free.
+// victimRegs is the block size to pass to Allocator.Free. Like PutTx it
+// returns errWindowPrivate before writing anything when the unlink
+// would touch an active scan window.
 func (s *SkipMap) DeleteTx(tx core.Txn, k int64) (removed bool, victim int64, victimRegs int, err error) {
-	update, cand, err := s.findTx(tx, k)
+	gf, err := tx.Read(s.head + skipGFlag)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	update, cand, prevKey, err := s.findTx(tx, k)
 	if err != nil || cand == nilPtr {
+		return false, 0, 0, err
+	}
+	if err := s.guardCheck(tx, gf, k, prevKey); err != nil {
 		return false, 0, 0, err
 	}
 	key, err := tx.Read(int(cand))
@@ -345,11 +469,12 @@ func (s *SkipMap) Get(th int, k int64) (v int64, ok bool, err error) {
 
 // Put inserts or updates k↦v, reporting whether k was absent. The tower
 // height is drawn once per call (not per attempt), so aborted attempts
-// retry the same insertion.
+// retry the same insertion. A put that hits an active scan window parks
+// on the publish gate and retries.
 func (s *SkipMap) Put(th int, k, v int64) (bool, error) {
 	height := s.Level(th)
 	var added bool
-	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+	err := s.retryWindow(th, func(tx core.Txn) (err error) {
 		added, err = s.PutTx(tx, th, k, v, height)
 		return err
 	})
@@ -359,12 +484,13 @@ func (s *SkipMap) Put(th int, k, v int64) (bool, error) {
 // Delete removes k, reporting whether it was present. The unlinked
 // tower goes back to the allocator after the removing transaction
 // commits — the Fig. 7 privatization cycle, with one grace period (or
-// one magazine slot) covering all 3+h registers at once.
+// one magazine slot) covering all 3+h registers at once. A delete that
+// hits an active scan window parks on the publish gate and retries.
 func (s *SkipMap) Delete(th int, k int64) (bool, error) {
 	var removed bool
 	var victim int64
 	var victimRegs int
-	err := core.Atomically(s.tm, th, func(tx core.Txn) (err error) {
+	err := s.retryWindow(th, func(tx core.Txn) (err error) {
 		removed, victim, victimRegs, err = s.DeleteTx(tx, k)
 		return err
 	})
@@ -372,6 +498,42 @@ func (s *SkipMap) Delete(th int, k int64) (bool, error) {
 		s.alloc.Free(th, victim, victimRegs)
 	}
 	return removed, err
+}
+
+// maxWindowWaits bounds how long a stalled writer waits for a scan
+// window before concluding the scanner died mid-window (each parked
+// wait is capped at a millisecond, so the bound is also a rough
+// stuck-time budget) — stmkv's maxPrivateWaits, for the skiplist.
+const maxWindowWaits = 1 << 20
+
+// retryWindow runs body transactionally, parking on the publish gate
+// while it reports the scan window privatized: a few yields first (a
+// window is short-lived — one fence plus a bounded walk), then parked
+// waits. The gate is sampled before the attempt, so a publish landing
+// between the failed attempt and the park has already closed the
+// sampled gate and the wait returns immediately.
+func (s *SkipMap) retryWindow(th int, body func(core.Txn) error) error {
+	for i := 0; ; i++ {
+		gate := *s.pubGate.Load()
+		err := core.Atomically(s.tm, th, body)
+		if errors.Is(err, errWindowPrivate) {
+			if i >= maxWindowWaits {
+				return fmt.Errorf("stmds: scan window stayed privatized for %d retries (scanner died?): %w", i, err)
+			}
+			if i < 64 {
+				runtime.Gosched()
+				continue
+			}
+			t := time.NewTimer(time.Millisecond)
+			select {
+			case <-gate:
+			case <-t.C:
+			}
+			t.Stop()
+			continue
+		}
+		return err
+	}
 }
 
 // Snapshot returns the pairs in key order, read in one transaction.
@@ -392,4 +554,179 @@ func (s *SkipMap) Len(th int) (int, error) {
 		return err
 	})
 	return n, err
+}
+
+// DefaultScanSpan is the key-window width Range privatizes per cycle
+// when the caller has no better number: wide enough that one fence
+// amortizes over hundreds of pairs on dense key sets, narrow enough
+// that writers stall on a small slice of the key space.
+const DefaultScanSpan = 1024
+
+// WindowIter is a resumable windowed range scan (see the SkipMap type
+// comment for the per-window atomicity contract). Each Next call
+// privatizes the next key window, fences once, walks the frozen
+// level-0 chain uninstrumented, publishes, and advances the cursor.
+// A WindowIter is owned by a single goroutine; the privatize→publish
+// cycle is contained inside each Next call, so an abandoned iterator
+// never leaves a window privatized.
+type WindowIter struct {
+	s       *SkipMap
+	to      int64
+	span    int64
+	cursor  int64
+	done    bool
+	started bool
+}
+
+// RangeWindows returns a windowed scan iterator over keys in
+// [from, to], privatizing span-wide key windows per Next call
+// (span < 1 selects DefaultScanSpan).
+func (s *SkipMap) RangeWindows(from, to, span int64) *WindowIter {
+	if span < 1 {
+		span = DefaultScanSpan
+	}
+	it := &WindowIter{s: s, to: to, span: span, cursor: from}
+	if from > to {
+		it.done = true
+	}
+	return it
+}
+
+// Cursor returns the key the next window starts at — the scan's resume
+// token. Valid between Next calls.
+func (it *WindowIter) Cursor() int64 { return it.cursor }
+
+// Done reports whether the scan is exhausted.
+func (it *WindowIter) Done() bool { return it.done }
+
+// Next runs one window cycle and returns the window's pairs in
+// ascending key order (possibly none) and whether more windows remain.
+// The pairs are a consistent snapshot of the window as of its fence.
+func (it *WindowIter) Next(th int) (pairs []KV, more bool, err error) {
+	s := it.s
+	if it.done {
+		return nil, false, nil
+	}
+	if !it.started {
+		it.started = true
+		if sl := s.board.Slot(th); sl != nil {
+			sl.Scans.Add(1)
+		}
+	}
+	// Clamp the window to [cursor, cursor+span-1] ∩ [cursor, to]; the
+	// unsigned difference is exact for cursor <= to even at the int64
+	// extremes.
+	lo, hi := it.cursor, it.to
+	if uint64(hi)-uint64(lo) >= uint64(it.span) {
+		hi = lo + it.span - 1
+	}
+	// Privatize: flip the guard odd, record the bounds, and capture the
+	// first node with key >= lo in the same transaction — opacity makes
+	// the captured pointer consistent with the commit that made the
+	// window private.
+	var start int64
+	err = s.retryWindow(th, func(tx core.Txn) error {
+		f, err := tx.Read(s.head + skipGFlag)
+		if err != nil {
+			return err
+		}
+		if f&1 == 1 {
+			return errWindowPrivate // another scan holds a window
+		}
+		if err := tx.Write(s.head+skipGFlag, f+1); err != nil {
+			return err
+		}
+		if err := tx.Write(s.head+skipGLo, lo); err != nil {
+			return err
+		}
+		if err := tx.Write(s.head+skipGHi, hi); err != nil {
+			return err
+		}
+		_, cand, _, err := s.findTx(tx, lo)
+		start = cand
+		return err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if sl := s.board.Slot(th); sl != nil {
+		sl.Privatizations.Add(1)
+		sl.ScanWindows.Add(1)
+	}
+	s.tm.Fence(th)
+	// The fence quiesced every transaction that saw the guard even, and
+	// writers that see it odd stall before touching the window, so the
+	// level-0 chain from start through the first key past hi is frozen:
+	// walk it with plain uninstrumented loads.
+	tm := s.tm
+	cur := start
+	endOfChain := cur == nilPtr
+	var boundary int64 // first key past hi; meaningful when !endOfChain and the loop broke
+	for cur != nilPtr {
+		k := tm.Load(th, int(cur))
+		if k > hi {
+			boundary = k
+			break
+		}
+		pairs = append(pairs, KV{k, tm.Load(th, int(cur)+1)})
+		if cur = tm.Load(th, int(cur)+skipNodeHdr); cur == nilPtr {
+			endOfChain = true
+		}
+	}
+	if err := s.publishWindow(th); err != nil {
+		return pairs, false, err
+	}
+	// Advance. Reaching the end of the chain ends the scan outright:
+	// the end-of-chain pointer the walker read was itself frozen
+	// (inserts at or past lo stalled), so no key past the window
+	// existed at the fence instant. Otherwise skip the cursor ahead to
+	// the boundary key — the frozen chain proves the gap between them
+	// is empty.
+	if endOfChain || boundary > it.to || hi >= it.to {
+		it.done = true
+	} else {
+		it.cursor = boundary // in (hi, to]: skip the known-empty gap
+	}
+	return pairs, !it.done, nil
+}
+
+// publishWindow commits the guard back to even and wakes every writer
+// parked on the gate.
+func (s *SkipMap) publishWindow(th int) error {
+	err := core.Atomically(s.tm, th, func(tx core.Txn) error {
+		f, err := tx.Read(s.head + skipGFlag)
+		if err != nil {
+			return err
+		}
+		return tx.Write(s.head+skipGFlag, f+1)
+	})
+	if err == nil {
+		gate := make(chan struct{})
+		if old := s.pubGate.Swap(&gate); old != nil {
+			close(*old)
+		}
+	}
+	return err
+}
+
+// Range streams every pair with from <= key <= to into fn in ascending
+// key order through a DefaultScanSpan windowed scan; fn returning
+// false stops the scan early. The per-window atomicity contract
+// applies — see the SkipMap type comment.
+func (s *SkipMap) Range(th int, from, to int64, fn func(k, v int64) bool) error {
+	it := s.RangeWindows(from, to, DefaultScanSpan)
+	for {
+		pairs, more, err := it.Next(th)
+		if err != nil {
+			return err
+		}
+		for _, kv := range pairs {
+			if !fn(kv.Key, kv.Val) {
+				return nil
+			}
+		}
+		if !more {
+			return nil
+		}
+	}
 }

@@ -1,0 +1,244 @@
+// Scan-semantics suite for the windowed privatized range scans: the
+// deterministic pagination contract, and the -race churn suite run on
+// every TM × fence mode (the scan-during-churn leg of CI).
+package stmds_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"safepriv/internal/engine"
+	"safepriv/internal/stmds"
+)
+
+// TestRangeWindowsPagination pins the single-thread semantics: a full
+// Range equals Snapshot, subranges are inclusive on both bounds, pages
+// are sorted and duplicate-free, the cursor resumes a scan exactly,
+// early stop works, and an inverted range is empty.
+func TestRangeWindowsPagination(t *testing.T) {
+	_, sm, _ := demandHeap(t, "tl2", 1, 600)
+	for k := int64(3); k <= 1500; k += 3 {
+		if _, err := sm.Put(1, k, k*7+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := sm.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(from, to, span int64) []stmds.KV {
+		t.Helper()
+		var out []stmds.KV
+		it := sm.RangeWindows(from, to, span)
+		for {
+			pairs, more, err := it.Next(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, pairs...)
+			if !more {
+				return out
+			}
+		}
+	}
+
+	full := collect(math.MinInt64, math.MaxInt64, 100)
+	if len(full) != len(snap) {
+		t.Fatalf("windowed full scan returned %d pairs, snapshot %d", len(full), len(snap))
+	}
+	for i := range full {
+		if full[i] != snap[i] {
+			t.Fatalf("pair %d: windowed %v vs snapshot %v", i, full[i], snap[i])
+		}
+	}
+
+	// Range (the callback form) agrees and respects inclusive bounds.
+	var sub []stmds.KV
+	if err := sm.Range(1, 300, 900, func(k, v int64) bool {
+		sub = append(sub, stmds.KV{Key: k, Val: v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want []stmds.KV
+	for _, kv := range snap {
+		if kv.Key >= 300 && kv.Key <= 900 {
+			want = append(want, kv)
+		}
+	}
+	if len(sub) != len(want) {
+		t.Fatalf("Range[300,900] returned %d pairs, want %d", len(sub), len(want))
+	}
+	for i := range sub {
+		if sub[i] != want[i] {
+			t.Fatalf("Range[300,900] pair %d: %v want %v", i, sub[i], want[i])
+		}
+	}
+
+	// Cursor resume: abandon an iterator mid-scan, resume from Cursor.
+	it := sm.RangeWindows(1, 1500, 64)
+	var head []stmds.KV
+	for i := 0; i < 3; i++ {
+		pairs, more, err := it.Next(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head = append(head, pairs...)
+		if !more {
+			t.Fatalf("scan exhausted after %d windows of span 64 over %d pairs", i+1, len(snap))
+		}
+	}
+	resumed := collect(it.Cursor(), 1500, 64)
+	combined := append(head, resumed...)
+	if len(combined) != len(snap) {
+		t.Fatalf("resume split scan returned %d pairs, want %d", len(combined), len(snap))
+	}
+	for i := range combined {
+		if combined[i] != snap[i] {
+			t.Fatalf("resume split pair %d: %v want %v", i, combined[i], snap[i])
+		}
+	}
+
+	// Early stop.
+	n := 0
+	if err := sm.Range(1, math.MinInt64, math.MaxInt64, func(k, v int64) bool {
+		n++
+		return n < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early-stopped Range visited %d pairs, want 10", n)
+	}
+
+	// Inverted and empty ranges.
+	if got := collect(900, 300, 100); len(got) != 0 {
+		t.Fatalf("inverted range returned %d pairs", len(got))
+	}
+	if got := collect(1501, math.MaxInt64, 100); len(got) != 0 {
+		t.Fatalf("past-the-end range returned %d pairs", len(got))
+	}
+}
+
+// TestRangeDuringChurn is the -race suite behind CI's scan leg: on
+// every TM × fence mode, churners put/delete even keys (k↦k*7+1 value
+// convention) while two scanner threads run windowed full scans
+// concurrently (the second exercises scanner-vs-scanner parking).
+// Every scan must be strictly sorted (duplicate-free across pages),
+// every pair must obey the value convention (a recycled node would
+// surface another key's value), and the stable odd keys — inserted up
+// front and never deleted — must ALL appear in every scan: each one is
+// live for the whole run, and per-window atomicity guarantees its
+// window shows it.
+func TestRangeDuringChurn(t *testing.T) {
+	const churners = 3
+	ops := 400
+	if testing.Short() {
+		ops = 120
+	}
+	for _, tmName := range engine.TMs() {
+		for _, fence := range []string{"", "+combine", "+defer"} {
+			spec := tmName + fence
+			t.Run(spec, func(t *testing.T) {
+				threads := churners + 2 // +2 scanner threads
+				heap, sm, _ := demandHeap(t, spec, threads, 500)
+				var stable []int64
+				for k := int64(1); k <= 399; k += 20 {
+					stable = append(stable, k)
+					if _, err := sm.Put(1, k, k*7+1); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var stop atomic.Bool
+				errs := make(chan error, threads)
+				var churn sync.WaitGroup
+				for th := 1; th <= churners; th++ {
+					churn.Add(1)
+					go func(th int) {
+						defer churn.Done()
+						r := rand.New(rand.NewSource(int64(th) * 7919))
+						for i := 0; i < ops; i++ {
+							k := 2 * (1 + r.Int63n(200)) // even keys only
+							var err error
+							if r.Intn(2) == 0 {
+								_, err = sm.Put(th, k, k*7+1)
+							} else {
+								_, err = sm.Delete(th, k)
+							}
+							if err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(th)
+				}
+				var scans sync.WaitGroup
+				for s := 0; s < 2; s++ {
+					scans.Add(1)
+					go func(th int) {
+						defer scans.Done()
+						for {
+							last := int64(math.MinInt64)
+							seen := 0
+							it := sm.RangeWindows(math.MinInt64, math.MaxInt64, 64)
+							for {
+								pairs, more, err := it.Next(th)
+								if err != nil {
+									errs <- err
+									return
+								}
+								for _, kv := range pairs {
+									if kv.Key <= last {
+										errs <- fmt.Errorf("scan keys not strictly increasing: %d after %d", kv.Key, last)
+										return
+									}
+									last = kv.Key
+									if kv.Val != kv.Key*7+1 {
+										errs <- fmt.Errorf("scan value %d for key %d breaks the k*7+1 convention", kv.Val, kv.Key)
+										return
+									}
+									if kv.Key%2 == 1 {
+										seen++
+									}
+								}
+								if !more {
+									break
+								}
+							}
+							if seen != len(stable) {
+								errs <- fmt.Errorf("scan saw %d of %d stable keys", seen, len(stable))
+								return
+							}
+							if stop.Load() {
+								return
+							}
+						}
+					}(churners + 1 + s)
+				}
+				churn.Wait()
+				stop.Store(true)
+				scans.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				if err := heap.Drain(1); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := sm.Snapshot(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st := heap.Stats(); st.Live != int64(len(snap)) {
+					t.Fatalf("leak accounting after scan churn: live %d blocks, resident pairs %d (stats %+v)",
+						st.Live, len(snap), st)
+				}
+			})
+		}
+	}
+}

@@ -62,6 +62,7 @@
 package stmkv
 
 import (
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"runtime"
@@ -103,6 +104,10 @@ var ErrFull = errors.New("stmkv: shard full")
 // be positive: 0 encodes an empty slot and -1 a tombstone.
 var ErrBadKey = errors.New("stmkv: key must be positive")
 
+// ErrBadCursor is returned by ScanPage for a cursor string that did not
+// come from a previous ScanPage against this store geometry.
+var ErrBadCursor = errors.New("stmkv: malformed scan cursor")
+
 // errShardPrivate aborts a point operation that found its shard
 // privatized; the caller yields and retries once the owner publishes.
 var errShardPrivate = errors.New("stmkv: shard is privatized")
@@ -138,6 +143,10 @@ type Stats struct {
 	Grows int64
 	// Scans, Clears count bulk reads and wipes (per shard).
 	Scans, Clears int64
+	// ScanWindows counts privatized scan windows: one
+	// privatize→fence→walk→publish cycle per shard visited by a
+	// privatizing Scan or by ScanPage.
+	ScanWindows int64
 }
 
 // KV is one key-value pair returned by Scan.
@@ -171,6 +180,7 @@ type Store struct {
 	grows          padInt64
 	scans          padInt64
 	clears         padInt64
+	scanWindows    padInt64
 
 	// asyncErr holds the first error a deferred maintenance callback
 	// hit (publish contention, heap exhaustion) since the last Drain;
@@ -352,6 +362,7 @@ func (s *Store) Stats() Stats {
 		Grows:          s.grows.Load(),
 		Scans:          s.scans.Load(),
 		Clears:         s.clears.Load(),
+		ScanWindows:    s.scanWindows.Load(),
 	}
 }
 
@@ -708,6 +719,9 @@ func (s *Store) Len(th int) (int64, error) {
 // WithTransactionalScan the shard is read in one read-only transaction
 // instead.
 func (s *Store) Scan(th int) ([]KV, error) {
+	if sl := s.board.Slot(th); sl != nil {
+		sl.Scans.Add(1)
+	}
 	var out []KV
 	for sh := 0; sh < s.shards; sh++ {
 		var err error
@@ -719,9 +733,22 @@ func (s *Store) Scan(th int) ([]KV, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !s.txnScan {
+			s.recordScanWindow(th)
+		}
 		s.scans.Add(1)
 	}
 	return out, nil
+}
+
+// recordScanWindow bumps the per-shard window counters (store stats and
+// the TM's telemetry board) for one privatize→fence→walk→publish scan
+// window.
+func (s *Store) recordScanWindow(th int) {
+	s.scanWindows.Add(1)
+	if sl := s.board.Slot(th); sl != nil {
+		sl.ScanWindows.Add(1)
+	}
 }
 
 // scanShardPrivate is the paper's idiom: privatize, fence, read the
@@ -772,6 +799,105 @@ func (s *Store) scanShardTxn(th, shard int, out []KV) ([]KV, error) {
 		return nil
 	})
 	return out, err
+}
+
+// DefaultScanPageLimit is the page size ScanPage uses when the caller
+// passes limit <= 0.
+const DefaultScanPageLimit = 256
+
+// scanCursor is the decoded resume point of a paginated scan: the next
+// shard and slot to read, plus the table block identity (pointer and
+// capacity) the slot index was cut against, so a rehash between pages
+// is detected instead of silently skipping or rereading live keys at
+// the wrong offsets.
+type scanCursor struct {
+	shard, slot, tab, cap int64
+}
+
+func encodeCursor(c scanCursor) string {
+	raw := fmt.Sprintf("%d.%d.%d.%d", c.shard, c.slot, c.tab, c.cap)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+func (s *Store) parseCursor(str string) (scanCursor, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(str)
+	if err != nil {
+		return scanCursor{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	var c scanCursor
+	if n, err := fmt.Sscanf(string(raw), "%d.%d.%d.%d", &c.shard, &c.slot, &c.tab, &c.cap); err != nil || n != 4 {
+		return scanCursor{}, fmt.Errorf("%w: %q", ErrBadCursor, string(raw))
+	}
+	if c.shard < 0 || c.shard >= int64(s.shards) || c.slot < 0 || c.tab < 0 || c.cap < 0 {
+		return scanCursor{}, fmt.Errorf("%w: %q out of range", ErrBadCursor, string(raw))
+	}
+	return c, nil
+}
+
+// ScanPage returns up to limit key-value pairs starting at cursor (""
+// for the first page) and an opaque cursor for the next page ("" when
+// the store is exhausted). Each visited shard is privatized for one
+// uninstrumented window — regardless of WithTransactionalScan — so
+// server memory and writer stall time are both O(limit), not O(store):
+// this is the pagination fast lane behind kvserve's /scan.
+//
+// Consistency matches Scan's: per shard-window, not global. A page
+// boundary additionally splits a shard across two windows; if a rehash
+// replaces the shard's table between those pages, the cursor detects
+// the stale table identity and restarts that shard from slot 0, so a
+// paginated scan delivers every stable key at least once (possibly
+// twice within the restarted shard) rather than missing rehash-moved
+// keys.
+func (s *Store) ScanPage(th int, cursor string, limit int) (pairs []KV, next string, err error) {
+	if limit <= 0 {
+		limit = DefaultScanPageLimit
+	}
+	var c scanCursor
+	if cursor != "" {
+		if c, err = s.parseCursor(cursor); err != nil {
+			return nil, "", err
+		}
+	}
+	if sl := s.board.Slot(th); sl != nil {
+		sl.Scans.Add(1)
+	}
+	tm := s.tm
+	for sh := int(c.shard); sh < s.shards; sh++ {
+		if len(pairs) == limit {
+			// Page filled exactly at a shard boundary: cut the cursor
+			// at the next shard's start without privatizing it (tab=0
+			// never matches a real block, so the resume starts clean).
+			return pairs, encodeCursor(scanCursor{int64(sh), 0, 0, 0}), nil
+		}
+		base := s.base(sh)
+		if err := s.privatize(th, base); err != nil {
+			return nil, "", err
+		}
+		s.scans.Add(1)
+		s.recordScanWindow(th)
+		tab := tm.Load(th, base+offTable)
+		cap := tm.Load(th, base+offCap)
+		slot := int64(0)
+		if sh == int(c.shard) && c.tab == tab && c.cap == cap {
+			// Same table block as when the cursor was cut: resume at
+			// the exact slot. A mismatch means a rehash moved the keys;
+			// restart the shard from slot 0.
+			slot = c.slot
+		}
+		for ; slot < cap; slot++ {
+			if len(pairs) == limit {
+				next = encodeCursor(scanCursor{int64(sh), slot, tab, cap})
+				return pairs, next, s.publish(th, base)
+			}
+			if k := tm.Load(th, keyReg(tab, int(slot))); k > 0 {
+				pairs = append(pairs, KV{k, tm.Load(th, valReg(tab, int(slot)))})
+			}
+		}
+		if err := s.publish(th, base); err != nil {
+			return nil, "", err
+		}
+	}
+	return pairs, "", nil
 }
 
 // Clear empties the store via deferred privatization: each shard's

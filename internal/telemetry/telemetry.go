@@ -15,7 +15,7 @@ import "sync/atomic"
 // Slot is one thread's counter block. Fields are written only by the
 // owning thread (with atomic adds, so Snapshot can read them racily
 // but coherently) and padded out to two cache lines so adjacent
-// threads' slots never share a line (64B line; the 9 counters are 72B,
+// threads' slots never share a line (64B line; the 11 counters are 88B,
 // so the pad rounds the struct to 128B).
 type Slot struct {
 	// Commits counts committed transactions (one per successful
@@ -43,8 +43,15 @@ type Slot struct {
 	// BackoffNs accumulates nanoseconds spent in contention backoff
 	// between aborted attempts.
 	BackoffNs atomic.Int64
+	// Scans counts bulk read operations (a whole Range/Scan/ScanPage
+	// call, however many windows it took).
+	Scans atomic.Int64
+	// ScanWindows counts privatized scan windows (one
+	// privatize→fence→walk→publish cycle each); ScanWindows/Scans is
+	// the windows-per-scan fan-out the bench emitters report.
+	ScanWindows atomic.Int64
 
-	_ [56]byte // pad 9×8B of counters to 2 cache lines
+	_ [40]byte // pad 11×8B of counters to 2 cache lines
 }
 
 // Board is a fixed set of per-thread Slots. Thread ids follow the
@@ -101,6 +108,8 @@ type Snapshot struct {
 	MagMisses      int64
 	ReclaimBatches int64
 	BackoffNs      int64
+	Scans          int64
+	ScanWindows    int64
 }
 
 // Snapshot aggregates all slots. O(threads), allocation-free.
@@ -120,6 +129,8 @@ func (b *Board) Snapshot() Snapshot {
 		s.MagMisses += sl.MagMisses.Load()
 		s.ReclaimBatches += sl.ReclaimBatches.Load()
 		s.BackoffNs += sl.BackoffNs.Load()
+		s.Scans += sl.Scans.Load()
+		s.ScanWindows += sl.ScanWindows.Load()
 	}
 	return s
 }
@@ -138,6 +149,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		MagMisses:      s.MagMisses - prev.MagMisses,
 		ReclaimBatches: s.ReclaimBatches - prev.ReclaimBatches,
 		BackoffNs:      s.BackoffNs - prev.BackoffNs,
+		Scans:          s.Scans - prev.Scans,
+		ScanWindows:    s.ScanWindows - prev.ScanWindows,
 	}
 }
 

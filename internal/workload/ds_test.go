@@ -180,3 +180,59 @@ func TestSetChurnUnsafeFenceFallback(t *testing.T) {
 		t.Fatalf("transactional-fallback run reclaimed nothing: %+v", st)
 	}
 }
+
+// TestScanChurn smokes the range-scan-under-churn workload across
+// structures and scan strategies: every run must complete at least one
+// full scan, window runs must report a window fan-out, and the churners
+// must commit their full op budget.
+func TestScanChurn(t *testing.T) {
+	ops := 200
+	if testing.Short() {
+		ops = 80
+	}
+	cases := []struct{ ds, scan string }{
+		{"skip", "snapshot"},
+		{"skip", "window"},
+		{"map", "snapshot"},
+		{"kv", "snapshot"},
+		{"kv", "window"},
+	}
+	for _, tc := range cases {
+		for _, spec := range []string{"tl2+quiesce", "wtstm+quiesce", "tl2+defer+quiesce"} {
+			t.Run(spec+"/"+tc.ds+"/"+tc.scan, func(t *testing.T) {
+				st, err := engine.RunWorkload(spec, "scan-churn",
+					workload.Params{Threads: 4, Ops: ops, Seed: 7, LiveSet: 64, DS: tc.ds, Scan: tc.scan})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Commits != int64(3*ops) { // 3 churners: thread 1 is the scanner
+					t.Fatalf("churner commits %d, want %d", st.Commits, 3*ops)
+				}
+				if st.ScanOps == 0 || st.ScanPairs == 0 {
+					t.Fatalf("no scans ran: %+v", st)
+				}
+				if tc.scan == "window" && st.ScanWindows < st.ScanOps {
+					t.Fatalf("window run reports %d windows over %d scans", st.ScanWindows, st.ScanOps)
+				}
+				if st.WriterAbortRate < 0 || st.WriterAbortRate >= 1 {
+					t.Fatalf("implausible writer abort rate %v", st.WriterAbortRate)
+				}
+			})
+		}
+	}
+}
+
+// TestScanChurnRejectsBadAxes pins the vocabulary errors: unknown scan
+// mode, unknown structure, and windowed scans on the sorted list.
+func TestScanChurnRejectsBadAxes(t *testing.T) {
+	for _, p := range []workload.Params{
+		{Threads: 2, Ops: 1, Scan: "chunked"},
+		{Threads: 2, Ops: 1, DS: "btree"},
+		{Threads: 2, Ops: 1, DS: "map", Scan: "window"},
+		{Threads: 1, Ops: 1},
+	} {
+		if _, err := engine.RunWorkload("tl2+quiesce", "scan-churn", p); err == nil {
+			t.Fatalf("params %+v accepted, want error", p)
+		}
+	}
+}

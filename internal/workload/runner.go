@@ -61,8 +61,14 @@ type Params struct {
 	// DS selects the ordered-map implementation for map-churn: "" or
 	// "skip" (the O(log n) stmds.SkipMap), or "map" (the O(n)
 	// sorted-list stmds.Map — the contrast configuration). cmd/stress
-	// fills it from the -ds flag.
+	// fills it from the -ds flag. scan-churn accepts "kv" too
+	// (stmkv.Store behind the scanner).
 	DS string
+	// Scan selects the scan-churn scanner's strategy: "" or "window"
+	// (privatized windows: SkipMap.RangeWindows / stmkv ScanPage), or
+	// "snapshot" (one read-only transaction per structure or shard —
+	// the contrast configuration).
+	Scan string
 	// Adapt runs the internal/adapt controller for the duration of the
 	// run: a sampling goroutine retunes the TM's fence mode and the
 	// workload heap's magazine capacity from telemetry.
@@ -109,6 +115,7 @@ var runners = map[string]Runner{
 	"set-churn":  SetChurn,
 	"queue-pipe": QueuePipe,
 	"map-churn":  MapChurn,
+	"scan-churn": ScanChurn,
 }
 
 // kvBase folds the spec-derived Params axes into a KVConfig: a batch
@@ -162,6 +169,14 @@ func RegsFor(name string, threads int) int {
 		regs := dsMapArena + stmalloc.RegsForDemand(8, threads, 0, demand)
 		if regs < 1<<17 {
 			regs = 1 << 17
+		}
+		return regs
+	case "scan-churn":
+		// Covers every Params.DS the workload accepts: the ordered-map
+		// geometry of map-churn, or the fixed kv-store geometry.
+		regs := RegsFor("map-churn", threads)
+		if kv := stmkv.RegsNeededBatch(scanChurnKVShards, scanChurnKVSlots, threads); kv > regs {
+			regs = kv
 		}
 		return regs
 	default: // shorttxn, bank: one cache line of registers per thread

@@ -91,6 +91,18 @@ type Stats struct {
 	// workloads that don't record it (callers fall back to their own
 	// clocks).
 	Elapsed time.Duration
+	// ScanOps, ScanWindows, ScanPairs are the scan-churn workload's
+	// scanner-side tallies: completed whole-structure scans, the
+	// privatized windows they took (1 per snapshot scan; one per
+	// RangeWindows/ScanPage window otherwise), and the total pairs
+	// returned. Zero for workloads without a scanner.
+	ScanOps, ScanWindows, ScanPairs int64
+	// WriterAbortRate is the abort rate of the churner threads alone
+	// (scan-churn), from their telemetry slots over the churn phase —
+	// the cost the scanner imposes on writers, separated from the
+	// run-wide Telemetry.AbortRate() which also contains the scanner's
+	// own retries. Zero without a board or a scanner.
+	WriterAbortRate float64
 	// AdaptFlips and AdaptResizes count the adaptive controller's
 	// fence-mode switches and magazine-capacity changes during the run;
 	// FinalFence and FinalMagCap are where its two levers ended. All
