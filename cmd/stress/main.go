@@ -22,6 +22,8 @@
 //	stress -tm tl2 -fence defer -alloc quiesce -ds queue
 //	stress -tm tl2 -alloc quiesce -reclaim batch -ds set
 //	stress -tm tl2 -alloc quiesce -ds skip -churn 4096
+//	stress -tm tl2 -alloc quiesce -ds hash -churn 4096
+//	stress -tm tl2+quiesce -workload rehash-storm -wops 2000
 //	stress -tm norec -alloc quiesce -reclaim batch -ds map
 //	stress -tm tl2+quiesce -workload scan-churn -churn 4096 -scan window
 //	stress -tm tl2 -adapt -workload kvstore -procs 4
@@ -30,9 +32,10 @@
 //
 // -fence, -alloc and -reclaim append the fence-mode (wait, combine,
 // defer), allocator (bump, quiesce) and reclaim-granularity (free,
-// batch) modifiers to the -tm spec. -ds set|queue|map|skip is
+// batch) modifiers to the -tm spec. -ds set|queue|map|skip|hash is
 // shorthand for the data-structure workloads (set-churn, queue-pipe,
-// and map-churn on the sorted-list Map or the skiplist SkipMap) and
+// and map-churn on the sorted-list Map, the skiplist SkipMap, or the
+// chained HashMap with incremental privatized rehash) and
 // -churn sets their live-set-size knob; on a quiesce spec the report
 // includes the
 // reclaim-latency quantiles and the steady-state register footprint
@@ -133,8 +136,10 @@ func dsWorkload(ds string) (name, impl string, err error) {
 		return "map-churn", "map", nil
 	case "skip":
 		return "map-churn", "skip", nil
+	case "hash":
+		return "map-churn", "hash", nil
 	}
-	return "", "", fmt.Errorf("stress: unknown -ds %q (want set, queue, map or skip)", ds)
+	return "", "", fmt.Errorf("stress: unknown -ds %q (want set, queue, map, skip or hash)", ds)
 }
 
 // dsFlagConflict rejects -ds alongside an explicit -workload, in the
@@ -182,7 +187,7 @@ func main() {
 	alloc := flag.String("alloc", "", "allocator modifier appended to -tm: bump or quiesce")
 	reclaim := flag.String("reclaim", "", "reclaim-granularity modifier appended to -tm: free or batch")
 	wl := flag.String("workload", "", "run a named workload instead of the mgc checker (or 'list')")
-	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn), queue (queue-pipe), map or skip (map-churn on the sorted list / the skiplist)")
+	ds := flag.String("ds", "", "data-structure workload shorthand: set (set-churn), queue (queue-pipe), map, skip or hash (map-churn on the sorted list / the skiplist / the hash map)")
 	churn := flag.Int("churn", 0, "live-set-size knob for the -ds workloads (0 = default)")
 	wops := flag.Int("wops", 10000, "operations per worker in -workload mode")
 	shards := flag.Int("shards", 0, "shard count for the KV workloads (0 = default)")

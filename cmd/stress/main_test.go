@@ -26,8 +26,10 @@ func TestDSFlagVocabulary(t *testing.T) {
 		{name: "queue", ds: "queue", wantName: "queue-pipe"},
 		{name: "map", ds: "map", wantName: "map-churn", wantImpl: "map"},
 		{name: "skip", ds: "skip", wantName: "map-churn", wantImpl: "skip"},
+		{name: "hash", ds: "hash", wantName: "map-churn", wantImpl: "hash"},
 		{name: "unknown value", ds: "btree", wantErr: "-ds \"btree\""},
-		{name: "typo of skip", ds: "skiplist", wantErr: "want set, queue, map or skip"},
+		{name: "typo of skip", ds: "skiplist", wantErr: "want set, queue, map, skip or hash"},
+		{name: "typo of hash", ds: "hashmap", wantErr: "want set, queue, map, skip or hash"},
 		{name: "ds vs workload", ds: "skip", workload: "kvstore", wantErr: "-ds skip conflicts with -workload kvstore"},
 		{name: "ds with workload list is fine", ds: "map", workload: "list", wantName: "map-churn", wantImpl: "map"},
 	}

@@ -27,9 +27,12 @@
 //     reclamation allocator (unlink transactionally, ride the fence,
 //     reuse), with the typed ErrOutOfSpace exhaustion contract, a
 //     per-thread magazine layer (the engine's batch reclaim axis) that
-//     amortizes one grace period over a whole magazine of frees, and
-//     RegsForDemand, which sizes arenas from multi-size-class
-//     ClassDemand profiles.
+//     amortizes one grace period over a whole magazine of frees,
+//     buddy-style splitting and coalescing across the power-of-two
+//     size-class ladder (a freed large block splits into the small
+//     blocks the next churn phase demands; freed buddies merge back
+//     for the next large request), and RegsForDemand, which sizes
+//     arenas from multi-size-class ClassDemand profiles.
 //   - Application layer: internal/stmds dynamic structures (sorted set,
 //     sorted map, FIFO queue, and the O(log n) SkipMap whose
 //     variable-height towers span four heap size classes, whose
@@ -37,14 +40,22 @@
 //     Range/RangeWindows stream bounded key windows through the
 //     Figure 7 cycle — privatize a window, one fence, walk level 0
 //     uninstrumented, publish — instead of one long read-only
-//     snapshot transaction) that free removed nodes through the
+//     snapshot transaction, and the O(1) HashMap/HashSet, chained
+//     buckets whose bucket arrays are single large heap blocks and
+//     whose growth runs through incremental privatized rehash: each
+//     stripe of old buckets is privatized by a guard flip, fenced
+//     once, unzipped uninstrumented into the doubled array, and
+//     published, so the table doubles without ever pausing the
+//     churn) that free removed nodes through the
 //     allocator; internal/stmkv, the sharded privatization-safe KV
 //     store whose shard tables are heap blocks and whose ScanPage
 //     paginates privatized scans behind an opaque resumable cursor
 //     with O(limit) buffering; the named workloads of
 //     internal/workload (incl. the set-churn/queue-pipe/map-churn
-//     reclamation shapes and scan-churn, the scan-vs-churn contrast
-//     that measures the snapshot scan's grace-period hazard); and the
+//     reclamation shapes, hash-churn — map-churn pinned to the hash
+//     map — and rehash-storm, the table-growth stress, and
+//     scan-churn, the scan-vs-churn contrast that measures the
+//     snapshot scan's grace-period hazard); and the
 //     cross-TM differential executor internal/txexec, whose windowed
 //     data-structure mode interleaves scripted map operations
 //     mid-transaction and replays the recorded order against plain Go

@@ -72,18 +72,48 @@
 // reporting ErrOutOfSpace — parked frees are never stolen (they have
 // not quiesced).
 //
-// Per-shard statistics (allocations, frees, bump high-water) are kept
-// in registers and updated transactionally, so they are exact: aborted
-// attempts do not count, and Allocs-Frees equals the number of live
-// blocks (the leak-accounting invariant the tests pin). With magazines
-// the counters move to per-thread registers (counted when a block
-// passes between the heap and the caller, not when it migrates between
-// pools), so the invariant is unchanged: after a Drain, Allocs-Frees
-// is exactly the caller-held block count — magazine-resident blocks
-// are free, merely cached. Reclaim latency — Free call to slot
-// re-entering the free list — is recorded through an optional
-// LatencyRecorder (workload.Hist satisfies it); on the batch path the
-// retire trigger's timestamp stands in for the whole batch.
+// # Block splitting and coalescing
+//
+// The size classes are powers of two and every block is aligned to its
+// own size relative to its shard chunk (the bump frontier rounds up,
+// returning the skipped pad to the free lists as smaller blocks), so
+// every block has a well-defined buddy: the block of the same size
+// whose chunk offset differs only in the size bit. On an allocation
+// miss — no free block of the class anywhere and every bump region
+// exhausted for it — New (and its variable-size alias NewSized) splits
+// the smallest fitting larger free block inside the allocating
+// transaction: the lower half (recursively) serves the request, the
+// upper halves go onto their classes' free lists. All of it is
+// transactional free-list surgery, so an abort rolls the split back
+// with everything else. Symmetrically, once a heap has ever split, a
+// block being published back to a free list first coalesces with its
+// buddy when both are free — cascading upward — so node-sized frees
+// re-form the large blocks that bucket arrays and tables need. A heap
+// that never splits never pays the buddy search. As a last resort
+// before ErrOutOfSpace, the allocator runs a whole-shard coalescing
+// pass over the free lists: a request larger than any free block still
+// succeeds when the free space exists as fragmented split buddies.
+//
+// # Exact accounting
+//
+// Per-shard statistics (allocations, frees, bump high-water, splits,
+// coalesces) are kept in registers and updated transactionally, so
+// they are exact: aborted attempts do not count, and Allocs-Frees
+// equals the number of live blocks (the leak-accounting invariant the
+// tests pin). The invariant counts blocks AS CURRENTLY SIZED: a split
+// turns one free block into several free blocks and a coalesce merges
+// two free blocks into one — free space reorganizing, with no counter
+// movement — while the allocation itself counts exactly one block at
+// its requested class and its Free counts exactly one at the same
+// class. A split→free→coalesce round trip therefore nets to zero:
+// after a Drain, Allocs-Frees is the caller-held block count no matter
+// how the free space has been cut up or re-formed underneath. With
+// magazines the counters move to per-thread registers (counted when a
+// block passes between the heap and the caller, not when it migrates
+// between pools), so the invariant is unchanged. Reclaim latency —
+// Free call to slot re-entering the free list — is recorded through an
+// optional LatencyRecorder (workload.Hist satisfies it); on the batch
+// path the retire trigger's timestamp stands in for the whole batch.
 package stmalloc
 
 import (
@@ -102,26 +132,32 @@ import (
 var ErrOutOfSpace = errors.New("stmalloc: arena exhausted")
 
 // numClasses bounds the size-class ladder: class c serves blocks of
-// 1<<c registers, c in [0, numClasses).
-const numClasses = 12
+// 1<<c registers, c in [0, numClasses). 14 classes put the largest
+// block at 8192 registers — enough for a hash-map bucket array to
+// keep its load factor at or below one through the bench live-set
+// sizes (a 4096-entry table wants 4096+ buckets, and a bucket array
+// is a single block).
+const numClasses = 14
 
 // MaxBlockRegs is the largest allocatable block (registers).
 const MaxBlockRegs = 1 << (numClasses - 1)
 
 // Per-shard header layout (registers, relative to the shard's header
-// base): bump pointer, transactional alloc/free counters, then one
-// free-list head per size class.
+// base): bump pointer, transactional alloc/free/split/coalesce
+// counters, then one free-list head per size class.
 const (
-	offBump   = 0
-	offAllocs = 1
-	offFrees  = 2
-	offLists  = 3
-	// shardHdr rounds the 15 live header registers up to 16 so
-	// consecutive shard headers are 128 bytes apart in the dense
-	// register array (8B per register): two shards' hot counters never
-	// share a cache line. Part of the false-sharing audit; the stripe
-	// and rcu slots were already padded.
-	shardHdr = 16
+	offBump      = 0
+	offAllocs    = 1
+	offFrees     = 2
+	offSplits    = 3
+	offCoalesces = 4
+	offLists     = 5
+	// shardHdr rounds the 19 live header registers up to 24 — a whole
+	// number of cache lines (192B at 8B per register) — so consecutive
+	// shard headers never share a cache line: two shards' hot counters
+	// stay apart. Part of the false-sharing audit; the stripe and rcu
+	// slots were already padded.
+	shardHdr = 24
 )
 
 // shardHdrLive is the number of registers a shard header actually
@@ -147,13 +183,13 @@ const (
 	magFreeHead  = 2
 	magFreeCnt   = 3
 	magClassRegs = 4
-	// magHdrRegs rounds the 50 live registers (2 counters + 12
-	// classes × 4) up to 56 — a whole number of cache lines (448B) —
+	// magHdrRegs rounds the 58 live registers (2 counters + 14
+	// classes × 4) up to 64 — a whole number of cache lines (512B) —
 	// so adjacent threads' magazine headers never share a line. The
 	// per-thread accounting counters are the hottest registers in a
 	// batch-reclaim run; without the pad thread t's counters sat on
 	// the same line as thread t+1's first class slots.
-	magHdrRegs = 56
+	magHdrRegs = 64
 )
 
 // magHdrLive is the number of registers a magazine header actually
@@ -254,11 +290,27 @@ func RegsForDemand(shards, magThreads, magCap int, demand []ClassDemand) int {
 	return HeaderRegs(shards) + MagazineRegs(magThreads) + arena
 }
 
-// LatencyRecorder receives one sample per reclaimed block: the time
-// from the Free call to the block re-entering the free list.
-// *workload.Hist satisfies it.
+// LatencyRecorder receives reclaim-latency samples: the time from the
+// Free call to the block re-entering the free list. Per-free frees are
+// SAMPLED (one in recEvery) so the two clock reads and the locked Add
+// stay off the reclamation fast path — the histogram's percentiles
+// converge over any bench-scale run, but Count() is no longer the free
+// count. Batch retires still record every block (the batch pays one
+// clock read regardless). *workload.Hist satisfies it.
 type LatencyRecorder interface {
 	Add(d time.Duration)
+}
+
+// recEvery is the per-free latency sampling interval.
+const recEvery = 8
+
+// recStart opens a latency sample for one in recEvery per-free
+// reclamations; the zero time means "not sampled this time".
+func (h *Heap) recStart() time.Time {
+	if h.rec == nil || h.recTick.Add(1)%recEvery != 0 {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // Option mutates heap construction.
@@ -299,6 +351,11 @@ type ShardStats struct {
 	// BumpRegs is the shard's bump high-water: registers ever taken
 	// from its chunk (free-list reuse does not advance it).
 	BumpRegs int64
+	// Splits counts buddy halvings (a split from class C down to class
+	// c is C-c halvings); Coalesces counts buddy merges. Both are
+	// transactionally exact — free space reorganizing, so neither moves
+	// Allocs or Frees.
+	Splits, Coalesces int64
 }
 
 // Stats is a heap-wide snapshot.
@@ -323,6 +380,11 @@ type Stats struct {
 	// path Frees/Batches is the amortization factor. Zero on heaps
 	// without magazines.
 	Batches int64
+	// Splits and Coalesces sum the shards' buddy halvings and merges.
+	// They never move Allocs or Frees: the leak invariant counts blocks
+	// as currently sized, and split/coalesce only reorganize free
+	// space.
+	Splits, Coalesces int64
 	// Shards holds the per-shard breakdown.
 	Shards []ShardStats
 }
@@ -342,6 +404,7 @@ type Heap struct {
 	txnFree    bool
 	magThreads int // 0 = no magazine layer
 	rec        LatencyRecorder
+	recTick    atomic.Uint64 // per-free latency sampling counter
 
 	// magCap is the magazine capacity (blocks per class per side). It
 	// is atomic because SetMagazineCapacity retunes it live while
@@ -367,6 +430,13 @@ type Heap struct {
 	pending  padInt64
 	batches  padInt64
 	asyncErr paddedErr
+
+	// everSplit gates the publish-time buddy search: heaps that never
+	// split never pay it. Set inside the (possibly aborting) split
+	// attempt, so it is a conservative hint, never a correctness
+	// condition — at worst a publish searches a list and finds no
+	// buddy.
+	everSplit atomic.Bool
 }
 
 // padInt64 is an atomic counter on its own cache line.
@@ -422,6 +492,8 @@ func New(tm core.TM, first, limit int, opts ...Option) (*Heap, error) {
 		tm.Store(1, h.hdr(s)+offBump, int64(h.chunkStart(s)))
 		tm.Store(1, h.hdr(s)+offAllocs, 0)
 		tm.Store(1, h.hdr(s)+offFrees, 0)
+		tm.Store(1, h.hdr(s)+offSplits, 0)
+		tm.Store(1, h.hdr(s)+offCoalesces, 0)
 		for c := 0; c < numClasses; c++ {
 			tm.Store(1, h.hdr(s)+offLists+c, 0)
 		}
@@ -524,12 +596,14 @@ func (h *Heap) validPtr(v int64) bool {
 
 // New allocates n consecutive registers inside tx and returns the
 // index of the first. th picks the preferred shard; allocation falls
-// over to other shards (free list first, then bump) before reporting
-// ErrOutOfSpace. Aborted transactions roll the allocation back. On a
-// magazine heap the common case pops from the calling thread's cache —
-// registers no other thread touches, so concurrent allocators never
-// conflict — refilling a magazine's worth from a shard free list when
-// the cache runs dry.
+// over to other shards (free list first, then bump, then a buddy split
+// of a larger free block, then a coalescing pass over fragmented
+// buddies) before reporting ErrOutOfSpace. Aborted transactions roll
+// the allocation back — splits included, they are plain transactional
+// free-list surgery. On a magazine heap the common case pops from the
+// calling thread's cache — registers no other thread touches, so
+// concurrent allocators never conflict — refilling a magazine's worth
+// from a shard free list when the cache runs dry.
 func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 	c, ok := classOf(n)
 	if !ok || 1<<c > h.chunk {
@@ -541,56 +615,254 @@ func (h *Heap) New(tx core.Txn, th, n int) (int64, error) {
 	return h.newShared(tx, th, c, n)
 }
 
+// NewSized is New under the name variable-size clients should reach
+// for: the entry point of the buddy layer. A request whose size-class
+// roundup has no free block and no bump space left splits the smallest
+// fitting larger free block inside tx (abort-safe), and a Free of the
+// resulting block later coalesces with its buddy when both are free —
+// so a client cycling through growing bucket arrays (stmds.HashMap)
+// recycles each retired array into node-sized blocks instead of
+// stranding arena space. Identical to New in behavior; both share the
+// split/coalesce miss path.
+func (h *Heap) NewSized(tx core.Txn, th, n int) (int64, error) {
+	return h.New(tx, th, n)
+}
+
 // newShared is the magazine-less allocation path: shard free lists,
-// then bump regions, shard counters.
+// then bump regions, then buddy splits, then the last-resort
+// coalescing pass; shard counters.
 func (h *Heap) newShared(tx core.Txn, th, c, n int) (int64, error) {
 	size := int64(1) << c
 	start := h.homeShard(th)
 	for i := 0; i < h.shards; i++ {
 		s := (start + i) % h.shards
 		// Free list for the class.
-		head, err := tx.Read(h.hdr(s) + offLists + c)
+		head, err := h.popList(tx, s, c)
 		if err != nil {
 			return 0, err
 		}
+		if head == 0 {
+			// Bump region.
+			if head, err = h.bump(tx, s, size); err != nil {
+				return 0, err
+			}
+		}
 		if head != 0 {
-			if !h.validPtr(head) {
-				return 0, core.ErrAborted // doomed read of in-flight state
-			}
-			next, err := tx.Read(int(head))
-			if err != nil {
-				return 0, err
-			}
-			if next != 0 && !h.validPtr(next) {
-				return 0, core.ErrAborted
-			}
-			if err := tx.Write(h.hdr(s)+offLists+c, next); err != nil {
-				return 0, err
-			}
 			if err := h.countAlloc(tx, s); err != nil {
 				return 0, err
 			}
 			h.noteShard(th, s)
 			return head, nil
 		}
-		// Bump region.
-		b, err := h.bump(tx, s, size)
+	}
+	// No exact block and no bump space anywhere: split the smallest
+	// fitting larger free block.
+	for i := 0; i < h.shards; i++ {
+		s := (start + i) % h.shards
+		ptr, err := h.splitFrom(tx, s, c)
 		if err != nil {
 			return 0, err
 		}
-		if b != 0 {
+		if ptr != 0 {
 			if err := h.countAlloc(tx, s); err != nil {
 				return 0, err
 			}
 			h.noteShard(th, s)
-			return b, nil
+			return ptr, nil
+		}
+	}
+	// Last resort before ErrOutOfSpace: the free space may exist only
+	// as fragmented split buddies. Coalesce each shard's lists and
+	// retry the class list and the split.
+	for i := 0; i < h.shards; i++ {
+		s := (start + i) % h.shards
+		ptr, err := h.coalesceAndRetry(tx, s, c)
+		if err != nil {
+			return 0, err
+		}
+		if ptr != 0 {
+			if err := h.countAlloc(tx, s); err != nil {
+				return 0, err
+			}
+			h.noteShard(th, s)
+			return ptr, nil
 		}
 	}
 	return 0, fmt.Errorf("stmalloc: no shard can serve %d registers: %w", n, ErrOutOfSpace)
 }
 
+// popList pops one block from shard s's class-c free list (0 when
+// empty).
+func (h *Heap) popList(tx core.Txn, s, c int) (int64, error) {
+	head, err := tx.Read(h.hdr(s) + offLists + c)
+	if err != nil {
+		return 0, err
+	}
+	if head == 0 {
+		return 0, nil
+	}
+	if !h.validPtr(head) {
+		return 0, core.ErrAborted // doomed read of in-flight state
+	}
+	next, err := tx.Read(int(head))
+	if err != nil {
+		return 0, err
+	}
+	if next != 0 && !h.validPtr(next) {
+		return 0, core.ErrAborted
+	}
+	if err := tx.Write(h.hdr(s)+offLists+c, next); err != nil {
+		return 0, err
+	}
+	return head, nil
+}
+
+// splitFrom pops the smallest free block of a class above c on shard s
+// and splits it down to class c inside tx: the lower half (recursively)
+// is returned for the current allocation, the upper halves go onto
+// their classes' free lists. Alignment is preserved — the popped block
+// is aligned to its own size, so every fragment is aligned to its.
+// Returns 0 when no larger class has a free block.
+func (h *Heap) splitFrom(tx core.Txn, s, c int) (int64, error) {
+	for C := c + 1; C < numClasses && 1<<C <= h.chunk; C++ {
+		ptr, err := h.popList(tx, s, C)
+		if err != nil {
+			return 0, err
+		}
+		if ptr == 0 {
+			continue
+		}
+		h.everSplit.Store(true)
+		for k := C - 1; k >= c; k-- {
+			frag := ptr + int64(1)<<k
+			fh, err := tx.Read(h.hdr(s) + offLists + k)
+			if err != nil {
+				return 0, err
+			}
+			if fh != 0 && !h.validPtr(fh) {
+				return 0, core.ErrAborted
+			}
+			if err := tx.Write(int(frag), fh); err != nil {
+				return 0, err
+			}
+			if err := tx.Write(h.hdr(s)+offLists+k, frag); err != nil {
+				return 0, err
+			}
+		}
+		if err := h.countShard(tx, s, offSplits, int64(C-c)); err != nil {
+			return 0, err
+		}
+		return ptr, nil
+	}
+	return 0, nil
+}
+
+// coalesceAndRetry is the pre-ErrOutOfSpace fallback: merge every free
+// buddy pair on shard s's lists bottom-up, then retry the class list
+// and the split path. Returns 0 when the shard still cannot serve
+// class c.
+func (h *Heap) coalesceAndRetry(tx core.Txn, s, c int) (int64, error) {
+	if err := h.coalesceShard(tx, s); err != nil {
+		return 0, err
+	}
+	ptr, err := h.popList(tx, s, c)
+	if err != nil || ptr != 0 {
+		return ptr, err
+	}
+	return h.splitFrom(tx, s, c)
+}
+
+// coalesceShard merges every free buddy pair it can find on shard s's
+// lists, bottom-up so merges cascade: two free class-c buddies become
+// one free class-c+1 block, which may pair again at c+1. A whole-list
+// rewrite per class, so it runs only on the brink of exhaustion — the
+// publish path's incremental cascade (pushFree) keeps steady-state
+// fragmentation down without it.
+func (h *Heap) coalesceShard(tx core.Txn, s int) error {
+	base := int64(h.chunkStart(s))
+	for c := 0; c+1 < numClasses && 1<<(c+1) <= h.chunk; c++ {
+		reg := h.hdr(s) + offLists + c
+		head, err := tx.Read(reg)
+		if err != nil {
+			return err
+		}
+		var blocks []int64
+		for cur := head; cur != 0; {
+			if !h.validPtr(cur) || len(blocks) > h.maxChain() {
+				return core.ErrAborted
+			}
+			blocks = append(blocks, cur)
+			if cur, err = tx.Read(int(cur)); err != nil {
+				return err
+			}
+		}
+		if len(blocks) < 2 {
+			continue
+		}
+		size := int64(1) << c
+		at := make(map[int64]bool, len(blocks))
+		for _, p := range blocks {
+			at[p] = true
+		}
+		var survivors, merged []int64
+		for _, p := range blocks {
+			switch {
+			case (p-base)&size == 0 && at[p+size]:
+				merged = append(merged, p) // lower half of a free pair
+			case (p-base)&size != 0 && at[p-size]:
+				// upper half of a free pair: consumed by its lower half
+			default:
+				survivors = append(survivors, p)
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		// Rewrite the class list as the survivors, then push every
+		// merged block onto the next class up (read fresh when the loop
+		// reaches it, so cascades happen naturally).
+		prev := int64(0)
+		for i := len(survivors) - 1; i >= 0; i-- {
+			if err := tx.Write(int(survivors[i]), prev); err != nil {
+				return err
+			}
+			prev = survivors[i]
+		}
+		if err := tx.Write(reg, prev); err != nil {
+			return err
+		}
+		up := h.hdr(s) + offLists + c + 1
+		for _, p := range merged {
+			uh, err := tx.Read(up)
+			if err != nil {
+				return err
+			}
+			if uh != 0 && !h.validPtr(uh) {
+				return core.ErrAborted
+			}
+			if err := tx.Write(int(p), uh); err != nil {
+				return err
+			}
+			if err := tx.Write(up, p); err != nil {
+				return err
+			}
+		}
+		if err := h.countShard(tx, s, offCoalesces, int64(len(merged))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // bump takes size registers from shard s's bump region, returning 0
-// (no error) when the chunk is exhausted.
+// (no error) when the chunk is exhausted. The frontier rounds up so
+// every block is aligned to its own size relative to the chunk start —
+// the invariant the buddy arithmetic (splitFrom, pushFree,
+// coalesceShard) rests on: a block's buddy is the same-size block
+// whose chunk offset differs only in the size bit. The skipped pad is
+// not stranded: it decomposes into maximal aligned power-of-two blocks
+// pushed onto their classes' free lists inside the same transaction.
+// Single-class traffic never pays a pad (the frontier stays aligned).
 func (h *Heap) bump(tx core.Txn, s int, size int64) (int64, error) {
 	b, err := tx.Read(h.hdr(s) + offBump)
 	if err != nil {
@@ -599,13 +871,36 @@ func (h *Heap) bump(tx core.Txn, s int, size int64) (int64, error) {
 	if !h.validBump(s, b) {
 		return 0, core.ErrAborted
 	}
-	if b+size > int64(h.chunkEnd(s)) {
+	base := int64(h.chunkStart(s))
+	aligned := b + (size-(b-base)&(size-1))&(size-1)
+	if aligned+size > int64(h.chunkEnd(s)) {
 		return 0, nil
 	}
-	if err := tx.Write(h.hdr(s)+offBump, b+size); err != nil {
+	for p := b; p < aligned; {
+		off := p - base
+		k := 0
+		for k+1 < numClasses && off&(1<<(k+1)-1) == 0 && p+1<<(k+1) <= aligned {
+			k++
+		}
+		fh, err := tx.Read(h.hdr(s) + offLists + k)
+		if err != nil {
+			return 0, err
+		}
+		if fh != 0 && !h.validPtr(fh) {
+			return 0, core.ErrAborted
+		}
+		if err := tx.Write(int(p), fh); err != nil {
+			return 0, err
+		}
+		if err := tx.Write(h.hdr(s)+offLists+k, p); err != nil {
+			return 0, err
+		}
+		p += 1 << k
+	}
+	if err := tx.Write(h.hdr(s)+offBump, aligned+size); err != nil {
 		return 0, err
 	}
-	return b, nil
+	return aligned, nil
 }
 
 // newMag is the magazine allocation path, in falling order of
@@ -653,12 +948,40 @@ func (h *Heap) newMag(tx core.Txn, th, c, n int) (int64, error) {
 		}
 	}
 	if ptr == 0 {
+		// No exact block, no bump space: split a larger free block.
+		start := h.homeShard(th)
+		for i := 0; i < h.shards && ptr == 0; i++ {
+			s := (start + i) % h.shards
+			if ptr, err = h.splitFrom(tx, s, c); err != nil {
+				return 0, err
+			}
+			if ptr != 0 {
+				h.noteShard(th, s)
+			}
+		}
+	}
+	if ptr == 0 {
 		for t := 1; t <= h.magThreads && ptr == 0; t++ {
 			if t == th {
 				continue
 			}
 			if ptr, err = h.stealHalf(tx, th, t, c); err != nil {
 				return 0, err
+			}
+		}
+	}
+	if ptr == 0 {
+		// Last resort before ErrOutOfSpace: the free space may exist
+		// only as fragmented split buddies (e.g. magazine flushes push
+		// cached fragments back without merging). Coalesce and retry.
+		start := h.homeShard(th)
+		for i := 0; i < h.shards && ptr == 0; i++ {
+			s := (start + i) % h.shards
+			if ptr, err = h.coalesceAndRetry(tx, s, c); err != nil {
+				return 0, err
+			}
+			if ptr != 0 {
+				h.noteShard(th, s)
 			}
 		}
 	}
@@ -874,11 +1197,19 @@ func (h *Heap) validBump(s int, b int64) bool {
 }
 
 func (h *Heap) countAlloc(tx core.Txn, s int) error {
-	v, err := tx.Read(h.hdr(s) + offAllocs)
+	return h.countShard(tx, s, offAllocs, 1)
+}
+
+// countShard adds n to one of shard s's transactional counters
+// (offAllocs, offFrees, offSplits, offCoalesces) — exact, because an
+// aborted transaction rolls the bump back.
+func (h *Heap) countShard(tx core.Txn, s, off int, n int64) error {
+	reg := h.hdr(s) + off
+	v, err := tx.Read(reg)
 	if err != nil {
 		return err
 	}
-	return tx.Write(h.hdr(s)+offAllocs, v+1)
+	return tx.Write(reg, v+n)
 }
 
 // shardOf maps a block pointer to its home shard.
@@ -908,7 +1239,7 @@ func (h *Heap) Free(th int, ptr int64, n int) {
 		h.fail(fmt.Errorf("stmalloc: Free of unallocatable size %d at %d", n, ptr))
 		return
 	}
-	start := time.Now()
+	start := h.recStart()
 	h.pending.Add(1)
 	if h.txnFree {
 		h.release(th, ptr, c, start, false)
@@ -1042,18 +1373,7 @@ func (h *Heap) publishBatch(th int, batch []retired, start time.Time) {
 		part := batch[lo:hi]
 		err := core.Atomically(h.tm, th, func(tx core.Txn) error {
 			for _, r := range part {
-				s := h.shardOf(r.ptr)
-				head, err := tx.Read(h.hdr(s) + offLists + r.class)
-				if err != nil {
-					return err
-				}
-				if head != 0 && !h.validPtr(head) {
-					return core.ErrAborted
-				}
-				if err := tx.Write(int(r.ptr), head); err != nil {
-					return err
-				}
-				if err := tx.Write(h.hdr(s)+offLists+r.class, r.ptr); err != nil {
+				if err := h.pushFree(tx, r.ptr, r.class); err != nil {
 					return err
 				}
 			}
@@ -1087,7 +1407,7 @@ func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 	}
 	h.pending.Add(1)
 	if h.hasMagazine(th) {
-		start := time.Now()
+		start := h.recStart()
 		// Quiescent already: the uninstrumented wipe is race-free now.
 		for i := 1; i < 1<<c; i++ {
 			h.tm.Store(th, int(ptr)+i, 0)
@@ -1117,19 +1437,9 @@ func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 				}
 				return h.countMag(tx, th, offMagFrees)
 			}
-			// Cache full: spill to the home shard's list.
-			s := h.shardOf(ptr)
-			head, err := tx.Read(h.hdr(s) + offLists + c)
-			if err != nil {
-				return err
-			}
-			if head != 0 && !h.validPtr(head) {
-				return core.ErrAborted
-			}
-			if err := tx.Write(int(ptr), head); err != nil {
-				return err
-			}
-			if err := tx.Write(h.hdr(s)+offLists+c, ptr); err != nil {
+			// Cache full: spill to the home shard's list (coalescing
+			// with free buddies on a heap that has ever split).
+			if err := h.pushFree(tx, ptr, c); err != nil {
 				return err
 			}
 			return h.countMag(tx, th, offMagFrees)
@@ -1139,12 +1449,12 @@ func (h *Heap) FreeQuiesced(th int, ptr int64, n int) {
 			h.fail(fmt.Errorf("stmalloc: quiesced free of %d failed: %w", ptr, err))
 			return
 		}
-		if h.rec != nil {
+		if h.rec != nil && !start.IsZero() {
 			h.rec.Add(time.Since(start))
 		}
 		return
 	}
-	h.release(th, ptr, c, time.Now(), !h.txnFree)
+	h.release(th, ptr, c, h.recStart(), !h.txnFree)
 }
 
 // FlushThread empties thread th's magazines: the free-side chains of
@@ -1267,10 +1577,86 @@ func (h *Heap) flushAllocMags(txTh, owner int) {
 	}
 }
 
+// pushFree publishes the class-c block at ptr onto its home shard's
+// free list inside tx. On a heap that has ever split, the push first
+// cascades buddy merges: while the block's buddy sits free on the same
+// class list, unlink it, merge, and try again one class up — "Free of
+// a split block coalesces with its buddy when both are free". Heaps
+// that never split skip the search entirely.
+func (h *Heap) pushFree(tx core.Txn, ptr int64, c int) error {
+	s := h.shardOf(ptr)
+	if h.everSplit.Load() {
+		base := int64(h.chunkStart(s))
+		for c+1 < numClasses && 1<<(c+1) <= h.chunk {
+			size := int64(1) << c
+			budOff := (ptr - base) ^ size
+			if budOff+size > int64(h.chunk) {
+				break
+			}
+			found, err := h.unlinkBlock(tx, s, c, base+budOff)
+			if err != nil {
+				return err
+			}
+			if !found {
+				break
+			}
+			if budOff < ptr-base {
+				ptr = base + budOff
+			}
+			c++
+			if err := h.countShard(tx, s, offCoalesces, 1); err != nil {
+				return err
+			}
+		}
+	}
+	head, err := tx.Read(h.hdr(s) + offLists + c)
+	if err != nil {
+		return err
+	}
+	if head != 0 && !h.validPtr(head) {
+		return core.ErrAborted
+	}
+	if err := tx.Write(int(ptr), head); err != nil {
+		return err
+	}
+	return tx.Write(h.hdr(s)+offLists+c, ptr)
+}
+
+// unlinkBlock removes the block `want` from shard s's class-c free
+// list if present, reporting whether it was found.
+func (h *Heap) unlinkBlock(tx core.Txn, s, c int, want int64) (bool, error) {
+	prev := h.hdr(s) + offLists + c
+	cur, err := tx.Read(prev)
+	if err != nil {
+		return false, err
+	}
+	n := 0
+	for cur != 0 {
+		if !h.validPtr(cur) || n > h.maxChain() {
+			return false, core.ErrAborted
+		}
+		nxt, err := tx.Read(int(cur))
+		if err != nil {
+			return false, err
+		}
+		if cur == want {
+			if nxt != 0 && !h.validPtr(nxt) {
+				return false, core.ErrAborted
+			}
+			return true, tx.Write(prev, nxt)
+		}
+		prev, cur = int(cur), nxt
+		n++
+	}
+	return false, nil
+}
+
 // release is the tail of every reclamation: optionally wipe the block
 // uninstrumented (legal only when it is quiescent), then push it onto
 // its home shard's class list with a transaction whose commit makes
-// the block reachable again — the publish of the idiom.
+// the block reachable again — the publish of the idiom. The push
+// coalesces with free buddies on a heap that has ever split. A zero
+// start means this free was not chosen for latency sampling.
 func (h *Heap) release(th int, ptr int64, c int, start time.Time, wipe bool) {
 	defer h.pending.Add(-1)
 	if wipe {
@@ -1284,30 +1670,16 @@ func (h *Heap) release(th int, ptr int64, c int, start time.Time, wipe bool) {
 	}
 	s := h.shardOf(ptr)
 	err := core.Atomically(h.tm, th, func(tx core.Txn) error {
-		head, err := tx.Read(h.hdr(s) + offLists + c)
-		if err != nil {
+		if err := h.pushFree(tx, ptr, c); err != nil {
 			return err
 		}
-		if head != 0 && !h.validPtr(head) {
-			return core.ErrAborted
-		}
-		if err := tx.Write(int(ptr), head); err != nil {
-			return err
-		}
-		if err := tx.Write(h.hdr(s)+offLists+c, ptr); err != nil {
-			return err
-		}
-		v, err := tx.Read(h.hdr(s) + offFrees)
-		if err != nil {
-			return err
-		}
-		return tx.Write(h.hdr(s)+offFrees, v+1)
+		return h.countShard(tx, s, offFrees, 1)
 	})
 	if err != nil {
 		h.fail(fmt.Errorf("stmalloc: free of %d (shard %d) failed: %w", ptr, s, err))
 		return
 	}
-	if h.rec != nil {
+	if h.rec != nil && !start.IsZero() {
 		h.rec.Add(time.Since(start))
 	}
 }
@@ -1355,14 +1727,18 @@ func (h *Heap) Stats() Stats {
 	}
 	for s := 0; s < h.shards; s++ {
 		sh := ShardStats{
-			Allocs:   h.tm.Load(1, h.hdr(s)+offAllocs),
-			Frees:    h.tm.Load(1, h.hdr(s)+offFrees),
-			BumpRegs: h.tm.Load(1, h.hdr(s)+offBump) - int64(h.chunkStart(s)),
+			Allocs:    h.tm.Load(1, h.hdr(s)+offAllocs),
+			Frees:     h.tm.Load(1, h.hdr(s)+offFrees),
+			BumpRegs:  h.tm.Load(1, h.hdr(s)+offBump) - int64(h.chunkStart(s)),
+			Splits:    h.tm.Load(1, h.hdr(s)+offSplits),
+			Coalesces: h.tm.Load(1, h.hdr(s)+offCoalesces),
 		}
 		st.Shards[s] = sh
 		st.Allocs += sh.Allocs
 		st.Frees += sh.Frees
 		st.BumpRegs += sh.BumpRegs
+		st.Splits += sh.Splits
+		st.Coalesces += sh.Coalesces
 	}
 	for t := 1; t <= h.magThreads; t++ {
 		st.Allocs += h.tm.Load(1, h.magBase(t)+offMagAllocs)

@@ -135,10 +135,11 @@ const (
 	skipGHi   = SkipMaxLevel + 2 // active window's upper key bound (inclusive)
 )
 
-// errWindowPrivate aborts a write that would touch the privatized scan
-// window (or a scan that found another scan in progress); the caller
-// parks on the publish gate and retries.
-var errWindowPrivate = errors.New("stmds: skipmap scan window is privatized")
+// errWindowPrivate aborts an op that would touch a privatized window —
+// a SkipMap scan window or a HashMap rehash stripe (or a scan/stripe
+// that found another one in progress); the caller parks on the publish
+// gate and retries.
+var errWindowPrivate = errors.New("stmds: window is privatized")
 
 // skipNodeHdr is the per-node header (key, value, height) preceding the
 // next-pointer tower.
@@ -507,18 +508,25 @@ func (s *SkipMap) Delete(th int, k int64) (bool, error) {
 const maxWindowWaits = 1 << 20
 
 // retryWindow runs body transactionally, parking on the publish gate
-// while it reports the scan window privatized: a few yields first (a
-// window is short-lived — one fence plus a bounded walk), then parked
-// waits. The gate is sampled before the attempt, so a publish landing
-// between the failed attempt and the park has already closed the
-// sampled gate and the wait returns immediately.
+// while it reports the scan window privatized.
 func (s *SkipMap) retryWindow(th int, body func(core.Txn) error) error {
+	return parkRetry(s.tm, th, &s.pubGate.Pointer, body)
+}
+
+// parkRetry runs body transactionally, parking on the publish gate
+// while it reports a window privatized: a few yields first (a window
+// is short-lived — one fence plus a bounded walk or stripe copy), then
+// parked waits. The gate is sampled before the attempt, so a publish
+// landing between the failed attempt and the park has already closed
+// the sampled gate and the wait returns immediately. Shared by
+// SkipMap's scan windows and HashMap's rehash stripes.
+func parkRetry(tm core.TM, th int, gatep *atomic.Pointer[chan struct{}], body func(core.Txn) error) error {
 	for i := 0; ; i++ {
-		gate := *s.pubGate.Load()
-		err := core.Atomically(s.tm, th, body)
+		gate := *gatep.Load()
+		err := core.Atomically(tm, th, body)
 		if errors.Is(err, errWindowPrivate) {
 			if i >= maxWindowWaits {
-				return fmt.Errorf("stmds: scan window stayed privatized for %d retries (scanner died?): %w", i, err)
+				return fmt.Errorf("stmds: window stayed privatized for %d retries (owner died?): %w", i, err)
 			}
 			if i < 64 {
 				runtime.Gosched()

@@ -15,7 +15,7 @@ import "sync/atomic"
 // Slot is one thread's counter block. Fields are written only by the
 // owning thread (with atomic adds, so Snapshot can read them racily
 // but coherently) and padded out to two cache lines so adjacent
-// threads' slots never share a line (64B line; the 11 counters are 88B,
+// threads' slots never share a line (64B line; the 12 counters are 96B,
 // so the pad rounds the struct to 128B).
 type Slot struct {
 	// Commits counts committed transactions (one per successful
@@ -50,8 +50,14 @@ type Slot struct {
 	// privatize→fence→walk→publish cycle each); ScanWindows/Scans is
 	// the windows-per-scan fan-out the bench emitters report.
 	ScanWindows atomic.Int64
+	// RehashWindows counts incremental-rehash migration windows (one
+	// privatize→fence→copy-stripe→publish cycle each); a table double
+	// of 2^k buckets takes 2^k/stripe windows, so RehashWindows growing
+	// while FenceWaitNs stays flat is the "no stop-the-world resize"
+	// signal the hash bench rows assert.
+	RehashWindows atomic.Int64
 
-	_ [40]byte // pad 11×8B of counters to 2 cache lines
+	_ [32]byte // pad 12×8B of counters to 2 cache lines
 }
 
 // Board is a fixed set of per-thread Slots. Thread ids follow the
@@ -110,6 +116,7 @@ type Snapshot struct {
 	BackoffNs      int64
 	Scans          int64
 	ScanWindows    int64
+	RehashWindows  int64
 }
 
 // Snapshot aggregates all slots. O(threads), allocation-free.
@@ -131,6 +138,7 @@ func (b *Board) Snapshot() Snapshot {
 		s.BackoffNs += sl.BackoffNs.Load()
 		s.Scans += sl.Scans.Load()
 		s.ScanWindows += sl.ScanWindows.Load()
+		s.RehashWindows += sl.RehashWindows.Load()
 	}
 	return s
 }
@@ -151,6 +159,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		BackoffNs:      s.BackoffNs - prev.BackoffNs,
 		Scans:          s.Scans - prev.Scans,
 		ScanWindows:    s.ScanWindows - prev.ScanWindows,
+		RehashWindows:  s.RehashWindows - prev.RehashWindows,
 	}
 }
 

@@ -25,9 +25,25 @@ const (
 	dsArena    = 8 // first arena register (set-churn, queue-pipe)
 	// map-churn layout: the skiplist head block needs SkipHeadRegs
 	// consecutive registers, so its arena starts after them (rounded to
-	// a cache line of registers).
+	// a cache line of registers). The hash map's 8-register head shares
+	// the region (one run builds one structure).
 	dsSkipHead = 8  // skiplist head block: [8, 8+stmds.SkipHeadRegs)
+	dsHashHead = 8  // hash-map head block: [8, 8+stmds.HashHeadRegs)
 	dsMapArena = 32 // first arena register for map-churn
+)
+
+// Named rejections for the Params.DS / Params.Scan vocabularies. The
+// workloads validate both axes up front — before any allocator or
+// controller is built — so an unknown string is a usage error callers
+// can errors.Is against, never a silent fall-through to a default
+// implementation.
+var (
+	// ErrUnknownDS rejects a Params.DS value outside the workload's
+	// vocabulary (map-churn: skip, map, hash; scan-churn: skip, map, kv).
+	ErrUnknownDS = errors.New("workload: unknown data-structure implementation")
+	// ErrUnknownScan rejects a Params.Scan value outside scan-churn's
+	// vocabulary (snapshot, window).
+	ErrUnknownScan = errors.New("workload: unknown scan mode")
 )
 
 // dsAllocator builds the allocator selected by Params.Alloc over tm's
@@ -91,6 +107,7 @@ func dsFinish(st *Stats, heap *stmalloc.Heap, alloc stmds.Allocator, hist *Hist)
 		st.Allocs, st.Frees = hs.Allocs, hs.Frees
 		st.MagCached = hs.MagAlloc + hs.MagFree
 		st.ReclaimBatches = hs.Batches
+		st.Splits, st.Coalesces = hs.Splits, hs.Coalesces
 		st.ReclaimLatency = hist
 		return nil
 	}
@@ -249,9 +266,12 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 }
 
 // MapChurn runs the ordered-map churn workload: p.Threads workers each
-// perform p.Ops get/put/delete operations (20/40/40) against ONE
-// ordered map — the sorted-list Map or the skiplist SkipMap, selected
-// by Params.DS — drawing keys from a window of twice the target live
+// perform p.Ops get/put/delete operations (60/20/20 — the read-mostly
+// point-op mix of a lookup-serving front-end, with equal put and
+// delete shares so the live set stays at its target) against ONE
+// ordered map — the sorted-list Map, the skiplist SkipMap, or the
+// chained HashMap (O(1) point ops with incremental privatized rehash),
+// selected by Params.DS — drawing keys from a window of twice the target live
 // size (p.LiveSet). Values follow the k↦k convention so concurrent
 // readers can assert consistency. The map is prefilled to the target
 // size (even keys) on thread 1 before the workers start, and only the
@@ -260,8 +280,20 @@ func QueuePipe(tm core.TM, p Params) (Stats, error) {
 // list-vs-skiplist benchmarks exist to show. On a reclaiming allocator
 // every delete retires a whole node — for SkipMap a whole tower, 4 to
 // 32 registers under one grace period or magazine slot.
+// churnOp is one pre-drawn map-churn operation: kind is the 0..99 mix
+// draw (get < 60 ≤ put < 80 ≤ delete), key the 1-based key.
+type churnOp struct {
+	key  int64
+	kind int
+}
+
 func MapChurn(tm core.TM, p Params) (Stats, error) {
 	threads, ops := p.Threads, p.Ops
+	switch p.DS {
+	case "", "skip", "map", "hash":
+	default:
+		return Stats{}, fmt.Errorf("%w: map-churn %q (want skip, map, or hash)", ErrUnknownDS, p.DS)
+	}
 	hist := new(Hist)
 	alloc, heap, err := dsAllocator(tm, p, hist, dsMapArena)
 	if err != nil {
@@ -274,8 +306,8 @@ func MapChurn(tm core.TM, p Params) (Stats, error) {
 		m = stmds.NewSkipMap(tm, dsSkipHead, threads, alloc)
 	case "map":
 		m = stmds.NewMap(tm, dsRegHead, alloc)
-	default:
-		return Stats{}, fmt.Errorf("workload: unknown map implementation %q (want map or skip)", p.DS)
+	case "hash":
+		m = stmds.NewHashMap(tm, dsHashHead, alloc)
 	}
 	live := p.LiveSet
 	if live <= 0 {
@@ -287,6 +319,30 @@ func MapChurn(tm core.TM, p Params) (Stats, error) {
 			return Stats{}, fmt.Errorf("map-churn prefill key %d: %w", k, err)
 		}
 	}
+	if hm, ok := m.(*stmds.HashMap); ok {
+		// Prefill is untimed, so finish its growth before the clock
+		// starts: otherwise the timed phase opens with the tail of the
+		// prefill's rehash — stripe fences and slow-path routing — and a
+		// short measurement window reads as migration cost, not churn.
+		// Steady-state growth triggered BY the churn still lands in the
+		// timed phase, where it belongs.
+		if err := hm.DrainRehash(1); err != nil {
+			return Stats{}, fmt.Errorf("map-churn prefill rehash drain: %w", err)
+		}
+	}
+	// Each worker's op stream (kind draw + key) is materialized before
+	// the clock starts: the timed loop below is what the map-churn rows
+	// claim to measure — the data structure under churn — and two PRNG
+	// draws per op are a visible slice of an O(1) hash operation.
+	streams := make([][]churnOp, threads+1)
+	for th := 1; th <= threads; th++ {
+		r := rand.New(rand.NewSource(p.Seed + int64(th)*2399))
+		s := make([]churnOp, ops)
+		for i := range s {
+			s[i] = churnOp{key: 1 + r.Int63n(keyspace), kind: r.Intn(100)}
+		}
+		streams[th] = s
+	}
 	c := newCounter(threads)
 	var wg sync.WaitGroup
 	errs := make(chan error, threads)
@@ -295,17 +351,15 @@ func MapChurn(tm core.TM, p Params) (Stats, error) {
 		wg.Add(1)
 		go func(th int) {
 			defer wg.Done()
-			r := rand.New(rand.NewSource(p.Seed + int64(th)*2399))
-			for i := 0; i < ops; i++ {
-				k := 1 + r.Int63n(keyspace)
+			for i, op := range streams[th] {
 				var err error
-				switch d := r.Intn(100); {
-				case d < 20:
-					_, _, err = m.Get(th, k)
-				case d < 60:
-					_, err = m.Put(th, k, k)
+				switch {
+				case op.kind < 60:
+					_, _, err = m.Get(th, op.key)
+				case op.kind < 80:
+					_, err = m.Put(th, op.key, op.key)
 				default:
-					_, err = m.Delete(th, k)
+					_, err = m.Delete(th, op.key)
 				}
 				if err != nil {
 					errs <- fmt.Errorf("map-churn worker %d op %d: %w", th, i, err)
@@ -321,6 +375,80 @@ func MapChurn(tm core.TM, p Params) (Stats, error) {
 	st := c.stats()
 	st.Elapsed = elapsed
 	finishAdapt(&st, tm, ctl)
+	if hm, ok := m.(*stmds.HashMap); ok {
+		// Settle any in-progress incremental rehash before the allocator
+		// stats: mid-rehash both bucket arrays are live, so the footprint
+		// and alloc/free counters would describe a transient.
+		if err := hm.DrainRehash(1); err != nil {
+			return st, err
+		}
+	}
+	if err := dsFinish(&st, heap, alloc, hist); err != nil {
+		return st, err
+	}
+	for err := range errs {
+		return st, err
+	}
+	return st, nil
+}
+
+// RehashStorm runs the table-growth stress: p.Threads workers insert
+// p.Ops DISTINCT keys each (thread-partitioned key ranges, so every
+// put adds a pair and nothing is ever deleted) into one stmds.HashMap
+// that starts at its initial 16 buckets. The table must double
+// ~log2(threads×ops/8) times during the timed phase, every doubling
+// migrated stripe-by-stripe through the cooperative incremental rehash
+// — the scenario the fence-wait headline is asserted on: mean fence
+// wait stays microseconds while the table grows three orders of
+// magnitude, because no insert ever waits out a stop-the-world copy.
+// Stats.Telemetry.RehashWindows counts the migration windows;
+// Stats.Splits/Coalesces expose how the freed old arrays recycle
+// through the buddy heap.
+func RehashStorm(tm core.TM, p Params) (Stats, error) {
+	threads, ops := p.Threads, p.Ops
+	if p.DS != "" && p.DS != "hash" {
+		return Stats{}, fmt.Errorf("%w: rehash-storm %q (the storm is hash-map growth; want hash)", ErrUnknownDS, p.DS)
+	}
+	hist := new(Hist)
+	alloc, heap, err := dsAllocator(tm, p, hist, dsMapArena)
+	if err != nil {
+		return Stats{}, err
+	}
+	ctl := startAdapt(tm, heap, threads+1, p.Adapt)
+	hm := stmds.NewHashMap(tm, dsHashHead, alloc)
+	c := newCounter(threads)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	start := time.Now()
+	for th := 1; th <= threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			base := int64(th) << 32
+			for i := 0; i < ops; i++ {
+				k := base + int64(i)
+				added, err := hm.Put(th, k, k)
+				if err != nil {
+					errs <- fmt.Errorf("rehash-storm worker %d op %d: %w", th, i, err)
+					return
+				}
+				if !added {
+					errs <- fmt.Errorf("rehash-storm worker %d op %d: fresh key %d already present", th, i, k)
+					return
+				}
+				c.slots[th].commits++
+			}
+		}(th)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	st := c.stats()
+	st.Elapsed = elapsed
+	finishAdapt(&st, tm, ctl)
+	if err := hm.DrainRehash(1); err != nil {
+		return st, err
+	}
 	if err := dsFinish(&st, heap, alloc, hist); err != nil {
 		return st, err
 	}

@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"errors"
 	"testing"
 
 	"safepriv/internal/engine"
@@ -35,7 +36,11 @@ func TestSetChurnAllTMs(t *testing.T) {
 					if st.Frees == 0 {
 						t.Fatalf("quiesce run reclaimed nothing: %+v", st)
 					}
-					if st.ReclaimLatency == nil || st.ReclaimLatency.Count() != st.Frees {
+					// Per-free latency is sampled, so the histogram holds a
+					// subset of the frees — but never more, and not zero on
+					// a churn-scale run.
+					if st.ReclaimLatency == nil || st.ReclaimLatency.Count() == 0 ||
+						st.ReclaimLatency.Count() > st.Frees {
 						t.Fatalf("reclaim latency samples %v, frees %d",
 							st.ReclaimLatency.Count(), st.Frees)
 					}
@@ -58,13 +63,15 @@ func TestSetChurnAllTMs(t *testing.T) {
 // churn phase, and real reclamation — for the skiplist that means
 // whole towers (multi-size-class blocks) cycling through the heap.
 func TestMapChurnAllTMs(t *testing.T) {
-	ops := 300
+	// Enough ops that the 20% delete share still fills at least one
+	// thread's free-side magazine on the batch axis.
+	ops := 400
 	if testing.Short() {
-		ops = 100
+		ops = 200
 	}
 	for _, tmName := range engine.TMs() {
 		for _, alloc := range []string{"quiesce", "quiesce+batch"} {
-			for _, ds := range []string{"map", "skip"} {
+			for _, ds := range []string{"map", "skip", "hash"} {
 				spec := tmName + "+" + alloc
 				t.Run(spec+"/ds="+ds, func(t *testing.T) {
 					st, err := engine.RunWorkload(spec, "map-churn",
@@ -102,12 +109,84 @@ func TestMapChurnAllTMs(t *testing.T) {
 	}
 }
 
-// TestMapChurnRejectsUnknownDS pins the DS-axis vocabulary error.
-func TestMapChurnRejectsUnknownDS(t *testing.T) {
-	_, err := engine.RunWorkload("tl2+quiesce", "map-churn",
-		workload.Params{Threads: 1, Ops: 1, DS: "btree"})
-	if err == nil {
-		t.Fatal("unknown DS value accepted")
+// TestAxisVocabularyErrors pins the up-front Params.DS / Params.Scan
+// validation: every workload that reads the axes rejects unknown
+// strings before building anything, with the package's NAMED errors —
+// so callers (cmd/stress, the bench emitters) can errors.Is rather
+// than match message text, and no unknown value can fall through to a
+// silent default implementation.
+func TestAxisVocabularyErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		p        workload.Params
+		want     error
+	}{
+		{"map-churn unknown ds", "map-churn", workload.Params{Threads: 1, Ops: 1, DS: "btree"}, workload.ErrUnknownDS},
+		{"map-churn typo of hash", "map-churn", workload.Params{Threads: 1, Ops: 1, DS: "hashmap"}, workload.ErrUnknownDS},
+		{"hash-churn wrong ds", "hash-churn", workload.Params{Threads: 1, Ops: 1, DS: "skip"}, workload.ErrUnknownDS},
+		{"rehash-storm wrong ds", "rehash-storm", workload.Params{Threads: 1, Ops: 1, DS: "map"}, workload.ErrUnknownDS},
+		{"scan-churn unknown ds", "scan-churn", workload.Params{Threads: 2, Ops: 1, DS: "hash"}, workload.ErrUnknownDS},
+		{"scan-churn unknown scan", "scan-churn", workload.Params{Threads: 2, Ops: 1, Scan: "chunked"}, workload.ErrUnknownScan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := engine.RunWorkload("tl2+quiesce", tc.workload, tc.p)
+			if err == nil {
+				t.Fatalf("%s accepted %+v, want %v", tc.workload, tc.p, tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s rejected %+v with %v, not the named %v", tc.workload, tc.p, err, tc.want)
+			}
+		})
+	}
+	// The accepted vocabularies stay accepted (tiny runs).
+	for _, ok := range []struct {
+		workload string
+		p        workload.Params
+	}{
+		{"map-churn", workload.Params{Threads: 1, Ops: 5, LiveSet: 8, DS: "hash"}},
+		{"hash-churn", workload.Params{Threads: 1, Ops: 5, LiveSet: 8, DS: "hash"}},
+		{"rehash-storm", workload.Params{Threads: 1, Ops: 5}},
+	} {
+		if _, err := engine.RunWorkload("tl2+quiesce", ok.workload, ok.p); err != nil {
+			t.Fatalf("%s rejected valid params %+v: %v", ok.workload, ok.p, err)
+		}
+	}
+}
+
+// TestRehashStorm smokes the table-growth stress on the quiesce axes:
+// the storm must actually rehash (telemetry windows recorded), keep
+// mean fence wait far below a stop-the-world copy, and settle to exact
+// accounting — every inserted pair live, plus one bucket array, with
+// all the intermediate array generations freed.
+func TestRehashStorm(t *testing.T) {
+	ops := 500
+	if testing.Short() {
+		ops = 150
+	}
+	const threads = 4
+	for _, spec := range []string{"tl2+quiesce", "norec+quiesce", "tl2+defer+quiesce+batch"} {
+		t.Run(spec, func(t *testing.T) {
+			st, err := engine.RunWorkload(spec, "rehash-storm",
+				workload.Params{Threads: threads, Ops: ops, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Commits != int64(threads*ops) {
+				t.Fatalf("commits %d, want %d", st.Commits, threads*ops)
+			}
+			if st.Telemetry.RehashWindows == 0 {
+				t.Fatalf("%d inserts from 16 buckets recorded no rehash windows: %+v", threads*ops, st.Telemetry)
+			}
+			if st.Frees == 0 {
+				t.Fatalf("no freed array generations: %+v", st)
+			}
+			// Exact: live blocks = the inserted pairs + ONE bucket array.
+			if live := st.Allocs - st.Frees; live != int64(threads*ops)+1 {
+				t.Fatalf("allocs-frees = %d, want %d pairs + 1 array", live, threads*ops)
+			}
+		})
 	}
 }
 

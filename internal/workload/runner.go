@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"sort"
 
 	"safepriv/internal/core"
@@ -13,6 +14,10 @@ import (
 // harnesses sweep; RegsFor sizes the heap for it so one register count
 // serves the whole sweep.
 const mapChurnMaxLive = 4096
+
+// hashStormMaxKeys is the largest rehash-storm key total (threads×ops)
+// the bench harnesses schedule; RegsFor sizes the heap for it.
+const hashStormMaxKeys = 1 << 13
 
 // Params sizes a named workload run. Workload-specific knobs (scan
 // width, read percentage, pipeline rounds) take the defaults the
@@ -116,6 +121,18 @@ var runners = map[string]Runner{
 	"queue-pipe": QueuePipe,
 	"map-churn":  MapChurn,
 	"scan-churn": ScanChurn,
+	// hash-churn is map-churn pinned to the hash map: the same traffic,
+	// prefill, and timing protocol, so its rows are directly comparable
+	// to the skip/map rows — the point-op contrast the hash bench
+	// asserts on.
+	"hash-churn": func(tm core.TM, p Params) (Stats, error) {
+		if p.DS != "" && p.DS != "hash" {
+			return Stats{}, fmt.Errorf("%w: hash-churn %q (hash-churn IS map-churn on the hash map)", ErrUnknownDS, p.DS)
+		}
+		p.DS = "hash"
+		return MapChurn(tm, p)
+	},
+	"rehash-storm": RehashStorm,
 }
 
 // kvBase folds the spec-derived Params axes into a KVConfig: a batch
@@ -160,13 +177,25 @@ func RegsFor(name string, threads int) int {
 		// ever allocated, so the default op counts must fit; the
 		// reclaiming allocator uses a small bounded prefix of it.
 		return 1 << 16
-	case "map-churn":
+	case "map-churn", "hash-churn":
 		// Demand-sized from the multi-size-class geometry at the largest
-		// live set the harnesses sweep (4096 pairs, either
-		// implementation), with a floor wide enough for the
-		// bump-allocator contrast, whose prefill+churn never reclaims.
+		// live set the harnesses sweep (4096 pairs, any implementation —
+		// hash demand adds the bucket-array generations up to the final
+		// doubling), with a floor wide enough for the bump-allocator
+		// contrast, whose prefill+churn never reclaims.
 		demand := append(stmds.MapDemand(mapChurnMaxLive), stmds.SkipMapDemand(mapChurnMaxLive)...)
+		demand = append(demand, stmds.HashMapDemand(mapChurnMaxLive)...)
 		regs := dsMapArena + stmalloc.RegsForDemand(8, threads, 0, demand)
+		if regs < 1<<17 {
+			regs = 1 << 17
+		}
+		return regs
+	case "rehash-storm":
+		// The storm inserts threads×ops distinct keys from an empty
+		// 16-bucket table; size for the largest run the bench harness
+		// schedules (hashStormMaxKeys resident pairs plus every array
+		// generation on the way up).
+		regs := dsMapArena + stmalloc.RegsForDemand(8, threads, 0, stmds.HashMapDemand(hashStormMaxKeys))
 		if regs < 1<<17 {
 			regs = 1 << 17
 		}

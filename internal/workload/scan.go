@@ -58,12 +58,19 @@ func ScanChurn(tm core.TM, p Params) (Stats, error) {
 	if threads < 2 {
 		return Stats{}, fmt.Errorf("workload: scan-churn needs >= 2 threads (1 scanner + churners), got %d", threads)
 	}
+	// Both axis vocabularies are validated up front — before any
+	// allocator or store is built — with the package's named errors.
+	switch p.DS {
+	case "", "skip", "map", "kv":
+	default:
+		return Stats{}, fmt.Errorf("%w: scan-churn %q (want skip, map, or kv)", ErrUnknownDS, p.DS)
+	}
 	mode := p.Scan
 	if mode == "" {
 		mode = "window"
 	}
 	if mode != "snapshot" && mode != "window" {
-		return Stats{}, fmt.Errorf("workload: unknown scan mode %q (want snapshot or window)", p.Scan)
+		return Stats{}, fmt.Errorf("%w: scan-churn %q (want snapshot or window)", ErrUnknownScan, p.Scan)
 	}
 	live := p.LiveSet
 	if live <= 0 {
@@ -171,8 +178,6 @@ func ScanChurn(tm core.TM, p Params) (Stats, error) {
 			}
 		}
 		finish = func(st *Stats) error { return store.Drain(1) }
-	default:
-		return Stats{}, fmt.Errorf("workload: unknown scan-churn structure %q (want skip, map, or kv)", p.DS)
 	}
 
 	// Prefill to the live-set target (even keys) on thread 1 before the

@@ -79,6 +79,13 @@ type Stats struct {
 	// Frees/ReclaimBatches is the amortization the batch reclaim mode
 	// achieved. Zero without the magazine layer.
 	ReclaimBatches int64
+	// Splits and Coalesces are the reclaiming heap's buddy counters:
+	// block halvings taken to serve a smaller size class and buddy
+	// merges of freed fragments. They never move Allocs/Frees (free
+	// space reorganizing, not allocation), so Allocs-Frees stays the
+	// live count of blocks as currently sized. Zero without the
+	// reclaiming allocator.
+	Splits, Coalesces int64
 	// Telemetry is the TM's aggregated per-thread counter snapshot at
 	// the end of the run (zero value when the TM carries no board).
 	// Its AbortRate/PrivRate/MagHitRate are the bench emitters'
